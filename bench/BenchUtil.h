@@ -1,0 +1,85 @@
+//===- BenchUtil.h - Shared benchmark harness helpers -----------*- C++ -*-===//
+//
+// Part of nv-cpp. Table formatting and argument handling shared by the
+// figure-reproduction benchmark drivers. Every driver accepts:
+//   --paper      run the paper's exact network sizes (hours on one core)
+//   --timeout S  per-solve SMT timeout in seconds (default 60)
+// and prints one aligned table matching the figure's rows/series.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_BENCH_BENCHUTIL_H
+#define NV_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nvbench {
+
+struct Args {
+  bool Paper = false;
+  unsigned TimeoutSec = 60;
+
+  static Args parse(int argc, char **argv) {
+    Args A;
+    for (int I = 1; I < argc; ++I) {
+      if (!std::strcmp(argv[I], "--paper"))
+        A.Paper = true;
+      else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc)
+        A.TimeoutSec = static_cast<unsigned>(atoi(argv[++I]));
+    }
+    return A;
+  }
+};
+
+/// Fixed-width table printer.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void row(std::vector<std::string> Cells) { Rows.push_back(std::move(Cells)); }
+
+  void print() const {
+    std::vector<size_t> W(Headers.size());
+    for (size_t I = 0; I < Headers.size(); ++I)
+      W[I] = Headers[I].size();
+    for (const auto &R : Rows)
+      for (size_t I = 0; I < R.size() && I < W.size(); ++I)
+        W[I] = std::max(W[I], R[I].size());
+    auto Line = [&](const std::vector<std::string> &Cells) {
+      for (size_t I = 0; I < W.size(); ++I)
+        std::printf("%-*s  ", static_cast<int>(W[I]),
+                    I < Cells.size() ? Cells[I].c_str() : "");
+      std::printf("\n");
+    };
+    Line(Headers);
+    for (size_t I = 0; I < W.size(); ++I)
+      std::printf("%s  ", std::string(W[I], '-').c_str());
+    std::printf("\n");
+    for (const auto &R : Rows)
+      Line(R);
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+inline std::string ms(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+  return Buf;
+}
+
+inline std::string sec(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms / 1000.0);
+  return Buf;
+}
+
+} // namespace nvbench
+
+#endif // NV_BENCH_BENCHUTIL_H

@@ -1,0 +1,53 @@
+//===- ablation_incremental_merge.cpp - Algorithm 1 lines 15-17 ablation -----===//
+//
+// Measures the ShapeShifter incremental-merge trick of Algorithm 1: when
+// merge(old, new) == new, merge the new route into the current label
+// instead of re-merging everything received. Disabling it forces the
+// line-18 full re-merge on every stale update.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FaultTolerance.h"
+#include "eval/Compile.h"
+#include "net/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace nv;
+
+namespace {
+
+void BM_Simulate(benchmark::State &State) {
+  unsigned K = static_cast<unsigned>(State.range(0));
+  bool Incremental = State.range(1) != 0;
+  bool FaultTolerance = State.range(2) != 0;
+
+  DiagnosticEngine Diags;
+  auto P = loadGenerated(generateSpSingle(K), Diags);
+  Program Prog = *P;
+  if (FaultTolerance)
+    Prog = *makeFaultTolerantProgram(*P, FtOptions{}, Diags);
+
+  for (auto _ : State) {
+    NvContext Ctx(Prog.numNodes());
+    CompiledProgramEvaluator Eval(Ctx, Prog);
+    SimOptions Opts;
+    Opts.IncrementalMerge = Incremental;
+    SimResult R = simulate(Prog, Eval, Opts);
+    benchmark::DoNotOptimize(R.Converged);
+    State.counters["merges"] = static_cast<double>(R.Stats.MergeCalls);
+    State.counters["full_merges"] = static_cast<double>(R.Stats.FullMerges);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Simulate)
+    ->ArgNames({"k", "incremental", "ft"})
+    ->Args({8, 1, 0})
+    ->Args({8, 0, 0})
+    ->Args({6, 1, 1})
+    ->Args({6, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

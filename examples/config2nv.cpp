@@ -1,0 +1,116 @@
+//===- config2nv.cpp - Sec. 4: vendor configurations to NV --------------------===//
+//
+// Parses a Cisco-style configuration (the route-map of Fig. 10a inside a
+// small network), shows the route-map DAG before and after hoisting the
+// prefix conditions, emits the NV program, and verifies reachability of an
+// announced prefix with the SMT backend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Config.h"
+#include "frontend/RouteMapDag.h"
+#include "frontend/Translate.h"
+#include "net/Generators.h"
+#include "smt/Verifier.h"
+
+#include <cstdio>
+
+using namespace nv;
+
+namespace {
+
+const char *Configs = R"cfg(
+router A
+interface neighbor B
+interface neighbor C
+ip route 192.168.2.0/24
+network 10.1.0.0/16
+
+router B
+interface neighbor A
+interface neighbor D
+router bgp 2
+neighbor D route-map RM1 out
+ip community-list comm1 permit 12
+ip community-list comm2 permit 34
+ip prefix-list pfx permit 192.168.2.0/24
+route-map RM1 permit 10
+match community comm1
+match ip address prefix-list pfx
+set local-preference 200
+route-map RM1 permit 20
+match community comm2
+set local-preference 100
+
+router C
+interface neighbor A
+interface neighbor D
+router bgp 3
+neighbor D route-map TAGALL out
+route-map TAGALL permit 10
+set community 12
+
+router D
+interface neighbor B
+interface neighbor C
+)cfg";
+
+} // namespace
+
+int main() {
+  printf("== config2nv: translating router configurations (Sec. 4) ==\n\n");
+  DiagnosticEngine Diags;
+  auto Net = parseConfigs(Configs, Diags);
+  if (!Net) {
+    Diags.printToStderr();
+    return 1;
+  }
+  printf("Parsed %zu routers; links:", Net->Routers.size());
+  for (auto [U, V] : Net->links(Diags))
+    printf(" %s-%s", Net->Routers[U].Name.c_str(),
+           Net->Routers[V].Name.c_str());
+  printf("\n");
+
+  // --- Fig. 10: the route-map DAG before and after hoisting ----------------
+  const RouterConfig &B = Net->Routers[1]; // router B holds RM1
+  const RouteMap &RM1 = B.RouteMaps.at("RM1");
+  RouteMapDag D = buildRouteMapDag(RM1);
+  printf("\nRoute-map RM1 as a DAG (Fig. 10b):\n%s", D.str().c_str());
+  RouteMapDag H = hoistPrefixConditions(D);
+  printf("\nAfter hoisting prefix conditions (Fig. 10c):\n%s",
+         H.str().c_str());
+  printf("(prefix conditions hoisted: %s)\n",
+         H.prefixConditionsHoisted() ? "yes" : "no");
+
+  // --- Emission -------------------------------------------------------------
+  auto T = translateConfigs(*Net, Diags);
+  if (!T) {
+    Diags.printToStderr();
+    return 1;
+  }
+  printf("\nGenerated NV program (%zu bytes); RM1 as mapIte (Fig. 10d):\n",
+         T->NvSource.size());
+  std::string Fn =
+      emitRouteMapFunction("transRM1", B, RM1, Diags);
+  printf("%s\n", Fn.c_str());
+
+  // --- Verify reachability of A's 10.1.0.0/16 ------------------------------
+  Prefix Target;
+  Target.Addr = (10u << 24) | (1u << 16);
+  Target.Len = 16;
+  std::string Src = T->NvSource + nvAssertReachable(Target);
+  DiagnosticEngine D2;
+  auto P = loadGenerated(Src, D2);
+  if (!P) {
+    D2.printToStderr();
+    return 1;
+  }
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(*P, Opts, D2);
+  printf("SMT reachability of %s from every router: %s\n",
+         Target.str().c_str(),
+         R.Status == VerifyStatus::Verified ? "VERIFIED" : "FAILED");
+  if (R.Status != VerifyStatus::Verified)
+    printf("%s\n", R.Counterexample.c_str());
+  return R.Status == VerifyStatus::Verified ? 0 : 1;
+}

@@ -1,0 +1,274 @@
+//===- FaultTolerance.cpp - Fig. 5 fault-tolerance meta-protocol ------------===//
+
+#include "analysis/FaultTolerance.h"
+
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+#include "support/Fatal.h"
+#include "support/Timer.h"
+#include "transform/Transforms.h"
+
+using namespace nv;
+
+namespace {
+
+/// NV source of the scenario key type.
+std::string keyTypeSource(const FtOptions &Opts) {
+  unsigned Components = Opts.LinkFailures + (Opts.NodeFailure ? 1 : 0);
+  if (Components == 1 && !Opts.NodeFailure)
+    return "edge";
+  std::string S = "(";
+  bool First = true;
+  if (Opts.NodeFailure) {
+    S += "node";
+    First = false;
+  }
+  for (unsigned I = 0; I < Opts.LinkFailures; ++I) {
+    if (!First)
+      S += ", ";
+    S += "edge";
+    First = false;
+  }
+  return S + ")";
+}
+
+/// Destructures `key` into named components; returns the binder prelude
+/// ("let (n, k0, k1) = key in ") and the component names.
+std::string keyBinders(const FtOptions &Opts, std::string &NodeName,
+                       std::vector<std::string> &LinkNames) {
+  NodeName.clear();
+  LinkNames.clear();
+  for (unsigned I = 0; I < Opts.LinkFailures; ++I)
+    LinkNames.push_back("__k" + std::to_string(I));
+  if (!Opts.NodeFailure && Opts.LinkFailures == 1) {
+    LinkNames[0] = "key";
+    return "";
+  }
+  std::string Binder = "let (";
+  bool First = true;
+  if (Opts.NodeFailure) {
+    NodeName = "__fn";
+    Binder += NodeName;
+    First = false;
+  }
+  for (const std::string &L : LinkNames) {
+    if (!First)
+      Binder += ", ";
+    Binder += L;
+    First = false;
+  }
+  return Binder + ") = key in ";
+}
+
+} // namespace
+
+std::optional<Program> nv::makeFaultTolerantProgram(const Program &P,
+                                                    const FtOptions &Opts,
+                                                    DiagnosticEngine &Diags) {
+  if (!P.AttrType) {
+    Diags.error({}, "fault-tolerance transform requires a type-checked "
+                    "program (missing attribute type)");
+    return std::nullopt;
+  }
+  if (Opts.LinkFailures == 0 && !Opts.NodeFailure) {
+    Diags.error({}, "fault-tolerance transform needs at least one failure");
+    return std::nullopt;
+  }
+
+  Program Base = renameSemanticDecls(P);
+  std::string Src = printProgram(Base);
+
+  std::string K = keyTypeSource(Opts);
+  std::string A = typeToString(P.AttrType);
+  std::string Drop = Opts.DropValueSource;
+
+  std::string NodeName;
+  std::vector<std::string> LinkNames;
+  std::string Binders = keyBinders(Opts, NodeName, LinkNames);
+
+  // Does scenario `key` fail the (undirected) link of directed edge e?
+  Src += "\nlet __ft_match (f : edge) (e : edge) =\n"
+         "  let (fa, fb) = f in\n"
+         "  let (ea, eb) = e in\n"
+         "  (fa = ea && fb = eb) || (fa = eb && fb = ea)\n";
+
+  // Predicate over keys: scenario affects edge e (failed link, or failed
+  // node adjacent to e).
+  Src += "\nlet __ft_affects (key : " + K + ") (e : edge) =\n  " + Binders;
+  {
+    std::string Cond;
+    for (const std::string &L : LinkNames) {
+      if (!Cond.empty())
+        Cond += " || ";
+      Cond += "__ft_match " + L + " e";
+    }
+    if (!NodeName.empty()) {
+      if (!Cond.empty())
+        Cond += " || ";
+      Cond += "(let (eu, ev) = e in " + NodeName + " = eu || " + NodeName +
+              " = ev)";
+    }
+    Src += Cond + "\n";
+  }
+
+  // init: one copy of the base route per scenario; with node failures the
+  // failed node originates nothing.
+  if (NodeName.empty()) {
+    Src += "\nlet init (u : node) : dict[" + K + ", " + A +
+           "] = createDict (__base_init u)\n";
+  } else {
+    Src += "\nlet init (u : node) : dict[" + K + ", " + A + "] =\n"
+           "  mapIte (fun (key : " + K + ") -> " + Binders + NodeName +
+           " = u)\n"
+           "         (fun (v : " + A + ") -> " + Drop + ")\n"
+           "         (fun (v : " + A + ") -> v)\n"
+           "         (createDict (__base_init u))\n";
+  }
+
+  // trans: Fig. 5's transFail, generalized to multi-failure keys.
+  Src += "\nlet trans (e : edge) (x : dict[" + K + ", " + A + "]) =\n"
+         "  mapIte (fun (key : " + K + ") -> __ft_affects key e)\n"
+         "         (fun (v : " + A + ") -> " + Drop + ")\n"
+         "         (fun (v : " + A + ") -> __base_trans e v)\n"
+         "         x\n";
+
+  // merge: Fig. 5's mergeFail.
+  Src += "\nlet merge (u : node) (x : dict[" + K + ", " + A +
+         "]) (y : dict[" + K + ", " + A + "]) =\n"
+         "  combine (__base_merge u) x y\n";
+
+  auto Out = parseProgram(Src, Diags);
+  if (!Out) {
+    Diags.error({}, "internal: generated fault-tolerance program failed to "
+                    "parse");
+    return std::nullopt;
+  }
+  if (!typeCheck(*Out, Diags))
+    return std::nullopt;
+  return Out;
+}
+
+std::string FtScenario::str() const {
+  std::string S = "{";
+  if (Node)
+    S += "node " + std::to_string(*Node) + (Links.empty() ? "" : "; ");
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      S += "; ";
+    S += "link " + std::to_string(Links[I].first) + "-" +
+         std::to_string(Links[I].second);
+  }
+  return S + "}";
+}
+
+std::vector<FtScenario> nv::enumerateScenarios(const Program &P,
+                                               const FtOptions &Opts) {
+  auto Links = P.links();
+  std::vector<FtScenario> Out;
+
+  // Combinations of links with repetition (repetition = fewer failures).
+  std::vector<std::vector<size_t>> LinkCombos;
+  std::vector<size_t> Cur(Opts.LinkFailures, 0);
+  std::function<void(unsigned, size_t)> Rec = [&](unsigned Pos, size_t From) {
+    if (Pos == Opts.LinkFailures) {
+      LinkCombos.push_back(Cur);
+      return;
+    }
+    for (size_t I = From; I < Links.size(); ++I) {
+      Cur[Pos] = I;
+      Rec(Pos + 1, I);
+    }
+  };
+  if (Opts.LinkFailures == 0)
+    LinkCombos.push_back({});
+  else
+    Rec(0, 0);
+
+  uint32_t N = P.numNodes();
+  if (Opts.NodeFailure) {
+    for (uint32_t U = 0; U < N; ++U)
+      for (const auto &Combo : LinkCombos) {
+        FtScenario S;
+        S.Node = U;
+        for (size_t I : Combo)
+          S.Links.push_back(Links[I]);
+        Out.push_back(std::move(S));
+      }
+  } else {
+    for (const auto &Combo : LinkCombos) {
+      FtScenario S;
+      for (size_t I : Combo)
+        S.Links.push_back(Links[I]);
+      Out.push_back(std::move(S));
+    }
+  }
+  return Out;
+}
+
+const Value *nv::scenarioKey(NvContext &Ctx, const FtScenario &S,
+                             const FtOptions &Opts) {
+  std::vector<const Value *> Parts;
+  if (Opts.NodeFailure)
+    Parts.push_back(Ctx.nodeV(S.Node.value_or(0)));
+  for (const auto &[U, V] : S.Links)
+    Parts.push_back(Ctx.edgeV(U, V));
+  if (Parts.size() == 1)
+    return Parts[0];
+  return Ctx.tupleV(std::move(Parts));
+}
+
+FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
+                                      const Program &BaseProgram,
+                                      ProtocolEvaluator &BaseEval,
+                                      const SimResult &MetaResult,
+                                      const FtOptions &Opts) {
+  FtCheckResult R;
+  auto Scenarios = enumerateScenarios(BaseProgram, Opts);
+  uint32_t N = BaseProgram.numNodes();
+  for (const FtScenario &S : Scenarios) {
+    ++R.ScenariosChecked;
+    const Value *Key = scenarioKey(Ctx, S, Opts);
+    for (uint32_t U = 0; U < N; ++U) {
+      if (S.Node && *S.Node == U)
+        continue; // a failed node asserts nothing
+      const Value *Route = Ctx.mapGet(MetaResult.Labels[U], Key);
+      if (!BaseEval.assertAt(U, Route))
+        R.Violations.push_back({S, U, Route});
+    }
+  }
+  return R;
+}
+
+FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
+                                  bool UseCompiledEvaluator,
+                                  DiagnosticEngine &Diags,
+                                  bool CheckAsserts) {
+  FtRunResult Out;
+  Stopwatch W;
+  auto Meta = makeFaultTolerantProgram(P, Opts, Diags);
+  Out.TransformMs = W.elapsedMs();
+  if (!Meta)
+    return Out;
+
+  NvContext Ctx(P.numNodes());
+  std::unique_ptr<ProtocolEvaluator> Eval;
+  W.restart();
+  if (UseCompiledEvaluator)
+    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, *Meta);
+  else
+    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, *Meta);
+  SimResult R = simulate(*Meta, *Eval);
+  Out.SimulateMs = W.elapsedMs();
+  Out.Converged = R.Converged;
+  Out.Stats = R.Stats;
+  if (!R.Converged || !CheckAsserts)
+    return Out;
+
+  W.restart();
+  InterpProgramEvaluator BaseEval(Ctx, P);
+  Out.Check = checkFaultTolerance(Ctx, P, BaseEval, R, Opts);
+  Out.CheckMs = W.elapsedMs();
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- FaultTolerance.h - Fig. 5 fault-tolerance meta-protocol --*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's novel fault-tolerance analysis (Sec. 2.7, Fig. 5): an
+/// NV-to-NV transform that lifts a protocol's attribute A to
+/// dict[K, A], where each key of K is one failure scenario. The transfer
+/// function uses mapIte to drop the route in exactly the scenarios whose
+/// failed links (or node) affect the edge being traversed; merge becomes a
+/// pointwise combine. One simulation then computes the routes of *every*
+/// scenario at once, with MTBDD sharing collapsing scenarios that behave
+/// alike (Fig. 4's pod locality).
+///
+/// Scenario keys:
+///   LinkFailures = 1, no node:  K = edge
+///   LinkFailures = k:           K = (edge, ..., edge)   (k components)
+///   NodeFailure  = true:        K = (node, edge, ...)
+///
+/// A key containing the same link twice models a smaller failure set, so
+/// the key space covers "at most k failures". Keys naming non-topology
+/// links behave like the failure-free scenario and share leaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_ANALYSIS_FAULTTOLERANCE_H
+#define NV_ANALYSIS_FAULTTOLERANCE_H
+
+#include "core/Ast.h"
+#include "eval/ProgramEvaluator.h"
+#include "sim/Simulator.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace nv {
+
+struct FtOptions {
+  unsigned LinkFailures = 1; ///< Link components in the scenario key.
+  bool NodeFailure = false;  ///< Also fail one node per scenario.
+  /// NV source of the "dropped route" value (Fig. 5 uses None; override
+  /// for protocols whose attribute is not an option).
+  std::string DropValueSource = "None";
+};
+
+/// Builds the fault-tolerant meta-program: the input's init/trans/merge
+/// (and assert) are renamed to __base_* and wrapped per Fig. 5. The result
+/// is parsed from generated NV source and type-checked; null on failure
+/// (diagnostics filed). \p P must already be type-checked (AttrType set).
+std::optional<Program> makeFaultTolerantProgram(const Program &P,
+                                                const FtOptions &Opts,
+                                                DiagnosticEngine &Diags);
+
+/// One concrete failure scenario.
+struct FtScenario {
+  std::vector<std::pair<uint32_t, uint32_t>> Links; ///< LinkFailures entries.
+  std::optional<uint32_t> Node;
+
+  std::string str() const;
+};
+
+/// Enumerates all scenarios of the key space that name real topology
+/// links (combinations with repetition, covering "at most k" failures).
+std::vector<FtScenario> enumerateScenarios(const Program &P,
+                                           const FtOptions &Opts);
+
+/// The dict key value of a scenario.
+const Value *scenarioKey(NvContext &Ctx, const FtScenario &S,
+                         const FtOptions &Opts);
+
+struct FtViolation {
+  FtScenario Scenario;
+  uint32_t Node;
+  const Value *Route; ///< The route selected under the scenario.
+};
+
+struct FtCheckResult {
+  uint64_t ScenariosChecked = 0;
+  std::vector<FtViolation> Violations;
+  bool holds() const { return Violations.empty(); }
+};
+
+/// Checks the base program's assert under every scenario, by indexing the
+/// converged dict labels of the meta-program with each scenario key. The
+/// failed node (if any) is exempt from its own assertion.
+FtCheckResult checkFaultTolerance(NvContext &Ctx, const Program &BaseProgram,
+                                  ProtocolEvaluator &BaseEval,
+                                  const SimResult &MetaResult,
+                                  const FtOptions &Opts);
+
+/// Convenience driver: transform, simulate (interpreted or compiled), and
+/// check. Null base assert means only convergence is checked.
+struct FtRunResult {
+  bool Converged = false;
+  FtCheckResult Check;
+  SimStats Stats;
+  double TransformMs = 0, SimulateMs = 0, CheckMs = 0;
+};
+FtRunResult runFaultTolerance(const Program &P, const FtOptions &Opts,
+                              bool UseCompiledEvaluator,
+                              DiagnosticEngine &Diags,
+                              bool CheckAsserts = true);
+
+} // namespace nv
+
+#endif // NV_ANALYSIS_FAULTTOLERANCE_H

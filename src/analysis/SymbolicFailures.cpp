@@ -1,0 +1,65 @@
+//===- SymbolicFailures.cpp - SMT-style bounded failures ---------------------===//
+
+#include "analysis/SymbolicFailures.h"
+
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "transform/Transforms.h"
+
+using namespace nv;
+
+std::optional<Program>
+nv::makeSymbolicFailureProgram(const Program &P, unsigned MaxFailures,
+                               DiagnosticEngine &Diags,
+                               const std::string &DropValueSource) {
+  if (!P.AttrType) {
+    Diags.error({}, "symbolic-failure transform requires a type-checked "
+                    "program");
+    return std::nullopt;
+  }
+  Program Base = renameSemanticDecls(P);
+  std::string Src = printProgram(Base);
+  std::string A = typeToString(P.AttrType);
+  auto Links = P.links();
+
+  for (size_t I = 0; I < Links.size(); ++I)
+    Src += "symbolic __fail_" + std::to_string(I) + " : bool\n";
+
+  // At most MaxFailures links fail.
+  std::string Sum;
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      Sum += " + ";
+    Sum += "(if __fail_" + std::to_string(I) + " then 1 else 0)";
+  }
+  Src += "require (" + Sum + ") <= " + std::to_string(MaxFailures) + "\n";
+
+  // Is the link under directed edge e failed? Specializes to a single
+  // boolean once trans is applied to a concrete edge (partial evaluation
+  // through the encoder).
+  Src += "let __ft_linkdown (e : edge) =\n  let (eu, ev) = e in\n  false";
+  for (size_t I = 0; I < Links.size(); ++I) {
+    std::string U = std::to_string(Links[I].first) + "n";
+    std::string V = std::to_string(Links[I].second) + "n";
+    Src += "\n  || (((eu = " + U + " && ev = " + V + ") || (eu = " + V +
+           " && ev = " + U + ")) && __fail_" + std::to_string(I) + ")";
+  }
+  Src += "\n";
+
+  Src += "let trans (e : edge) (x : " + A + ") =\n"
+         "  if __ft_linkdown e then " + DropValueSource +
+         " else __base_trans e x\n";
+  Src += "let init (u : node) = __base_init u\n";
+  Src += "let merge (u : node) (x : " + A + ") (y : " + A +
+         ") = __base_merge u x y\n";
+  if (P.assertDecl())
+    Src += "let assert (u : node) (x : " + A + ") = __base_assert u x\n";
+
+  auto Out = parseProgram(Src, Diags);
+  if (!Out)
+    return std::nullopt;
+  if (!typeCheck(*Out, Diags))
+    return std::nullopt;
+  return Out;
+}

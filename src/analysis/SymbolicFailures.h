@@ -1,0 +1,32 @@
+//===- SymbolicFailures.h - SMT-style bounded failures ----------*- C++ -*-===//
+//
+// Part of nv-cpp. The SMT route to fault tolerance (the "NV-SMT" series of
+// Fig. 13a): one symbolic boolean per link, a require clause bounding how
+// many may fail, and a transfer function that drops routes over failed
+// links. The verifier then reasons over every assignment — i.e. every
+// failure scenario — at once, MineSweeper-style.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_ANALYSIS_SYMBOLICFAILURES_H
+#define NV_ANALYSIS_SYMBOLICFAILURES_H
+
+#include "core/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace nv {
+
+/// Wraps a type-checked program with symbolic link failures: declares
+/// `symbolic __fail_i : bool` per link, requires that at most
+/// \p MaxFailures are true, and guards the transfer function. The drop
+/// route is \p DropValueSource (defaults to None).
+std::optional<Program>
+makeSymbolicFailureProgram(const Program &P, unsigned MaxFailures,
+                           DiagnosticEngine &Diags,
+                           const std::string &DropValueSource = "None");
+
+} // namespace nv
+
+#endif // NV_ANALYSIS_SYMBOLICFAILURES_H

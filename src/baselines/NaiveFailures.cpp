@@ -1,0 +1,31 @@
+//===- NaiveFailures.cpp - Per-scenario failure simulation ------------------===//
+
+#include "baselines/NaiveFailures.h"
+
+using namespace nv;
+
+SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
+                               const FtScenario &S, const Value *DropValue) {
+  FailureInjectedEvaluator Eval(BaseEval, S, DropValue);
+  return simulate(P, Eval);
+}
+
+FtCheckResult nv::naiveFaultTolerance(const Program &P,
+                                      ProtocolEvaluator &BaseEval,
+                                      const FtOptions &Opts,
+                                      const Value *DropValue) {
+  FtCheckResult R;
+  for (const FtScenario &S : enumerateScenarios(P, Opts)) {
+    ++R.ScenariosChecked;
+    SimResult Sim = simulateScenario(P, BaseEval, S, DropValue);
+    if (!Sim.Converged)
+      continue;
+    for (uint32_t U = 0; U < Sim.Labels.size(); ++U) {
+      if (S.Node && *S.Node == U)
+        continue;
+      if (!BaseEval.assertAt(U, Sim.Labels[U]))
+        R.Violations.push_back({S, U, Sim.Labels[U]});
+    }
+  }
+  return R;
+}

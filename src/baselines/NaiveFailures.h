@@ -1,0 +1,77 @@
+//===- NaiveFailures.h - Per-scenario failure simulation --------*- C++ -*-===//
+//
+// Part of nv-cpp. The baseline the paper's fault-tolerance analysis is
+// compared against (Sec. 2.7): "independently trying out all failure
+// scenarios". Each scenario re-simulates the base program with a failure-
+// injecting wrapper around the transfer function. Also used as the
+// correctness oracle for the MTBDD meta-protocol in tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_BASELINES_NAIVEFAILURES_H
+#define NV_BASELINES_NAIVEFAILURES_H
+
+#include "analysis/FaultTolerance.h"
+#include "eval/ProgramEvaluator.h"
+#include "sim/Simulator.h"
+
+namespace nv {
+
+/// Wraps a base evaluator, dropping routes over failed links and around a
+/// failed node (init of the failed node is dropped as well).
+class FailureInjectedEvaluator : public ProtocolEvaluator {
+public:
+  FailureInjectedEvaluator(ProtocolEvaluator &Base, const FtScenario &S,
+                           const Value *DropValue)
+      : Base(Base), S(S), Drop(DropValue) {}
+
+  NvContext &ctx() override { return Base.ctx(); }
+  const Value *init(uint32_t U) override {
+    if (S.Node && *S.Node == U)
+      return Drop;
+    return Base.init(U);
+  }
+  const Value *trans(uint32_t U, uint32_t V, const Value *A) override {
+    if (affects(U, V))
+      return Drop;
+    return Base.trans(U, V, A);
+  }
+  const Value *merge(uint32_t U, const Value *A, const Value *B) override {
+    return Base.merge(U, A, B);
+  }
+  bool hasAssert() const override { return Base.hasAssert(); }
+  bool assertAt(uint32_t U, const Value *A) override {
+    return Base.assertAt(U, A);
+  }
+  bool requiresHold() const override { return Base.requiresHold(); }
+
+private:
+  ProtocolEvaluator &Base;
+  FtScenario S;
+  const Value *Drop;
+
+  bool affects(uint32_t U, uint32_t V) const {
+    if (S.Node && (*S.Node == U || *S.Node == V))
+      return true;
+    for (const auto &[A, B] : S.Links)
+      if ((A == U && B == V) || (A == V && B == U))
+        return true;
+    return false;
+  }
+};
+
+/// Simulates the base program under one failure scenario.
+SimResult simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
+                           const FtScenario &S, const Value *DropValue);
+
+/// The naive exhaustive analysis: one simulation per scenario. Returns the
+/// violations found plus the number of scenarios simulated (for the
+/// Fig. 13a baseline timing).
+FtCheckResult naiveFaultTolerance(const Program &P,
+                                  ProtocolEvaluator &BaseEval,
+                                  const FtOptions &Opts,
+                                  const Value *DropValue);
+
+} // namespace nv
+
+#endif // NV_BASELINES_NAIVEFAILURES_H

@@ -1,0 +1,339 @@
+//===- Mtbdd.cpp - Hash-consed multi-terminal BDDs --------------------------===//
+
+#include <cassert>
+#include "bdd/Mtbdd.h"
+
+#include "support/Fatal.h"
+
+#include <unordered_set>
+
+using namespace nv;
+
+BddManager::BddManager() { Nodes.reserve(1 << 12); }
+
+BddManager::Ref BddManager::leaf(const void *Payload) {
+  auto It = LeafTable.find(Payload);
+  if (It != LeafTable.end())
+    return It->second;
+  Ref R = static_cast<Ref>(Nodes.size());
+  Nodes.push_back(Node{LeafVar, 0, 0, Payload});
+  LeafTable.emplace(Payload, R);
+  return R;
+}
+
+BddManager::Ref BddManager::mkNode(uint32_t Var, Ref Lo, Ref Hi) {
+  if (Lo == Hi)
+    return Lo;
+  assert(Var < LeafVar && "internal nodes must test a real bit");
+  assert((isLeaf(Lo) || Nodes[Lo].Var > Var) && "variable order violated");
+  assert((isLeaf(Hi) || Nodes[Hi].Var > Var) && "variable order violated");
+  NodeKey Key{Var, Lo, Hi};
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+  Ref R = static_cast<Ref>(Nodes.size());
+  Nodes.push_back(Node{Var, Lo, Hi, nullptr});
+  Unique.emplace(Key, R);
+  return R;
+}
+
+bool BddManager::cacheLookup(uint64_t Tag, Ref A, Ref B, Ref &Out) {
+  if (!CachingEnabled) {
+    ++CacheMisses;
+    return false;
+  }
+  auto It = OpCache.find(OpKey{Tag, A, B});
+  if (It == OpCache.end()) {
+    ++CacheMisses;
+    return false;
+  }
+  ++CacheHits;
+  Out = It->second;
+  return true;
+}
+
+void BddManager::cacheInsert(uint64_t Tag, Ref A, Ref B, Ref Result) {
+  if (CachingEnabled)
+    OpCache.emplace(OpKey{Tag, A, B}, Result);
+}
+
+BddManager::Ref BddManager::map1(Ref A, const UnaryFn &Fn, uint64_t Tag) {
+  Ref Cached;
+  if (cacheLookup(Tag, A, LeafVar, Cached))
+    return Cached;
+  Ref Result;
+  if (isLeaf(A)) {
+    Result = leaf(Fn(leafPayload(A)));
+  } else {
+    const Node N = Nodes[A];
+    Ref Lo = map1(N.Lo, Fn, Tag);
+    Ref Hi = map1(N.Hi, Fn, Tag);
+    Result = mkNode(N.Var, Lo, Hi);
+  }
+  cacheInsert(Tag, A, LeafVar, Result);
+  return Result;
+}
+
+BddManager::Ref BddManager::apply2(Ref A, Ref B, const BinaryFn &Fn,
+                                   uint64_t Tag) {
+  Ref Cached;
+  if (cacheLookup(Tag, A, B, Cached))
+    return Cached;
+  Ref Result;
+  if (isLeaf(A) && isLeaf(B)) {
+    Result = leaf(Fn(leafPayload(A), leafPayload(B)));
+  } else {
+    // Recurse on the topmost variable of either operand.
+    uint32_t VarA = Nodes[A].Var; // LeafVar sorts below every real var
+    uint32_t VarB = Nodes[B].Var;
+    uint32_t Var = VarA < VarB ? VarA : VarB;
+    Ref ALo = A, AHi = A, BLo = B, BHi = B;
+    if (VarA == Var) {
+      ALo = Nodes[A].Lo;
+      AHi = Nodes[A].Hi;
+    }
+    if (VarB == Var) {
+      BLo = Nodes[B].Lo;
+      BHi = Nodes[B].Hi;
+    }
+    Ref Lo = apply2(ALo, BLo, Fn, Tag);
+    Ref Hi = apply2(AHi, BHi, Fn, Tag);
+    Result = mkNode(Var, Lo, Hi);
+  }
+  cacheInsert(Tag, A, B, Result);
+  return Result;
+}
+
+const void *BddManager::get(Ref M, const std::vector<bool> &KeyBits) const {
+  Ref R = M;
+  while (!isLeaf(R)) {
+    const Node &N = Nodes[R];
+    assert(N.Var < KeyBits.size() && "key narrower than the diagram");
+    R = KeyBits[N.Var] ? N.Hi : N.Lo;
+  }
+  return leafPayload(R);
+}
+
+BddManager::Ref BddManager::setRec(Ref M, const std::vector<bool> &KeyBits,
+                                   unsigned Depth, const void *Payload) {
+  if (Depth == KeyBits.size()) {
+    assert(isLeaf(M) && "diagram deeper than the key width");
+    return leaf(Payload);
+  }
+  Ref Lo = M, Hi = M;
+  uint32_t Var = Depth;
+  if (!isLeaf(M) && Nodes[M].Var == Depth) {
+    Lo = Nodes[M].Lo;
+    Hi = Nodes[M].Hi;
+  }
+  if (KeyBits[Depth])
+    return mkNode(Var, Lo, setRec(Hi, KeyBits, Depth + 1, Payload));
+  return mkNode(Var, setRec(Lo, KeyBits, Depth + 1, Payload), Hi);
+}
+
+BddManager::Ref BddManager::set(Ref M, const std::vector<bool> &KeyBits,
+                                const void *Payload) {
+  return setRec(M, KeyBits, 0, Payload);
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean diagrams
+//===----------------------------------------------------------------------===//
+
+void BddManager::setBoolPayloads(const void *TruePayloadIn,
+                                 const void *FalsePayloadIn) {
+  TruePayload = TruePayloadIn;
+  FalsePayload = FalsePayloadIn;
+  TrueRef = leaf(TruePayload);
+  FalseRef = leaf(FalsePayload);
+}
+
+BddManager::Ref BddManager::bitVar(uint32_t Var) {
+  assert(TruePayload && "setBoolPayloads must run first");
+  return mkNode(Var, FalseRef, TrueRef);
+}
+
+BddManager::Ref BddManager::bddNot(Ref A) {
+  return map1(
+      A,
+      [this](const void *P) {
+        return P == TruePayload ? FalsePayload : TruePayload;
+      },
+      TagNot);
+}
+
+BddManager::Ref BddManager::bddAnd(Ref A, Ref B) {
+  if (A == FalseRef || B == FalseRef)
+    return FalseRef;
+  if (A == TrueRef)
+    return B;
+  if (B == TrueRef)
+    return A;
+  if (A > B)
+    std::swap(A, B); // commutative: canonicalize the cache key
+  return apply2(
+      A, B,
+      [this](const void *X, const void *Y) {
+        return (X == TruePayload && Y == TruePayload) ? TruePayload
+                                                      : FalsePayload;
+      },
+      TagAnd);
+}
+
+BddManager::Ref BddManager::bddOr(Ref A, Ref B) {
+  if (A == TrueRef || B == TrueRef)
+    return TrueRef;
+  if (A == FalseRef)
+    return B;
+  if (B == FalseRef)
+    return A;
+  if (A > B)
+    std::swap(A, B);
+  return apply2(
+      A, B,
+      [this](const void *X, const void *Y) {
+        return (X == TruePayload || Y == TruePayload) ? TruePayload
+                                                      : FalsePayload;
+      },
+      TagOr);
+}
+
+BddManager::Ref BddManager::bddXor(Ref A, Ref B) {
+  if (A == FalseRef)
+    return B;
+  if (B == FalseRef)
+    return A;
+  if (A == B)
+    return FalseRef;
+  if (A > B)
+    std::swap(A, B);
+  return apply2(
+      A, B,
+      [this](const void *X, const void *Y) {
+        return ((X == TruePayload) != (Y == TruePayload)) ? TruePayload
+                                                          : FalsePayload;
+      },
+      TagXor);
+}
+
+BddManager::Ref BddManager::bddIte(Ref C, Ref T, Ref E) {
+  return bddOr(bddAnd(C, T), bddAnd(bddNot(C), E));
+}
+
+BddManager::Ref BddManager::iteRec(Ref C, Ref T, Ref E, uint64_t Tag) {
+  if (C == TrueRef)
+    return T;
+  if (C == FalseRef)
+    return E;
+  if (T == E)
+    return T;
+  Ref Cached;
+  if (cacheLookup(Tag, C, T, Cached))
+    return Cached;
+  uint32_t Var = LeafVar;
+  for (Ref R : {C, T, E})
+    if (!isLeaf(R) && Nodes[R].Var < Var)
+      Var = Nodes[R].Var;
+  assert(Var != LeafVar && "C must be non-constant here");
+  auto Branch = [&](Ref R, bool Hi) {
+    if (!isLeaf(R) && Nodes[R].Var == Var)
+      return Hi ? Nodes[R].Hi : Nodes[R].Lo;
+    return R;
+  };
+  Ref Lo = iteRec(Branch(C, false), Branch(T, false), Branch(E, false), Tag);
+  Ref Hi = iteRec(Branch(C, true), Branch(T, true), Branch(E, true), Tag);
+  Ref Result = mkNode(Var, Lo, Hi);
+  cacheInsert(Tag, C, T, Result);
+  return Result;
+}
+
+BddManager::Ref BddManager::mtbddIte(Ref C, Ref T, Ref E) {
+  // Encode E into the tag so the (Tag, C, T) cache key identifies the
+  // ternary operation uniquely.
+  uint64_t Tag = 0xE000000000000000ull + E;
+  return iteRec(C, T, E, Tag);
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection
+//===----------------------------------------------------------------------===//
+
+size_t BddManager::numDistinctLeaves(Ref R) const {
+  std::unordered_set<Ref> Seen;
+  std::unordered_set<const void *> LeavesSeen;
+  std::vector<Ref> Stack{R};
+  while (!Stack.empty()) {
+    Ref N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (isLeaf(N)) {
+      LeavesSeen.insert(leafPayload(N));
+      continue;
+    }
+    Stack.push_back(Nodes[N].Lo);
+    Stack.push_back(Nodes[N].Hi);
+  }
+  return LeavesSeen.size();
+}
+
+size_t BddManager::numReachableNodes(Ref R) const {
+  std::unordered_set<Ref> Seen;
+  std::vector<Ref> Stack{R};
+  while (!Stack.empty()) {
+    Ref N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (isLeaf(N))
+      continue;
+    Stack.push_back(Nodes[N].Lo);
+    Stack.push_back(Nodes[N].Hi);
+  }
+  return Seen.size();
+}
+
+void BddManager::forEachKey(
+    Ref R, unsigned NumBits,
+    const std::function<void(const std::vector<bool> &, const void *)> &Fn)
+    const {
+  std::vector<bool> Bits(NumBits, false);
+  uint64_t Total = NumBits >= 64 ? 0 : (uint64_t(1) << NumBits);
+  if (NumBits >= 26)
+    fatalError("forEachKey over " + std::to_string(NumBits) +
+               " bits is too large to enumerate");
+  for (uint64_t K = 0; K < Total; ++K) {
+    for (unsigned I = 0; I < NumBits; ++I)
+      Bits[I] = (K >> (NumBits - 1 - I)) & 1; // bit 0 is the MSB
+    Fn(Bits, get(R, Bits));
+  }
+}
+
+void BddManager::forEachCube(
+    Ref R, unsigned NumBits,
+    const std::function<void(const std::vector<int8_t> &, const void *)> &Fn)
+    const {
+  std::vector<int8_t> Tmpl(NumBits, -1);
+  std::function<void(Ref)> Rec = [&](Ref N) {
+    if (isLeaf(N)) {
+      Fn(Tmpl, leafPayload(N));
+      return;
+    }
+    uint32_t Var = Nodes[N].Var;
+    Tmpl[Var] = 0;
+    Rec(Nodes[N].Lo);
+    Tmpl[Var] = 1;
+    Rec(Nodes[N].Hi);
+    Tmpl[Var] = -1;
+  };
+  Rec(R);
+}
+
+void BddManager::clearCaches() { OpCache.clear(); }
+
+size_t BddManager::memoryBytes() const {
+  return Nodes.capacity() * sizeof(Node) +
+         Unique.size() * (sizeof(NodeKey) + sizeof(Ref) + 16) +
+         LeafTable.size() * (sizeof(void *) + sizeof(Ref) + 16) +
+         OpCache.size() * (sizeof(OpKey) + sizeof(Ref) + 16);
+}

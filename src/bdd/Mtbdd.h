@@ -1,0 +1,229 @@
+//===- Mtbdd.h - Hash-consed multi-terminal BDDs ----------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch multi-terminal BDD package (the paper used CUDD). NV
+/// total maps are represented as MTBDDs over the bit-encoding of the key
+/// type (Sec. 5.1, Fig. 11): leaves hold interned values (opaque pointers
+/// here), internal nodes test one key bit. Nodes are hash-consed, so
+/// structural equality is pointer (Ref) equality, and apply/map results are
+/// memoized so each operation runs once per *distinct* leaf (or leaf pair).
+///
+/// Variable order: bit 0 is the most significant key bit and sits at the
+/// top of the diagram, matching Fig. 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_BDD_MTBDD_H
+#define NV_BDD_MTBDD_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace nv {
+
+/// Owns all MTBDD nodes, the unique (hash-consing) tables and the
+/// operation caches. Leaves carry opaque `const void *` payloads; callers
+/// must intern payloads so that payload equality is pointer equality.
+///
+/// There is no garbage collection: nodes live as long as the manager. The
+/// simulator allocates one manager per analysis run.
+class BddManager {
+public:
+  using Ref = uint32_t;
+  static constexpr uint32_t LeafVar = 0xFFFFFFFFu;
+
+  struct Node {
+    uint32_t Var;          ///< Bit index tested, or LeafVar for leaves.
+    Ref Lo = 0;            ///< Subtree when the bit is 0 (dashed edge).
+    Ref Hi = 0;            ///< Subtree when the bit is 1 (solid edge).
+    const void *Leaf = nullptr; ///< Leaf payload (LeafVar nodes only).
+  };
+
+  BddManager();
+
+  /// Returns the canonical leaf holding \p Payload.
+  Ref leaf(const void *Payload);
+
+  /// Returns the canonical internal node (Var, Lo, Hi), applying the
+  /// standard reduction Lo == Hi ==> Lo.
+  Ref mkNode(uint32_t Var, Ref Lo, Ref Hi);
+
+  bool isLeaf(Ref R) const { return Nodes[R].Var == LeafVar; }
+  const void *leafPayload(Ref R) const { return Nodes[R].Leaf; }
+  const Node &node(Ref R) const { return Nodes[R]; }
+
+  /// Total number of live nodes in the manager.
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Allocates a fresh tag for memoizing a semantic operation. Operations
+  /// keyed by the same tag must be the same mathematical function.
+  uint64_t freshOpTag() { return NextOpTag++; }
+
+  using UnaryFn = std::function<const void *(const void *)>;
+  using BinaryFn = std::function<const void *(const void *, const void *)>;
+
+  /// Applies \p Fn to every leaf. \p Tag memoizes across calls (pass the
+  /// same tag for the same Fn to share work between invocations).
+  Ref map1(Ref A, const UnaryFn &Fn, uint64_t Tag);
+
+  /// Shannon-aligned binary apply: recurses over both diagrams and calls
+  /// \p Fn once per distinct pair of leaves. This single primitive
+  /// implements NV's combine (Fn = merge) and mapIte (A = predicate
+  /// diagram with boolean payloads, Fn dispatches on the predicate leaf).
+  Ref apply2(Ref A, Ref B, const BinaryFn &Fn, uint64_t Tag);
+
+  /// Follows the path \p KeyBits (KeyBits[i] = value of bit i) to a leaf.
+  /// Bits beyond the diagram's depth are ignored (the diagram is total).
+  const void *get(Ref M, const std::vector<bool> &KeyBits) const;
+
+  /// Returns the diagram equal to \p M except that the single key at
+  /// \p KeyBits maps to \p Payload. \p NumBits is the key type's width
+  /// (KeyBits.size() == NumBits).
+  Ref set(Ref M, const std::vector<bool> &KeyBits, const void *Payload);
+
+  //===--------------------------------------------------------------------===//
+  // Boolean diagrams (predicates over keys)
+  //===--------------------------------------------------------------------===//
+  //
+  // Predicates are ordinary MTBDDs whose payloads are the two canonical
+  // pointers passed to setBoolPayloads (typically interned true/false
+  // values). The boolean operations below are memoized internally.
+
+  /// Registers the canonical payloads used by boolean diagrams.
+  void setBoolPayloads(const void *TruePayload, const void *FalsePayload);
+
+  Ref trueBdd() const { return TrueRef; }
+  Ref falseBdd() const { return FalseRef; }
+  bool isTrueLeaf(Ref R) const {
+    return isLeaf(R) && leafPayload(R) == TruePayload;
+  }
+
+  /// Diagram testing a single bit: bit ? true : false.
+  Ref bitVar(uint32_t Var);
+
+  Ref bddNot(Ref A);
+  Ref bddAnd(Ref A, Ref B);
+  Ref bddOr(Ref A, Ref B);
+  Ref bddXor(Ref A, Ref B);
+  Ref bddXnor(Ref A, Ref B) { return bddNot(bddXor(A, B)); }
+  /// if C then T else E, all boolean diagrams.
+  Ref bddIte(Ref C, Ref T, Ref E);
+
+  /// Per-bit merge of arbitrary MTBDDs: picks T's leaf where C holds and
+  /// E's leaf elsewhere. C must be a boolean diagram.
+  Ref mtbddIte(Ref C, Ref T, Ref E);
+
+  /// True when the boolean diagram is satisfiable (not constant-false).
+  bool satisfiable(Ref A) const { return A != FalseRef; }
+
+  //===--------------------------------------------------------------------===//
+  // Inspection
+  //===--------------------------------------------------------------------===//
+
+  /// Number of distinct leaves reachable from \p R.
+  size_t numDistinctLeaves(Ref R) const;
+
+  /// Number of nodes (internal + leaf) reachable from \p R.
+  size_t numReachableNodes(Ref R) const;
+
+  /// Enumerates all complete key assignments over \p NumBits bits together
+  /// with their leaf payloads. Exponential in NumBits; testing/debugging
+  /// only.
+  void forEachKey(Ref R, unsigned NumBits,
+                  const std::function<void(const std::vector<bool> &,
+                                           const void *)> &Fn) const;
+
+  /// Visits each maximal uniform cube as (bit assignment template, leaf):
+  /// entries of the template are 0, 1 or -1 (don't care). Linear in the
+  /// diagram size.
+  void forEachCube(Ref R, unsigned NumBits,
+                   const std::function<void(const std::vector<int8_t> &,
+                                            const void *)> &Fn) const;
+
+  /// Drops all operation caches (unique tables are kept).
+  void clearCaches();
+
+  /// Approximate bytes used by nodes and tables.
+  size_t memoryBytes() const;
+
+  /// Cache statistics (for the cache ablation bench).
+  uint64_t cacheHits() const { return CacheHits; }
+  uint64_t cacheMisses() const { return CacheMisses; }
+
+  /// Disables operation caching (for the cache ablation bench).
+  void setCachingEnabled(bool On) { CachingEnabled = On; }
+
+private:
+  struct NodeKey {
+    uint32_t Var;
+    Ref Lo, Hi;
+    bool operator==(const NodeKey &O) const {
+      return Var == O.Var && Lo == O.Lo && Hi == O.Hi;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &K) const {
+      uint64_t H = K.Var;
+      H = H * 0x9E3779B97F4A7C15ull + K.Lo;
+      H = H * 0x9E3779B97F4A7C15ull + K.Hi;
+      return static_cast<size_t>(H ^ (H >> 32));
+    }
+  };
+  struct OpKey {
+    uint64_t Tag;
+    Ref A, B;
+    bool operator==(const OpKey &O) const {
+      return Tag == O.Tag && A == O.A && B == O.B;
+    }
+  };
+  struct OpKeyHash {
+    size_t operator()(const OpKey &K) const {
+      uint64_t H = K.Tag;
+      H = H * 0x9E3779B97F4A7C15ull + K.A;
+      H = H * 0x9E3779B97F4A7C15ull + K.B;
+      return static_cast<size_t>(H ^ (H >> 32));
+    }
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<NodeKey, Ref, NodeKeyHash> Unique;
+  std::unordered_map<const void *, Ref> LeafTable;
+  std::unordered_map<OpKey, Ref, OpKeyHash> OpCache;
+
+  const void *TruePayload = nullptr;
+  const void *FalsePayload = nullptr;
+  Ref TrueRef = 0;
+  Ref FalseRef = 0;
+  uint64_t NextOpTag = 1;
+
+  // Reserved internal tags for boolean operations.
+  enum : uint64_t {
+    TagNot = 0xF000000000000001ull,
+    TagAnd = 0xF000000000000002ull,
+    TagOr = 0xF000000000000003ull,
+    TagXor = 0xF000000000000004ull,
+    TagIte = 0xF000000000000005ull, // combined pairwise
+  };
+
+  bool CachingEnabled = true;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+
+  bool cacheLookup(uint64_t Tag, Ref A, Ref B, Ref &Out);
+  void cacheInsert(uint64_t Tag, Ref A, Ref B, Ref Result);
+
+  Ref setRec(Ref M, const std::vector<bool> &KeyBits, unsigned Depth,
+             const void *Payload);
+  Ref iteRec(Ref C, Ref T, Ref E, uint64_t Tag);
+};
+
+} // namespace nv
+
+#endif // NV_BDD_MTBDD_H

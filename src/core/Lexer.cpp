@@ -1,0 +1,314 @@
+//===- Lexer.cpp - NV lexer -----------------------------------------------===//
+
+#include "core/Lexer.h"
+
+#include <cctype>
+
+using namespace nv;
+
+std::string Token::describe() const {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "<eof>";
+  case TokKind::Ident:
+    return "'" + Text + "'";
+  case TokKind::IntLit:
+    return "integer " + std::to_string(IntVal);
+  case TokKind::NodeLit:
+    return "node " + std::to_string(IntVal) + "n";
+  case TokKind::String:
+    return "\"" + Text + "\"";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Bar:
+    return "'|'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Underscore:
+    return "'_'";
+  case TokKind::Eq:
+    return "'='";
+  case TokKind::Neq:
+    return "'<>'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  }
+  return "<token>";
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Src, DiagnosticEngine &Diags)
+      : Src(Src), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Off = 0) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return;
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '(' && peek(1) == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        int Depth = 1;
+        while (!atEnd() && Depth > 0) {
+          if (peek() == '(' && peek(1) == '*') {
+            advance();
+            advance();
+            ++Depth;
+          } else if (peek() == '*' && peek(1) == ')') {
+            advance();
+            advance();
+            --Depth;
+          } else {
+            advance();
+          }
+        }
+        if (Depth > 0)
+          Diags.error(Start, "unterminated comment");
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Loc = here();
+    if (atEnd())
+      return make(TokKind::Eof, Loc);
+
+    char C = peek();
+
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Loc);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdent(Loc);
+
+    if (C == '"')
+      return lexString(Loc);
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Loc);
+    case ')':
+      return make(TokKind::RParen, Loc);
+    case '{':
+      return make(TokKind::LBrace, Loc);
+    case '}':
+      return make(TokKind::RBrace, Loc);
+    case '[':
+      return make(TokKind::LBracket, Loc);
+    case ']':
+      return make(TokKind::RBracket, Loc);
+    case ',':
+      return make(TokKind::Comma, Loc);
+    case ';':
+      return make(TokKind::Semi, Loc);
+    case '.':
+      return make(TokKind::Dot, Loc);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Loc);
+      }
+      return make(TokKind::Bar, Loc);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Assign, Loc);
+      }
+      return make(TokKind::Colon, Loc);
+    case '-':
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Arrow, Loc);
+      }
+      return make(TokKind::Minus, Loc);
+    case '=':
+      return make(TokKind::Eq, Loc);
+    case '<':
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Neq, Loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Loc);
+      }
+      return make(TokKind::Lt, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Loc);
+      }
+      return make(TokKind::Gt, Loc);
+    case '+':
+      return make(TokKind::Plus, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Loc);
+      }
+      Diags.error(Loc, "unexpected character '&'");
+      return make(TokKind::AndAnd, Loc);
+    case '!':
+      return make(TokKind::Bang, Loc);
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  Token lexNumber(SourceLoc Loc) {
+    uint64_t V = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      V = V * 10 + static_cast<uint64_t>(advance() - '0');
+    // Suffixes: 'n' node literal, 'uN' sized integer.
+    if (peek() == 'n' &&
+        !std::isalnum(static_cast<unsigned char>(peek(1)))) {
+      advance();
+      Token T = make(TokKind::NodeLit, Loc);
+      T.IntVal = V;
+      return T;
+    }
+    Token T = make(TokKind::IntLit, Loc);
+    T.IntVal = V;
+    if (peek() == 'u' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      advance();
+      unsigned W = 0;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        W = W * 10 + static_cast<unsigned>(advance() - '0');
+      if (W == 0 || W > 64) {
+        Diags.error(Loc, "integer width must be between 1 and 64");
+        W = 32;
+      }
+      T.Width = W;
+    }
+    return T;
+  }
+
+  Token lexIdent(SourceLoc Loc) {
+    std::string S;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_' || peek() == '\''))
+      S += advance();
+    if (S == "_")
+      return make(TokKind::Underscore, Loc);
+    Token T = make(TokKind::Ident, Loc);
+    T.Text = std::move(S);
+    return T;
+  }
+
+  Token lexString(SourceLoc Loc) {
+    advance(); // opening quote
+    std::string S;
+    while (!atEnd() && peek() != '"' && peek() != '\n')
+      S += advance();
+    if (atEnd() || peek() != '"')
+      Diags.error(Loc, "unterminated string literal");
+    else
+      advance();
+    Token T = make(TokKind::String, Loc);
+    T.Text = std::move(S);
+    return T;
+  }
+};
+
+} // namespace
+
+std::vector<Token> nv::lex(const std::string &Source, DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

@@ -1,0 +1,74 @@
+//===- Lexer.h - NV lexer ---------------------------------------*- C++ -*-===//
+//
+// Part of nv-cpp. Tokenizes NV surface syntax (Sec. 2 examples, Fig. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_CORE_LEXER_H
+#define NV_CORE_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,   // identifiers and keywords (keywords resolved by the parser)
+  IntLit,  // 5, 5u8
+  NodeLit, // 5n
+  String,  // "path" (used by include)
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Bar,
+  Arrow,     // ->
+  Assign,    // :=
+  Underscore,
+  // Operators.
+  Eq,        // =
+  Neq,       // <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  AndAnd,
+  OrOr,
+  Bang,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    // Ident / String
+  uint64_t IntVal = 0; // IntLit / NodeLit
+  unsigned Width = 32; // IntLit: bit width from a uN suffix (default 32)
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(const char *S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+  std::string describe() const;
+};
+
+/// Tokenizes \p Source. Comments are OCaml-style nested (* ... *) plus
+/// line comments starting with //. Appends an Eof token. Lexical errors go
+/// to \p Diags; lexing continues past them so the parser can report more.
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_CORE_LEXER_H

@@ -1,0 +1,197 @@
+//===- Printer.cpp - NV pretty printer ------------------------------------===//
+
+#include "core/Printer.h"
+
+#include "support/Fatal.h"
+
+using namespace nv;
+
+namespace {
+
+/// Wraps non-atomic expressions in parentheses when used as operands.
+std::string atom(const ExprPtr &E);
+
+std::string printExprImpl(const ExprPtr &E) {
+  switch (E->Kind) {
+  case ExprKind::Const:
+    return E->Lit.str();
+  case ExprKind::Var:
+    return E->Name;
+  case ExprKind::Let: {
+    std::string S = "let " + E->Name;
+    if (E->Annot)
+      S += " : " + typeToString(E->Annot);
+    return S + " = " + printExprImpl(E->Args[0]) + " in " +
+           printExprImpl(E->Args[1]);
+  }
+  case ExprKind::Fun: {
+    if (!E->Annot)
+      return "fun " + E->Name + " -> " + printExprImpl(E->Args[0]);
+    return "fun (" + E->Name + " : " + typeToString(E->Annot) + ") -> " +
+           printExprImpl(E->Args[0]);
+  }
+  case ExprKind::App:
+    return atom(E->Args[0]) + " " + atom(E->Args[1]);
+  case ExprKind::If:
+    return "if " + printExprImpl(E->Args[0]) + " then " +
+           printExprImpl(E->Args[1]) + " else " + printExprImpl(E->Args[2]);
+  case ExprKind::Match: {
+    std::string S = "(match " + printExprImpl(E->Args[0]) + " with";
+    for (const MatchCase &C : E->Cases)
+      S += " | " + C.Pat->str() + " -> " + printExprImpl(C.Body);
+    return S + ")";
+  }
+  case ExprKind::Oper: {
+    Op O = E->OpCode;
+    switch (O) {
+    case Op::Not:
+      return "!" + atom(E->Args[0]);
+    case Op::MGet:
+      return atom(E->Args[0]) + "[" + printExprImpl(E->Args[1]) + "]";
+    case Op::MSet:
+      return atom(E->Args[0]) + "[" + printExprImpl(E->Args[1]) +
+             " := " + printExprImpl(E->Args[2]) + "]";
+    case Op::MCreate:
+      return "createDict " + atom(E->Args[0]);
+    case Op::MMap:
+      return "map " + atom(E->Args[0]) + " " + atom(E->Args[1]);
+    case Op::MMapIte:
+      return "mapIte " + atom(E->Args[0]) + " " + atom(E->Args[1]) + " " +
+             atom(E->Args[2]) + " " + atom(E->Args[3]);
+    case Op::MCombine:
+      return "combine " + atom(E->Args[0]) + " " + atom(E->Args[1]) + " " +
+             atom(E->Args[2]);
+    default:
+      return atom(E->Args[0]) + " " + opToString(O) + " " + atom(E->Args[1]);
+    }
+  }
+  case ExprKind::Tuple: {
+    std::string S = "(";
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += printExprImpl(E->Args[I]);
+    }
+    return S + ")";
+  }
+  case ExprKind::Proj:
+    return atom(E->Args[0]) + "." + std::to_string(E->Index);
+  case ExprKind::Record: {
+    std::string S = "{";
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      if (I)
+        S += "; ";
+      S += E->Labels[I] + " = " + printExprImpl(E->Args[I]);
+    }
+    return S + "}";
+  }
+  case ExprKind::RecordUpdate: {
+    std::string S = "{" + printExprImpl(E->Args[0]) + " with ";
+    for (size_t I = 0; I < E->Labels.size(); ++I) {
+      if (I)
+        S += "; ";
+      S += E->Labels[I] + " = " + printExprImpl(E->Args[I + 1]);
+    }
+    return S + "}";
+  }
+  case ExprKind::Field:
+    return atom(E->Args[0]) + "." + E->Name;
+  case ExprKind::Some:
+    return "Some " + atom(E->Args[0]);
+  case ExprKind::None:
+    return "None";
+  }
+  nv_unreachable("covered switch");
+}
+
+bool isAtomic(const ExprPtr &E) {
+  switch (E->Kind) {
+  case ExprKind::Const:
+  case ExprKind::Var:
+  case ExprKind::Tuple:
+  case ExprKind::Record:
+  case ExprKind::RecordUpdate:
+  case ExprKind::None:
+  case ExprKind::Match: // printed with its own parens
+    return true;
+  case ExprKind::Proj:
+  case ExprKind::Field:
+    return isAtomic(E->Args[0]);
+  case ExprKind::Oper:
+    return E->OpCode == Op::MGet || E->OpCode == Op::MSet
+               ? isAtomic(E->Args[0])
+               : false;
+  default:
+    return false;
+  }
+}
+
+std::string atom(const ExprPtr &E) {
+  std::string S = printExprImpl(E);
+  if (isAtomic(E))
+    return S;
+  return "(" + S + ")";
+}
+
+} // namespace
+
+std::string nv::printExpr(const ExprPtr &E) { return printExprImpl(E); }
+
+std::string nv::printDecl(const DeclPtr &D) {
+  switch (D->Kind) {
+  case DeclKind::Let: {
+    if (!D->Ty)
+      return "let " + D->Name + " = " + printExpr(D->Body);
+    // Peel the surface parameters back off so the result annotation can be
+    // printed where the parser expects it.
+    std::string Params;
+    ExprPtr Body = D->Body;
+    unsigned Peeled = 0;
+    while (Peeled < D->ParamCount && Body->Kind == ExprKind::Fun) {
+      Params += Body->Annot ? " (" + Body->Name + " : " +
+                                  typeToString(Body->Annot) + ")"
+                            : " " + Body->Name;
+      Body = Body->Args[0];
+      ++Peeled;
+    }
+    if (Peeled != D->ParamCount) // transformed body: drop the annotation
+      return "let " + D->Name + " = " + printExpr(D->Body);
+    return "let " + D->Name + Params + " : " + typeToString(D->Ty) + " = " +
+           printExpr(Body);
+  }
+  case DeclKind::Symbolic: {
+    std::string S = "symbolic " + D->Name;
+    if (D->Ty)
+      S += " : " + typeToString(D->Ty);
+    if (D->Body)
+      S += " = " + printExpr(D->Body);
+    return S;
+  }
+  case DeclKind::Require:
+    return "require " + printExpr(D->Body);
+  case DeclKind::TypeAlias:
+    return "type " + D->Name + " = " + typeToString(D->Ty);
+  case DeclKind::Nodes:
+    return "let nodes = " + std::to_string(D->NodeCount);
+  case DeclKind::Edges: {
+    std::string S = "let edges = {";
+    for (size_t I = 0; I < D->EdgeList.size(); ++I) {
+      if (I)
+        S += ";";
+      S += std::to_string(D->EdgeList[I].first) + "n=" +
+           std::to_string(D->EdgeList[I].second) + "n";
+    }
+    return S + "}";
+  }
+  }
+  nv_unreachable("covered switch");
+}
+
+std::string nv::printProgram(const Program &P) {
+  std::string S;
+  for (const DeclPtr &D : P.Decls) {
+    S += printDecl(D);
+    S += '\n';
+  }
+  return S;
+}

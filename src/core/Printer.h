@@ -1,0 +1,28 @@
+//===- Printer.h - NV pretty printer ----------------------------*- C++ -*-===//
+//
+// Part of nv-cpp. Renders ASTs back to NV surface syntax; the output of
+// printProgram re-parses to an equivalent program (round-trip tested).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_CORE_PRINTER_H
+#define NV_CORE_PRINTER_H
+
+#include "core/Ast.h"
+
+#include <string>
+
+namespace nv {
+
+/// Renders \p E in NV surface syntax. Parenthesizes conservatively.
+std::string printExpr(const ExprPtr &E);
+
+/// Renders a single declaration.
+std::string printDecl(const DeclPtr &D);
+
+/// Renders a whole program, one declaration per line.
+std::string printProgram(const Program &P);
+
+} // namespace nv
+
+#endif // NV_CORE_PRINTER_H

@@ -1,0 +1,105 @@
+//===- Stdlib.cpp - Built-in NV include registry ---------------------------===//
+
+#include "core/Stdlib.h"
+
+using namespace nv;
+
+namespace {
+
+/// Fig. 2a: the cut-down BGP model. Routes are optional records of path
+/// length, local preference, multi-exit discriminator, communities and
+/// originator; merge prefers high lp, then short path, then low med.
+const char *BgpModel = R"nv(
+type bgp = {length : int; lp : int; med : int; comms : set[int]; origin : node}
+type attribute = option[bgp]
+
+let transBgp (e : edge) (x : attribute) =
+  match x with
+  | None -> None
+  | Some b -> Some {b with length = b.length + 1}
+
+let isBetter (x : attribute) (y : attribute) =
+  match x, y with
+  | _, None -> true
+  | None, _ -> false
+  | Some b1, Some b2 ->
+    if b1.lp > b2.lp then true
+    else if b2.lp > b1.lp then false
+    else if b1.length < b2.length then true
+    else if b2.length < b1.length then false
+    else if b1.med <= b2.med then true else false
+
+let mergeBgp (u : node) (x : attribute) (y : attribute) =
+  if isBetter x y then x else y
+)nv";
+
+/// Fig. 3: BGP augmented with the set of traversed nodes, used for
+/// waypointing properties.
+const char *BgpTraceModel = R"nv(
+include bgp
+type traceAttr = option[(set[node], bgp)]
+
+let transTrace (e : edge) (x : traceAttr) =
+  let (u, v) = e in
+  match x with
+  | None -> None
+  | Some (s, b) ->
+    (match transBgp e (Some b) with
+     | None -> None
+     | Some b2 -> Some (s[u := true], b2))
+
+let mergeTrace (u : node) (x : traceAttr) (y : traceAttr) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some (s1, b1), Some (s2, b2) ->
+    if isBetter (Some b1) (Some b2) then x else y
+)nv";
+
+/// A RIP-style distance-vector model with the protocol's 15-hop horizon.
+const char *RipModel = R"nv(
+type ripAttr = option[int8]
+
+let transRip (e : edge) (x : ripAttr) =
+  match x with
+  | None -> None
+  | Some d -> if d >= 15u8 then None else Some (d + 1u8)
+
+let mergeRip (u : node) (x : ripAttr) (y : ripAttr) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some d1, Some d2 -> if d1 <= d2 then x else y
+)nv";
+
+/// An OSPF-style model with weighted link costs and a 2-bit area tag.
+/// transOspfW is parameterized by the link weight so users can instantiate
+/// per-edge costs.
+const char *OspfModel = R"nv(
+type ospfAttr = option[{cost : int; areaId : int2}]
+
+let transOspfW (w : int) (e : edge) (x : ospfAttr) =
+  match x with
+  | None -> None
+  | Some r -> Some {r with cost = r.cost + w}
+
+let mergeOspf (u : node) (x : ospfAttr) (y : ospfAttr) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some r1, Some r2 -> if r1.cost <= r2.cost then x else y
+)nv";
+
+} // namespace
+
+std::optional<std::string> nv::builtinInclude(const std::string &Name) {
+  if (Name == "bgp")
+    return std::string(BgpModel);
+  if (Name == "bgpTrace")
+    return std::string(BgpTraceModel);
+  if (Name == "rip")
+    return std::string(RipModel);
+  if (Name == "ospf")
+    return std::string(OspfModel);
+  return std::nullopt;
+}

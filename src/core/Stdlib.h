@@ -1,0 +1,24 @@
+//===- Stdlib.h - Built-in NV include registry ------------------*- C++ -*-===//
+//
+// Part of nv-cpp. Standard NV protocol models available to `include`
+// directives (the paper's `include bgp` of Fig. 2b).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_CORE_STDLIB_H
+#define NV_CORE_STDLIB_H
+
+#include <optional>
+#include <string>
+
+namespace nv {
+
+/// Returns the NV source registered under \p Name, or std::nullopt.
+/// Registered models: "bgp" (Fig. 2a), "bgpTrace" (Fig. 3 traversed-nodes
+/// variant), "rip" (hop-count vector protocol), "ospf" (weighted
+/// shortest-path with areas).
+std::optional<std::string> builtinInclude(const std::string &Name);
+
+} // namespace nv
+
+#endif // NV_CORE_STDLIB_H

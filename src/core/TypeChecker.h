@@ -1,0 +1,36 @@
+//===- TypeChecker.h - NV type inference ------------------------*- C++ -*-===//
+//
+// Part of nv-cpp. Hindley-Milner style inference for NV with sized
+// integers, records, options, tuples and total dictionaries.
+// Let-polymorphism is granted at top-level declarations (Sec. 3); routing
+// messages must end up with a concrete type.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_CORE_TYPECHECKER_H
+#define NV_CORE_TYPECHECKER_H
+
+#include "core/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace nv {
+
+/// Type-checks a whole program in place: fills Expr::Ty on every node,
+/// resolves the attribute type into Program::AttrType (from the signatures
+/// of init/trans/merge of Fig. 8), validates symbolic/require declarations,
+/// and checks node literals against the declared topology.
+///
+/// \returns true on success; diagnostics are filed otherwise.
+bool typeCheck(Program &P, DiagnosticEngine &Diags);
+
+/// Type-checks a closed expression (testing convenience). Returns the
+/// zonked type, or null after filing diagnostics.
+TypePtr typeCheckExpr(const ExprPtr &E, DiagnosticEngine &Diags);
+
+/// Resolves bound unification variables deeply, producing a type with no
+/// bound Var nodes (unbound Vars are kept and denote polymorphism).
+TypePtr zonk(const TypePtr &T);
+
+} // namespace nv
+
+#endif // NV_CORE_TYPECHECKER_H

@@ -1,0 +1,82 @@
+//===- Interp.h - Tree-walking NV interpreter -------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment-based interpreter for NV's functional core — the
+/// "interpreted" execution mode of Sec. 5.1. Map operations are delegated
+/// to the MTBDD runtime in NvContext. The closure-compiled mode lives in
+/// Compile.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EVAL_INTERP_H
+#define NV_EVAL_INTERP_H
+
+#include "core/Ast.h"
+#include "eval/NvContext.h"
+
+namespace nv {
+
+/// Immutable environments as shared cons cells.
+struct EnvNode {
+  std::shared_ptr<const EnvNode> Parent;
+  std::string Name;
+  const Value *V;
+};
+using EnvPtr = std::shared_ptr<const EnvNode>;
+
+EnvPtr envBind(EnvPtr Env, std::string Name, const Value *V);
+/// Innermost binding of \p Name, or null.
+const Value *envLookup(const EnvNode *Env, const std::string &Name);
+
+/// Tree-walking evaluator over type-checked expressions. Expressions must
+/// have been produced by typeCheck (record/field evaluation relies on the
+/// resolved types stored in Expr::Ty).
+class Interp {
+public:
+  explicit Interp(NvContext &Ctx) : Ctx(Ctx) {}
+
+  NvContext &ctx() { return Ctx; }
+
+  /// Evaluates \p E under \p Env. Fatal on internal errors (ill-typed
+  /// trees, inexhaustive matches): user input was validated upstream.
+  const Value *eval(const Expr *E, const EnvPtr &Env);
+
+  /// Attempts to match \p V (of type \p Ty) against \p P, extending
+  /// \p Env with the pattern's bindings on success.
+  bool matchPattern(const Pattern *P, const Value *V, const TypePtr &Ty,
+                    EnvPtr &Env);
+
+private:
+  NvContext &Ctx;
+
+  const Value *evalOper(const Expr *E, const EnvPtr &Env);
+};
+
+/// An interpreter closure: a Fun expression plus its defining environment.
+class InterpClosure : public ClosureData {
+public:
+  InterpClosure(Interp &I, const Expr *Fn, EnvPtr Env)
+      : I(I), Fn(Fn), Env(std::move(Env)) {}
+
+  const Value *call(const Value *Arg) const override;
+  uint64_t cacheKey() const override;
+  const Expr *sourceExpr() const override { return Fn; }
+  const Value *lookupFree(const std::string &Name) const override {
+    return envLookup(Env.get(), Name);
+  }
+
+private:
+  Interp &I;
+  const Expr *Fn;
+  EnvPtr Env;
+  mutable uint64_t Key = 0; ///< Lazily computed canonical id.
+};
+
+} // namespace nv
+
+#endif // NV_EVAL_INTERP_H

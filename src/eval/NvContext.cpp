@@ -1,0 +1,461 @@
+//===- NvContext.cpp - Shared evaluation context ----------------------------===//
+
+#include <cassert>
+#include "eval/NvContext.h"
+
+#include "support/Fatal.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace nv;
+
+namespace {
+enum TagKind : uint64_t {
+  TagKindMap = 1,
+  TagKindCombine = 2,
+  TagKindIte = 3,
+};
+} // namespace
+
+NvContext::NvContext(uint32_t NumNodes) : Layout(NumNodes) {
+  Value T;
+  T.K = Value::Kind::Bool;
+  T.B = true;
+  TrueV = Arena.intern(std::move(T));
+  Value F;
+  F.K = Value::Kind::Bool;
+  F.B = false;
+  FalseV = Arena.intern(std::move(F));
+  Value N;
+  N.K = Value::Kind::Option;
+  N.Inner = nullptr;
+  NoneV = Arena.intern(std::move(N));
+  Mgr.setBoolPayloads(TrueV, FalseV);
+}
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+const Value *NvContext::intV(uint64_t I, unsigned Width) {
+  Value V;
+  V.K = Value::Kind::Int;
+  V.Width = Width;
+  V.I = Width >= 64 ? I : (I & ((uint64_t(1) << Width) - 1));
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::nodeV(uint32_t N) {
+  Value V;
+  V.K = Value::Kind::Node;
+  V.N = N;
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::edgeV(uint32_t U, uint32_t W) {
+  Value V;
+  V.K = Value::Kind::Edge;
+  V.N = U;
+  V.N2 = W;
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::tupleV(std::vector<const Value *> Elems) {
+  Value V;
+  V.K = Value::Kind::Tuple;
+  V.Elems = std::move(Elems);
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::someV(const Value *Inner) {
+  Value V;
+  V.K = Value::Kind::Option;
+  V.Inner = Inner;
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::mapV(BddManager::Ref Root, TypePtr KeyType) {
+  Value V;
+  V.K = Value::Kind::Map;
+  V.MapRoot = Root;
+  V.KeyType = KeyType;
+  V.KeyBits = Layout.widthOf(KeyType);
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::closureV(std::shared_ptr<ClosureData> C) {
+  Value V;
+  V.K = Value::Kind::Closure;
+  V.Closure = std::move(C);
+  return Arena.intern(std::move(V));
+}
+
+const Value *NvContext::valueOfLiteral(const Literal &L) {
+  switch (L.Kind) {
+  case LiteralKind::Bool:
+    return boolV(L.BoolVal);
+  case LiteralKind::Int:
+    return intV(L.IntVal, L.Width);
+  case LiteralKind::Node:
+    return nodeV(L.NodeVal);
+  case LiteralKind::Edge:
+    return edgeV(L.NodeVal, L.NodeVal2);
+  }
+  nv_unreachable("covered switch");
+}
+
+const Value *NvContext::applyClosure(const Value *Fn, const Value *Arg) {
+  if (Fn->K != Value::Kind::Closure)
+    fatalError("applied a non-function value: " + Fn->str());
+  return Fn->Closure->call(Arg);
+}
+
+//===----------------------------------------------------------------------===//
+// Bit encoding
+//===----------------------------------------------------------------------===//
+
+void NvContext::encodeValue(const Value *V, const TypePtr &RawTy,
+                            std::vector<bool> &Out) {
+  TypePtr Ty = resolve(RawTy);
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+    Out.push_back(V->B);
+    return;
+  case TypeKind::Int:
+    for (unsigned I = 0; I < Ty->Width; ++I)
+      Out.push_back((V->I >> (Ty->Width - 1 - I)) & 1);
+    return;
+  case TypeKind::Node: {
+    unsigned NB = Layout.nodeBits();
+    for (unsigned I = 0; I < NB; ++I)
+      Out.push_back((V->N >> (NB - 1 - I)) & 1);
+    return;
+  }
+  case TypeKind::Edge: {
+    unsigned NB = Layout.nodeBits();
+    for (unsigned I = 0; I < NB; ++I)
+      Out.push_back((V->N >> (NB - 1 - I)) & 1);
+    for (unsigned I = 0; I < NB; ++I)
+      Out.push_back((V->N2 >> (NB - 1 - I)) & 1);
+    return;
+  }
+  case TypeKind::Option: {
+    Out.push_back(V->Inner != nullptr);
+    if (V->Inner) {
+      encodeValue(V->Inner, Ty->Elems[0], Out);
+    } else {
+      unsigned W = Layout.widthOf(Ty->Elems[0]);
+      Out.insert(Out.end(), W, false);
+    }
+    return;
+  }
+  case TypeKind::Tuple:
+  case TypeKind::Record: {
+    assert(V->Elems.size() == Ty->Elems.size() && "value/type arity mismatch");
+    for (size_t I = 0; I < Ty->Elems.size(); ++I)
+      encodeValue(V->Elems[I], Ty->Elems[I], Out);
+    return;
+  }
+  case TypeKind::Dict:
+  case TypeKind::Arrow:
+  case TypeKind::Var:
+    break;
+  }
+  fatalError("cannot bit-encode a value of type " + typeToString(Ty));
+}
+
+const Value *NvContext::decodeValue(const std::vector<bool> &Bits, size_t &Pos,
+                                    const TypePtr &RawTy) {
+  TypePtr Ty = resolve(RawTy);
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+    return boolV(Bits[Pos++]);
+  case TypeKind::Int: {
+    uint64_t I = 0;
+    for (unsigned B = 0; B < Ty->Width; ++B)
+      I = (I << 1) | (Bits[Pos++] ? 1 : 0);
+    return intV(I, Ty->Width);
+  }
+  case TypeKind::Node: {
+    uint32_t N = 0;
+    for (unsigned B = 0; B < Layout.nodeBits(); ++B)
+      N = (N << 1) | (Bits[Pos++] ? 1 : 0);
+    return nodeV(N);
+  }
+  case TypeKind::Edge: {
+    uint32_t U = 0, W = 0;
+    for (unsigned B = 0; B < Layout.nodeBits(); ++B)
+      U = (U << 1) | (Bits[Pos++] ? 1 : 0);
+    for (unsigned B = 0; B < Layout.nodeBits(); ++B)
+      W = (W << 1) | (Bits[Pos++] ? 1 : 0);
+    return edgeV(U, W);
+  }
+  case TypeKind::Option: {
+    bool Tag = Bits[Pos++];
+    if (!Tag) {
+      Pos += Layout.widthOf(Ty->Elems[0]);
+      return NoneV;
+    }
+    return someV(decodeValue(Bits, Pos, Ty->Elems[0]));
+  }
+  case TypeKind::Tuple:
+  case TypeKind::Record: {
+    std::vector<const Value *> Elems;
+    Elems.reserve(Ty->Elems.size());
+    for (const TypePtr &E : Ty->Elems)
+      Elems.push_back(decodeValue(Bits, Pos, E));
+    return tupleV(std::move(Elems));
+  }
+  case TypeKind::Dict:
+  case TypeKind::Arrow:
+  case TypeKind::Var:
+    break;
+  }
+  fatalError("cannot decode a value of type " + typeToString(Ty));
+}
+
+const Value *NvContext::defaultValue(const TypePtr &RawTy) {
+  TypePtr Ty = resolve(RawTy);
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+    return FalseV;
+  case TypeKind::Int:
+    return intV(0, Ty->Width);
+  case TypeKind::Node:
+    return nodeV(0);
+  case TypeKind::Edge:
+    return edgeV(0, 0);
+  case TypeKind::Option:
+    return NoneV;
+  case TypeKind::Tuple:
+  case TypeKind::Record: {
+    std::vector<const Value *> Elems;
+    for (const TypePtr &E : Ty->Elems)
+      Elems.push_back(defaultValue(E));
+    return tupleV(std::move(Elems));
+  }
+  case TypeKind::Dict:
+    return mapCreate(Ty->Elems[0], defaultValue(Ty->Elems[1]));
+  case TypeKind::Arrow:
+  case TypeKind::Var:
+    break;
+  }
+  fatalError("type " + typeToString(Ty) + " has no default value");
+}
+
+std::vector<const Value *> NvContext::enumerateType(const TypePtr &RawTy) {
+  TypePtr Ty = resolve(RawTy);
+  unsigned W = Layout.widthOf(Ty);
+  if (W > 22)
+    fatalError("enumerateType over " + std::to_string(W) +
+               " bits is too large");
+  std::vector<const Value *> Out;
+  std::vector<bool> Bits(W, false);
+  for (uint64_t K = 0; K < (uint64_t(1) << W); ++K) {
+    for (unsigned I = 0; I < W; ++I)
+      Bits[I] = (K >> (W - 1 - I)) & 1;
+    size_t Pos = 0;
+    const Value *V = decodeValue(Bits, Pos, Ty);
+    // Bit patterns are not always injective (None payload bits, node ids
+    // above the topology size): deduplicate and drop phantoms.
+    if (Ty->Kind == TypeKind::Node && V->N >= Layout.numNodes())
+      continue;
+    if (Ty->Kind == TypeKind::Edge &&
+        (V->N >= Layout.numNodes() || V->N2 >= Layout.numNodes()))
+      continue;
+    if (std::find(Out.begin(), Out.end(), V) == Out.end())
+      Out.push_back(V);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Map runtime
+//===----------------------------------------------------------------------===//
+
+const Value *NvContext::mapCreate(const TypePtr &KeyTy, const Value *Default) {
+  return mapV(Mgr.leaf(Default), resolve(KeyTy));
+}
+
+const Value *NvContext::mapGet(const Value *M, const Value *Key) {
+  assert(M->K == Value::Kind::Map && "get on a non-map");
+  std::vector<bool> Bits;
+  encodeValue(Key, M->KeyType, Bits);
+  return static_cast<const Value *>(Mgr.get(M->MapRoot, Bits));
+}
+
+const Value *NvContext::mapSet(const Value *M, const Value *Key,
+                               const Value *V) {
+  assert(M->K == Value::Kind::Map && "set on a non-map");
+  std::vector<bool> Bits;
+  encodeValue(Key, M->KeyType, Bits);
+  return mapV(Mgr.set(M->MapRoot, Bits, V), M->KeyType);
+}
+
+const Value *NvContext::mapMap(const Value *Fn, const Value *M) {
+  assert(M->K == Value::Kind::Map && "map on a non-map");
+  uint64_t Tag = opTag(TagKindMap, Fn->Closure->cacheKey());
+  BddManager::Ref R = Mgr.map1(
+      M->MapRoot,
+      [&](const void *Leaf) {
+        return applyClosure(Fn, static_cast<const Value *>(Leaf));
+      },
+      Tag);
+  return mapV(R, M->KeyType);
+}
+
+const Value *NvContext::mapCombine(const Value *Fn, const Value *A,
+                                   const Value *B) {
+  assert(A->K == Value::Kind::Map && B->K == Value::Kind::Map &&
+         "combine on non-maps");
+  assert(A->KeyBits == B->KeyBits && "combine over mismatched key types");
+  uint64_t Tag = opTag(TagKindCombine, Fn->Closure->cacheKey());
+  BddManager::Ref R = Mgr.apply2(
+      A->MapRoot, B->MapRoot,
+      [&](const void *X, const void *Y) {
+        const Value *F1 =
+            applyClosure(Fn, static_cast<const Value *>(X));
+        return applyClosure(F1, static_cast<const Value *>(Y));
+      },
+      Tag);
+  return mapV(R, A->KeyType);
+}
+
+const Value *NvContext::mapIte(const Value *Pred, const Value *FnThen,
+                               const Value *FnElse, const Value *M) {
+  assert(M->K == Value::Kind::Map && "mapIte on a non-map");
+  BddManager::Ref PredBdd = predToBdd(Pred, M->KeyType);
+  uint64_t Tag = opTag(TagKindIte, FnThen->Closure->cacheKey(),
+                       FnElse->Closure->cacheKey());
+  BddManager::Ref R = Mgr.apply2(
+      PredBdd, M->MapRoot,
+      [&](const void *P, const void *Leaf) {
+        const Value *Fn = (P == TrueV) ? FnThen : FnElse;
+        return applyClosure(Fn, static_cast<const Value *>(Leaf));
+      },
+      Tag);
+  return mapV(R, M->KeyType);
+}
+
+std::string NvContext::printValue(const Value *V) {
+  switch (V->K) {
+  case Value::Kind::Map: {
+    std::string S = "[";
+    bool First = true;
+    Mgr.forEachCube(V->MapRoot, V->KeyBits,
+                    [&](const std::vector<int8_t> &Cube, const void *Leaf) {
+                      if (!First)
+                        S += "; ";
+                      First = false;
+                      for (int8_t B : Cube)
+                        S += B < 0 ? '*' : static_cast<char>('0' + B);
+                      S += " := ";
+                      S += printValue(static_cast<const Value *>(Leaf));
+                    });
+    return S + "]";
+  }
+  case Value::Kind::Tuple: {
+    std::string S = "(";
+    for (size_t I = 0; I < V->Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += printValue(V->Elems[I]);
+    }
+    return S + ")";
+  }
+  case Value::Kind::Option:
+    return V->Inner ? "Some " + printValue(V->Inner) : "None";
+  default:
+    return V->str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Closure identity and operation tags
+//===----------------------------------------------------------------------===//
+
+uint64_t NvContext::closureId(const Expr *Src,
+                              const std::vector<const Value *> &Captured) {
+  ClosureKey Key{Src, Captured};
+  auto It = ClosureIds.find(Key);
+  if (It != ClosureIds.end())
+    return It->second;
+  uint64_t Id = NextClosureId++;
+  ClosureIds.emplace(std::move(Key), Id);
+  return Id;
+}
+
+uint64_t NvContext::opTag(uint64_t Kind, uint64_t K1, uint64_t K2) {
+  OpTagKey Key{Kind, K1, K2};
+  auto It = OpTags.find(Key);
+  if (It != OpTags.end())
+    return It->second;
+  uint64_t Tag = Mgr.freshOpTag();
+  OpTags.emplace(Key, Tag);
+  return Tag;
+}
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void freeVarsRec(const Expr *E, std::set<std::string> &Bound,
+                 std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::Var:
+    if (!Bound.count(E->Name))
+      Out.insert(E->Name);
+    return;
+  case ExprKind::Let: {
+    freeVarsRec(E->Args[0].get(), Bound, Out);
+    bool Inserted = Bound.insert(E->Name).second;
+    freeVarsRec(E->Args[1].get(), Bound, Out);
+    if (Inserted)
+      Bound.erase(E->Name);
+    return;
+  }
+  case ExprKind::Fun: {
+    bool Inserted = Bound.insert(E->Name).second;
+    freeVarsRec(E->Args[0].get(), Bound, Out);
+    if (Inserted)
+      Bound.erase(E->Name);
+    return;
+  }
+  case ExprKind::Match: {
+    freeVarsRec(E->Args[0].get(), Bound, Out);
+    for (const MatchCase &C : E->Cases) {
+      std::vector<std::string> Vars;
+      C.Pat->boundVars(Vars);
+      std::vector<std::string> Inserted;
+      for (const std::string &V : Vars)
+        if (Bound.insert(V).second)
+          Inserted.push_back(V);
+      freeVarsRec(C.Body.get(), Bound, Out);
+      for (const std::string &V : Inserted)
+        Bound.erase(V);
+    }
+    return;
+  }
+  default:
+    for (const ExprPtr &A : E->Args)
+      freeVarsRec(A.get(), Bound, Out);
+    return;
+  }
+}
+
+} // namespace
+
+const std::vector<std::string> &nv::freeVarsOf(const Expr *E) {
+  if (!E->CachedFreeVars) {
+    std::set<std::string> Bound, Out;
+    freeVarsRec(E, Bound, Out);
+    E->CachedFreeVars = std::make_shared<const std::vector<std::string>>(
+        Out.begin(), Out.end());
+  }
+  return *E->CachedFreeVars;
+}

@@ -1,0 +1,156 @@
+//===- NvContext.h - Shared evaluation context ------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared state of one analysis run: the MTBDD manager, the value
+/// interning arena, the bit layout for the concrete topology, the closure
+/// identity registry used to memoize MTBDD operations across simulator
+/// iterations, and the map runtime implementing Fig. 7's operations over
+/// MTBDDs (Sec. 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EVAL_NVCONTEXT_H
+#define NV_EVAL_NVCONTEXT_H
+
+#include "bdd/BitLayout.h"
+#include "bdd/Mtbdd.h"
+#include "core/Ast.h"
+#include "eval/Value.h"
+
+#include <unordered_map>
+
+namespace nv {
+
+/// Shared evaluation state. One NvContext per analysis; values and MTBDD
+/// nodes live as long as the context.
+class NvContext {
+public:
+  explicit NvContext(uint32_t NumNodes);
+
+  BddManager Mgr;
+  BitLayout Layout;
+  ValueArena Arena;
+
+  const Value *TrueV = nullptr;
+  const Value *FalseV = nullptr;
+  const Value *NoneV = nullptr;
+
+  //===--------------------------------------------------------------------===//
+  // Value factories (canonical pointers)
+  //===--------------------------------------------------------------------===//
+
+  const Value *boolV(bool B) { return B ? TrueV : FalseV; }
+  const Value *intV(uint64_t I, unsigned Width = 32);
+  const Value *nodeV(uint32_t N);
+  const Value *edgeV(uint32_t U, uint32_t V);
+  const Value *tupleV(std::vector<const Value *> Elems);
+  const Value *someV(const Value *Inner);
+  const Value *noneV() { return NoneV; }
+  const Value *mapV(BddManager::Ref Root, TypePtr KeyType);
+  const Value *closureV(std::shared_ptr<ClosureData> C);
+  const Value *valueOfLiteral(const Literal &L);
+
+  /// Applies an NV function value to an argument.
+  const Value *applyClosure(const Value *Fn, const Value *Arg);
+
+  //===--------------------------------------------------------------------===//
+  // Bit encoding of finite values (Sec. 5.1)
+  //===--------------------------------------------------------------------===//
+
+  /// Appends the MSB-first bit encoding of \p V (of finite type \p Ty).
+  void encodeValue(const Value *V, const TypePtr &Ty, std::vector<bool> &Out);
+
+  /// Decodes a value of type \p Ty starting at \p Pos (advanced past it).
+  const Value *decodeValue(const std::vector<bool> &Bits, size_t &Pos,
+                           const TypePtr &Ty);
+
+  /// The canonical default value of a concrete type: false / 0 / 0n /
+  /// (0n,0n) / None / tuple of defaults / constant map of defaults.
+  const Value *defaultValue(const TypePtr &Ty);
+
+  /// Enumerates every value of a small finite type (tests, frontends).
+  std::vector<const Value *> enumerateType(const TypePtr &Ty);
+
+  //===--------------------------------------------------------------------===//
+  // Map runtime (Fig. 7 over MTBDDs)
+  //===--------------------------------------------------------------------===//
+
+  const Value *mapCreate(const TypePtr &KeyTy, const Value *Default);
+  const Value *mapGet(const Value *M, const Value *Key);
+  const Value *mapSet(const Value *M, const Value *Key, const Value *V);
+  const Value *mapMap(const Value *Fn, const Value *M);
+  const Value *mapCombine(const Value *Fn, const Value *A, const Value *B);
+  const Value *mapIte(const Value *Pred, const Value *FnThen,
+                      const Value *FnElse, const Value *M);
+
+  /// Renders a map's contents as cubes (testing/debugging).
+  std::string printValue(const Value *V);
+
+  //===--------------------------------------------------------------------===//
+  // Closure identity and operation tags
+  //===--------------------------------------------------------------------===//
+
+  /// Canonical id for a closure built from \p Src with the given captured
+  /// values: identical (Src, Captured) pairs get identical ids, which makes
+  /// MTBDD operation caching effective across simulator iterations.
+  uint64_t closureId(const Expr *Src,
+                     const std::vector<const Value *> &Captured);
+
+  /// A stable MTBDD operation tag for the semantic operation identified by
+  /// (Kind, K1, K2): same inputs, same tag.
+  uint64_t opTag(uint64_t Kind, uint64_t K1, uint64_t K2 = 0);
+
+  /// Builds (and caches) the predicate BDD of an NV function over the bit
+  /// encoding of its key-typed parameter, by symbolic evaluation of the
+  /// closure body (implemented in SymBdd.cpp).
+  BddManager::Ref predToBdd(const Value *Pred, const TypePtr &KeyTy);
+
+private:
+  struct ClosureKey {
+    const Expr *Src;
+    std::vector<const Value *> Captured;
+    bool operator==(const ClosureKey &O) const {
+      return Src == O.Src && Captured == O.Captured;
+    }
+  };
+  struct ClosureKeyHash {
+    size_t operator()(const ClosureKey &K) const {
+      uint64_t H = reinterpret_cast<uint64_t>(K.Src);
+      for (const Value *V : K.Captured)
+        H = (H ^ reinterpret_cast<uint64_t>(V)) * 0x9E3779B97F4A7C15ull;
+      return static_cast<size_t>(H ^ (H >> 32));
+    }
+  };
+  struct OpTagKey {
+    uint64_t Kind, K1, K2;
+    bool operator==(const OpTagKey &O) const {
+      return Kind == O.Kind && K1 == O.K1 && K2 == O.K2;
+    }
+  };
+  struct OpTagKeyHash {
+    size_t operator()(const OpTagKey &K) const {
+      uint64_t H = K.Kind;
+      H = (H ^ K.K1) * 0x9E3779B97F4A7C15ull;
+      H = (H ^ K.K2) * 0x9E3779B97F4A7C15ull;
+      return static_cast<size_t>(H ^ (H >> 32));
+    }
+  };
+
+  std::unordered_map<ClosureKey, uint64_t, ClosureKeyHash> ClosureIds;
+  std::unordered_map<OpTagKey, uint64_t, OpTagKeyHash> OpTags;
+  std::unordered_map<uint64_t, BddManager::Ref> PredCache;
+  uint64_t NextClosureId = 1;
+};
+
+/// Free variables of an expression (memoized per Expr node identity),
+/// sorted and deduplicated. Used to compute closure capture sets.
+const std::vector<std::string> &freeVarsOf(const Expr *E);
+
+} // namespace nv
+
+#endif // NV_EVAL_NVCONTEXT_H

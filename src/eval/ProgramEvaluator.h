@@ -1,0 +1,84 @@
+//===- ProgramEvaluator.h - Protocol semantics interface --------*- C++ -*-===//
+//
+// Part of nv-cpp. The simulator (Algorithm 1) consumes the init/trans/
+// merge/assert functions of a program through this interface; it is
+// implemented by the tree-walking interpreter here and by the closure
+// compiler in Compile.h (the "native" mode of Sec. 5.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EVAL_PROGRAMEVALUATOR_H
+#define NV_EVAL_PROGRAMEVALUATOR_H
+
+#include "core/Ast.h"
+#include "eval/Interp.h"
+#include "eval/NvContext.h"
+
+#include <map>
+
+namespace nv {
+
+/// Concrete values substituted for symbolic declarations before running a
+/// normalization-based analysis (Sec. 3: "prior to execution, symbolic
+/// values are fixed to concrete ones").
+using SymbolicAssignment = std::map<std::string, const Value *>;
+
+/// The routing semantics of one NV program, as evaluated functions.
+class ProtocolEvaluator {
+public:
+  virtual ~ProtocolEvaluator();
+
+  virtual NvContext &ctx() = 0;
+  virtual const Value *init(uint32_t U) = 0;
+  virtual const Value *trans(uint32_t U, uint32_t V, const Value *A) = 0;
+  virtual const Value *merge(uint32_t U, const Value *A, const Value *B) = 0;
+  virtual bool hasAssert() const = 0;
+  /// Evaluates the assert declaration at node \p U (true when absent).
+  virtual bool assertAt(uint32_t U, const Value *A) = 0;
+
+  /// True when every require clause held under the symbolic assignment.
+  virtual bool requiresHold() const = 0;
+};
+
+/// Interpreter-backed evaluator (the paper's interpreted simulation mode).
+class InterpProgramEvaluator : public ProtocolEvaluator {
+public:
+  /// Builds the global environment by evaluating every top-level let in
+  /// order, with symbolics bound from \p Sym (falling back to the
+  /// declaration's default expression, then to the type's default value).
+  InterpProgramEvaluator(NvContext &Ctx, const Program &P,
+                         const SymbolicAssignment &Sym = {});
+
+  NvContext &ctx() override { return Ctx; }
+  const Value *init(uint32_t U) override;
+  const Value *trans(uint32_t U, uint32_t V, const Value *A) override;
+  const Value *merge(uint32_t U, const Value *A, const Value *B) override;
+  bool hasAssert() const override { return AssertClo != nullptr; }
+  bool assertAt(uint32_t U, const Value *A) override;
+  bool requiresHold() const override { return RequiresOk; }
+
+  /// The global environment (testing convenience).
+  const EnvPtr &globals() const { return Globals; }
+  /// Evaluates an expression under the globals (testing convenience).
+  const Value *evalUnderGlobals(const ExprPtr &E);
+
+private:
+  NvContext &Ctx;
+  Interp I;
+  EnvPtr Globals;
+  const Value *InitClo = nullptr;
+  const Value *TransClo = nullptr;
+  const Value *MergeClo = nullptr;
+  const Value *AssertClo = nullptr;
+  bool RequiresOk = true;
+
+  // Partial applications cached per edge/node: trans and merge are applied
+  // to the same edge/node every simulator round.
+  std::map<std::pair<uint32_t, uint32_t>, const Value *> TransPartial;
+  std::map<uint32_t, const Value *> MergePartial;
+  std::map<uint32_t, const Value *> AssertPartial;
+};
+
+} // namespace nv
+
+#endif // NV_EVAL_PROGRAMEVALUATOR_H

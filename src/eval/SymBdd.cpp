@@ -1,0 +1,423 @@
+//===- SymBdd.cpp - Symbolic evaluation of predicates into BDDs ------------===//
+//
+// Implements NvContext::predToBdd: evaluates an NV function symbolically
+// over the bit encoding of its key-typed parameter, producing a boolean
+// decision diagram (the predicate argument of mapIte, Fig. 11b). This is
+// the analogue of real NV's BddFunc module.
+//
+// Every finite-typed intermediate is a vector of boolean BDDs (MSB first).
+// NV's totality (no recursion) guarantees termination: both branches of a
+// symbolic conditional can always be evaluated and merged per bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Printer.h"
+#include "eval/NvContext.h"
+#include "support/Fatal.h"
+
+using namespace nv;
+
+namespace {
+
+using Ref = BddManager::Ref;
+
+/// A symbolic value: either a bit vector of BDDs (finite types) or a
+/// function (concrete closure, or a syntactic closure over symbolic
+/// locals).
+struct SymVal {
+  TypePtr Ty;
+  std::vector<Ref> Bits;
+  // Function representations (mutually exclusive with Bits):
+  const Value *Fn = nullptr;     ///< A concrete NV closure.
+  const Expr *FnExpr = nullptr;  ///< A Fun evaluated symbolically...
+  std::shared_ptr<std::vector<std::pair<std::string, SymVal>>> FnLocals;
+  const ClosureData *FnFree = nullptr; ///< ...with these captured frames.
+
+  bool isFun() const { return Fn || FnExpr; }
+};
+
+using Locals = std::vector<std::pair<std::string, SymVal>>;
+
+class SymEval {
+public:
+  explicit SymEval(NvContext &Ctx) : Ctx(Ctx), Mgr(Ctx.Mgr) {}
+
+  /// Evaluates the closure applied to a fully-symbolic key parameter.
+  Ref run(const ClosureData *Clo, const TypePtr &KeyTy) {
+    const Expr *Fn = Clo->sourceExpr();
+    if (!Fn || Fn->Kind != ExprKind::Fun)
+      fatalError("mapIte predicate has no NV source to evaluate symbolically");
+    unsigned W = Ctx.Layout.widthOf(KeyTy);
+    SymVal Key;
+    Key.Ty = resolve(KeyTy);
+    for (unsigned I = 0; I < W; ++I)
+      Key.Bits.push_back(Mgr.bitVar(I));
+    Locals Frame;
+    Frame.emplace_back(Fn->Name, std::move(Key));
+    SymVal R = eval(Fn->Args[0].get(), Frame, Clo);
+    if (R.Bits.size() != 1)
+      fatalError("mapIte predicate did not evaluate to a boolean");
+    return R.Bits[0];
+  }
+
+private:
+  NvContext &Ctx;
+  BddManager &Mgr;
+
+  Ref constBit(bool B) { return B ? Mgr.trueBdd() : Mgr.falseBdd(); }
+
+  /// Lifts a concrete finite value to a constant bit vector.
+  SymVal lift(const Value *V, const TypePtr &Ty) {
+    if (V->K == Value::Kind::Closure) {
+      SymVal S;
+      S.Ty = resolve(Ty);
+      S.Fn = V;
+      return S;
+    }
+    std::vector<bool> Bits;
+    Ctx.encodeValue(V, Ty, Bits);
+    SymVal S;
+    S.Ty = resolve(Ty);
+    for (bool B : Bits)
+      S.Bits.push_back(constBit(B));
+    return S;
+  }
+
+  SymVal boolSym(Ref R) {
+    SymVal S;
+    S.Ty = Type::boolTy();
+    S.Bits = {R};
+    return S;
+  }
+
+  /// Width of element I of a tuple/record symbolic value, plus its offset.
+  std::pair<unsigned, unsigned> fieldRange(const TypePtr &Ty, size_t Idx) {
+    unsigned Off = 0;
+    for (size_t I = 0; I < Idx; ++I)
+      Off += Ctx.Layout.widthOf(Ty->Elems[I]);
+    return {Off, Ctx.Layout.widthOf(Ty->Elems[Idx])};
+  }
+
+  SymVal slice(const SymVal &V, unsigned Off, unsigned W, TypePtr Ty) {
+    SymVal S;
+    S.Ty = resolve(std::move(Ty));
+    S.Bits.assign(V.Bits.begin() + Off, V.Bits.begin() + Off + W);
+    return S;
+  }
+
+  Ref eqBits(const SymVal &A, const SymVal &B) {
+    if (A.Bits.size() != B.Bits.size())
+      fatalError("symbolic equality over mismatched widths");
+    Ref R = Mgr.trueBdd();
+    for (size_t I = 0; I < A.Bits.size(); ++I)
+      R = Mgr.bddAnd(R, Mgr.bddXnor(A.Bits[I], B.Bits[I]));
+    return R;
+  }
+
+  /// Unsigned comparison over MSB-first bits: returns (lt, eq).
+  std::pair<Ref, Ref> compareBits(const SymVal &A, const SymVal &B) {
+    Ref Lt = Mgr.falseBdd();
+    Ref Eq = Mgr.trueBdd();
+    for (size_t I = 0; I < A.Bits.size(); ++I) {
+      Ref Ai = A.Bits[I], Bi = B.Bits[I];
+      Lt = Mgr.bddOr(Lt, Mgr.bddAnd(Eq, Mgr.bddAnd(Mgr.bddNot(Ai), Bi)));
+      Eq = Mgr.bddAnd(Eq, Mgr.bddXnor(Ai, Bi));
+    }
+    return {Lt, Eq};
+  }
+
+  /// Ripple add/sub over MSB-first bit vectors (wrap-around).
+  SymVal addSub(const SymVal &A, const SymVal &B, bool Subtract) {
+    SymVal Out;
+    Out.Ty = A.Ty;
+    Out.Bits.resize(A.Bits.size());
+    Ref Carry = Subtract ? Mgr.trueBdd() : Mgr.falseBdd();
+    for (size_t I = A.Bits.size(); I-- > 0;) {
+      Ref Ai = A.Bits[I];
+      Ref Bi = Subtract ? Mgr.bddNot(B.Bits[I]) : B.Bits[I];
+      Ref AxB = Mgr.bddXor(Ai, Bi);
+      Out.Bits[I] = Mgr.bddXor(AxB, Carry);
+      Carry = Mgr.bddOr(Mgr.bddAnd(Ai, Bi), Mgr.bddAnd(Carry, AxB));
+    }
+    return Out;
+  }
+
+  SymVal mergeIte(Ref Cond, const SymVal &T, const SymVal &E) {
+    if (T.isFun() || E.isFun())
+      fatalError("cannot merge function values under a symbolic condition");
+    if (T.Bits.size() != E.Bits.size())
+      fatalError("symbolic ite over mismatched widths");
+    SymVal Out;
+    Out.Ty = T.Ty;
+    Out.Bits.resize(T.Bits.size());
+    for (size_t I = 0; I < T.Bits.size(); ++I)
+      Out.Bits[I] = Mgr.bddIte(Cond, T.Bits[I], E.Bits[I]);
+    return Out;
+  }
+
+  const SymVal *lookupLocal(const Locals &Frame, const std::string &Name) {
+    for (auto It = Frame.rbegin(); It != Frame.rend(); ++It)
+      if (It->first == Name)
+        return &It->second;
+    return nullptr;
+  }
+
+  /// Pattern match against a symbolic scrutinee: returns the match
+  /// condition and pushes bindings onto \p Frame.
+  Ref matchSym(const Pattern *P, const SymVal &Scrut, Locals &Frame) {
+    switch (P->Kind) {
+    case PatternKind::Wild:
+      return Mgr.trueBdd();
+    case PatternKind::Var:
+      Frame.emplace_back(P->Name, Scrut);
+      return Mgr.trueBdd();
+    case PatternKind::Lit:
+      return eqBits(Scrut, lift(Ctx.valueOfLiteral(P->Lit), P->Lit.type()));
+    case PatternKind::None:
+      return Mgr.bddNot(Scrut.Bits[0]);
+    case PatternKind::Some: {
+      TypePtr Inner = resolve(Scrut.Ty)->Elems[0];
+      SymVal Payload = slice(Scrut, 1, Ctx.Layout.widthOf(Inner), Inner);
+      Ref Tag = Scrut.Bits[0];
+      return Mgr.bddAnd(Tag, matchSym(P->Elems[0].get(), Payload, Frame));
+    }
+    case PatternKind::Tuple: {
+      TypePtr Ty = resolve(Scrut.Ty);
+      if (Ty->Kind == TypeKind::Edge) {
+        unsigned NB = Ctx.Layout.nodeBits();
+        Ref C1 = matchSym(P->Elems[0].get(),
+                          slice(Scrut, 0, NB, Type::nodeTy()), Frame);
+        Ref C2 = matchSym(P->Elems[1].get(),
+                          slice(Scrut, NB, NB, Type::nodeTy()), Frame);
+        return Mgr.bddAnd(C1, C2);
+      }
+      Ref C = Mgr.trueBdd();
+      for (size_t I = 0; I < P->Elems.size(); ++I) {
+        auto [Off, W] = fieldRange(Ty, I);
+        C = Mgr.bddAnd(C, matchSym(P->Elems[I].get(),
+                                   slice(Scrut, Off, W, Ty->Elems[I]), Frame));
+      }
+      return C;
+    }
+    case PatternKind::Record: {
+      TypePtr Ty = resolve(Scrut.Ty);
+      Ref C = Mgr.trueBdd();
+      for (size_t I = 0; I < P->Labels.size(); ++I) {
+        int Idx = Ty->labelIndex(P->Labels[I]);
+        auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+        C = Mgr.bddAnd(C,
+                       matchSym(P->Elems[I].get(),
+                                slice(Scrut, Off, W, Ty->Elems[Idx]), Frame));
+      }
+      return C;
+    }
+    }
+    nv_unreachable("covered switch");
+  }
+
+  SymVal eval(const Expr *E, Locals &Frame, const ClosureData *Free) {
+    switch (E->Kind) {
+    case ExprKind::Const:
+      return lift(Ctx.valueOfLiteral(E->Lit), E->Lit.type());
+    case ExprKind::Var: {
+      if (const SymVal *S = lookupLocal(Frame, E->Name))
+        return *S;
+      const Value *V = Free ? Free->lookupFree(E->Name) : nullptr;
+      if (!V)
+        fatalError("unbound variable in symbolic evaluation: " + E->Name);
+      return lift(V, E->Ty);
+    }
+    case ExprKind::Let: {
+      SymVal Init = eval(E->Args[0].get(), Frame, Free);
+      Frame.emplace_back(E->Name, std::move(Init));
+      SymVal R = eval(E->Args[1].get(), Frame, Free);
+      Frame.pop_back();
+      return R;
+    }
+    case ExprKind::Fun: {
+      SymVal S;
+      S.Ty = resolve(E->Ty);
+      S.FnExpr = E;
+      S.FnLocals = std::make_shared<Locals>(Frame);
+      S.FnFree = Free;
+      return S;
+    }
+    case ExprKind::App: {
+      SymVal FnV = eval(E->Args[0].get(), Frame, Free);
+      SymVal Arg = eval(E->Args[1].get(), Frame, Free);
+      return applySym(FnV, std::move(Arg));
+    }
+    case ExprKind::If: {
+      SymVal C = eval(E->Args[0].get(), Frame, Free);
+      Ref Cond = C.Bits[0];
+      if (Cond == Mgr.trueBdd())
+        return eval(E->Args[1].get(), Frame, Free);
+      if (Cond == Mgr.falseBdd())
+        return eval(E->Args[2].get(), Frame, Free);
+      SymVal T = eval(E->Args[1].get(), Frame, Free);
+      SymVal El = eval(E->Args[2].get(), Frame, Free);
+      return mergeIte(Cond, T, El);
+    }
+    case ExprKind::Match: {
+      SymVal Scrut = eval(E->Args[0].get(), Frame, Free);
+      // Evaluate each case body under its bindings; fold so the first
+      // matching case wins and the final case is the default.
+      std::vector<Ref> Conds;
+      std::vector<SymVal> Bodies;
+      for (const MatchCase &C : E->Cases) {
+        size_t Mark = Frame.size();
+        Ref Cond = matchSym(C.Pat.get(), Scrut, Frame);
+        if (Cond == Mgr.falseBdd()) {
+          Frame.resize(Mark);
+          continue;
+        }
+        Conds.push_back(Cond);
+        Bodies.push_back(eval(C.Body.get(), Frame, Free));
+        Frame.resize(Mark);
+        if (Cond == Mgr.trueBdd())
+          break;
+      }
+      if (Bodies.empty())
+        fatalError("symbolic match with no reachable cases");
+      SymVal R = Bodies.back();
+      for (size_t I = Bodies.size() - 1; I-- > 0;)
+        R = mergeIte(Conds[I], Bodies[I], R);
+      return R;
+    }
+    case ExprKind::Oper:
+      return evalOper(E, Frame, Free);
+    case ExprKind::Tuple:
+    case ExprKind::Record: {
+      SymVal Out;
+      Out.Ty = resolve(E->Ty);
+      for (const ExprPtr &A : E->Args) {
+        SymVal S = eval(A.get(), Frame, Free);
+        Out.Bits.insert(Out.Bits.end(), S.Bits.begin(), S.Bits.end());
+      }
+      return Out;
+    }
+    case ExprKind::Proj: {
+      SymVal V = eval(E->Args[0].get(), Frame, Free);
+      TypePtr Ty = resolve(V.Ty);
+      auto [Off, W] = fieldRange(Ty, E->Index);
+      return slice(V, Off, W, Ty->Elems[E->Index]);
+    }
+    case ExprKind::RecordUpdate: {
+      SymVal Base = eval(E->Args[0].get(), Frame, Free);
+      TypePtr Ty = resolve(Base.Ty);
+      SymVal Out = Base;
+      for (size_t I = 0; I < E->Labels.size(); ++I) {
+        int Idx = Ty->labelIndex(E->Labels[I]);
+        auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+        SymVal V = eval(E->Args[I + 1].get(), Frame, Free);
+        for (unsigned B = 0; B < W; ++B)
+          Out.Bits[Off + B] = V.Bits[B];
+      }
+      return Out;
+    }
+    case ExprKind::Field: {
+      SymVal V = eval(E->Args[0].get(), Frame, Free);
+      TypePtr Ty = resolve(V.Ty);
+      int Idx = Ty->labelIndex(E->Name);
+      auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+      return slice(V, Off, W, Ty->Elems[Idx]);
+    }
+    case ExprKind::Some: {
+      SymVal Inner = eval(E->Args[0].get(), Frame, Free);
+      SymVal Out;
+      Out.Ty = resolve(E->Ty);
+      Out.Bits.push_back(Mgr.trueBdd());
+      Out.Bits.insert(Out.Bits.end(), Inner.Bits.begin(), Inner.Bits.end());
+      return Out;
+    }
+    case ExprKind::None: {
+      TypePtr Ty = resolve(E->Ty);
+      SymVal Out;
+      Out.Ty = Ty;
+      Out.Bits.push_back(Mgr.falseBdd());
+      unsigned W = Ctx.Layout.widthOf(Ty->Elems[0]);
+      Out.Bits.insert(Out.Bits.end(), W, Mgr.falseBdd());
+      return Out;
+    }
+    }
+    nv_unreachable("covered switch");
+  }
+
+  SymVal applySym(const SymVal &FnV, SymVal Arg) {
+    if (FnV.Fn) {
+      const ClosureData *Clo = FnV.Fn->Closure.get();
+      const Expr *Fn = Clo->sourceExpr();
+      if (!Fn || Fn->Kind != ExprKind::Fun)
+        fatalError("cannot symbolically apply an opaque closure");
+      Locals Frame;
+      Frame.emplace_back(Fn->Name, std::move(Arg));
+      return eval(Fn->Args[0].get(), Frame, Clo);
+    }
+    if (FnV.FnExpr) {
+      Locals Frame = *FnV.FnLocals;
+      Frame.emplace_back(FnV.FnExpr->Name, std::move(Arg));
+      return eval(FnV.FnExpr->Args[0].get(), Frame, FnV.FnFree);
+    }
+    fatalError("symbolic application of a non-function");
+  }
+
+  SymVal evalOper(const Expr *E, Locals &Frame, const ClosureData *Free) {
+    Op O = E->OpCode;
+    if (isMapOp(O))
+      fatalError("map operation '" + opToString(O) +
+                 "' cannot appear inside a mapIte key predicate");
+    switch (O) {
+    case Op::And:
+      return boolSym(Mgr.bddAnd(eval(E->Args[0].get(), Frame, Free).Bits[0],
+                                eval(E->Args[1].get(), Frame, Free).Bits[0]));
+    case Op::Or:
+      return boolSym(Mgr.bddOr(eval(E->Args[0].get(), Frame, Free).Bits[0],
+                               eval(E->Args[1].get(), Frame, Free).Bits[0]));
+    case Op::Not:
+      return boolSym(Mgr.bddNot(eval(E->Args[0].get(), Frame, Free).Bits[0]));
+    case Op::Eq:
+    case Op::Neq: {
+      Ref R = eqBits(eval(E->Args[0].get(), Frame, Free),
+                     eval(E->Args[1].get(), Frame, Free));
+      return boolSym(O == Op::Eq ? R : Mgr.bddNot(R));
+    }
+    case Op::Add:
+    case Op::Sub:
+      return addSub(eval(E->Args[0].get(), Frame, Free),
+                    eval(E->Args[1].get(), Frame, Free), O == Op::Sub);
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      SymVal A = eval(E->Args[0].get(), Frame, Free);
+      SymVal B = eval(E->Args[1].get(), Frame, Free);
+      auto [Lt, Eq] = compareBits(A, B);
+      switch (O) {
+      case Op::Lt:
+        return boolSym(Lt);
+      case Op::Le:
+        return boolSym(Mgr.bddOr(Lt, Eq));
+      case Op::Gt:
+        return boolSym(Mgr.bddNot(Mgr.bddOr(Lt, Eq)));
+      default:
+        return boolSym(Mgr.bddNot(Lt));
+      }
+    }
+    default:
+      break;
+    }
+    nv_unreachable("handled all non-map operators");
+  }
+};
+
+} // namespace
+
+BddManager::Ref NvContext::predToBdd(const Value *Pred, const TypePtr &KeyTy) {
+  uint64_t Key = Pred->Closure->cacheKey();
+  auto It = PredCache.find(Key);
+  if (It != PredCache.end())
+    return It->second;
+  BddManager::Ref R = SymEval(*this).run(Pred->Closure.get(), KeyTy);
+  PredCache.emplace(Key, R);
+  return R;
+}

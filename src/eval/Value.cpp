@@ -1,0 +1,105 @@
+//===- Value.cpp - NV runtime values ---------------------------------------===//
+
+#include "eval/Value.h"
+
+#include "support/Fatal.h"
+
+using namespace nv;
+
+ClosureData::~ClosureData() = default;
+
+static uint64_t hashCombine(uint64_t H, uint64_t V) {
+  return (H ^ V) * 0x9E3779B97F4A7C15ull;
+}
+
+uint64_t Value::hash() const {
+  uint64_t H = hashCombine(0x243F6A8885A308D3ull, static_cast<uint64_t>(K));
+  switch (K) {
+  case Kind::Bool:
+    return hashCombine(H, B ? 1 : 0);
+  case Kind::Int:
+    return hashCombine(hashCombine(H, I), Width);
+  case Kind::Node:
+    return hashCombine(H, N);
+  case Kind::Edge:
+    return hashCombine(hashCombine(H, N), N2);
+  case Kind::Tuple:
+    for (const Value *E : Elems)
+      H = hashCombine(H, reinterpret_cast<uint64_t>(E));
+    return H;
+  case Kind::Option:
+    return hashCombine(H, reinterpret_cast<uint64_t>(Inner));
+  case Kind::Map:
+    return hashCombine(hashCombine(H, MapRoot), KeyBits);
+  case Kind::Closure:
+    return hashCombine(H, reinterpret_cast<uint64_t>(Closure.get()));
+  }
+  nv_unreachable("covered switch");
+}
+
+bool Value::equals(const Value &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::Int:
+    return I == O.I && Width == O.Width;
+  case Kind::Node:
+    return N == O.N;
+  case Kind::Edge:
+    return N == O.N && N2 == O.N2;
+  case Kind::Tuple:
+    // Components are themselves interned: pointer comparison suffices.
+    return Elems == O.Elems;
+  case Kind::Option:
+    return Inner == O.Inner;
+  case Kind::Map:
+    return MapRoot == O.MapRoot && KeyBits == O.KeyBits;
+  case Kind::Closure:
+    return Closure.get() == O.Closure.get();
+  }
+  nv_unreachable("covered switch");
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Int:
+    if (Width == 32)
+      return std::to_string(I);
+    return std::to_string(I) + "u" + std::to_string(Width);
+  case Kind::Node:
+    return std::to_string(N) + "n";
+  case Kind::Edge:
+    return std::to_string(N) + "n~" + std::to_string(N2) + "n";
+  case Kind::Tuple: {
+    std::string S = "(";
+    for (size_t I2 = 0; I2 < Elems.size(); ++I2) {
+      if (I2)
+        S += ", ";
+      S += Elems[I2]->str();
+    }
+    return S + ")";
+  }
+  case Kind::Option:
+    return Inner ? "Some " + Inner->str() : "None";
+  case Kind::Map:
+    return "<map:" + std::to_string(KeyBits) + " key bits>";
+  case Kind::Closure:
+    return "<closure>";
+  }
+  nv_unreachable("covered switch");
+}
+
+const Value *ValueArena::intern(Value &&V) {
+  // Probe with a stack copy first to avoid growing storage on hits.
+  auto It = Table.find(&V);
+  if (It != Table.end())
+    return *It;
+  Storage.push_back(std::move(V));
+  const Value *P = &Storage.back();
+  Table.insert(P);
+  return P;
+}

@@ -1,0 +1,127 @@
+//===- Value.h - NV runtime values ------------------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, interned runtime values. Interning makes structural equality
+/// pointer equality, which is what lets MTBDD leaves (Sec. 5.1) share and
+/// compare in O(1). Map values embed the canonical MTBDD root; closure
+/// values carry an abstract callable plus enough source information to
+/// evaluate them symbolically over key bits (the mapIte predicate path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_EVAL_VALUE_H
+#define NV_EVAL_VALUE_H
+
+#include "bdd/Mtbdd.h"
+#include "core/Type.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace nv {
+
+class Value;
+struct Expr;
+
+/// An abstract NV function value. Implemented by the tree-walking
+/// interpreter and by the closure compiler; the map runtime and simulator
+/// only see this interface.
+class ClosureData {
+public:
+  virtual ~ClosureData();
+
+  /// Applies the closure to one argument.
+  virtual const Value *call(const Value *Arg) const = 0;
+
+  /// A stable identity for MTBDD operation caching: two closures with the
+  /// same key must denote the same function. Computed from the source
+  /// expression identity and the captured environment values.
+  virtual uint64_t cacheKey() const = 0;
+
+  /// The Fun expression this closure was built from (for symbolic
+  /// evaluation of predicates over map keys).
+  virtual const Expr *sourceExpr() const = 0;
+
+  /// Looks up a captured (free) variable by name; null when absent.
+  virtual const Value *lookupFree(const std::string &Name) const = 0;
+
+protected:
+  ClosureData() = default;
+};
+
+/// An immutable NV value. Construct only through ValueArena (or the
+/// NvContext convenience factories) so pointers are canonical.
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Bool,
+    Int,
+    Node,
+    Edge,
+    Tuple, ///< Also used for record values (fields in sorted-label order).
+    Option,
+    Map,
+    Closure,
+  };
+
+  Kind K = Kind::Bool;
+  bool B = false;
+  uint64_t I = 0;      ///< Int payload (truncated to Width bits).
+  unsigned Width = 32; ///< Int width.
+  uint32_t N = 0;      ///< Node id; Edge source.
+  uint32_t N2 = 0;     ///< Edge target.
+  std::vector<const Value *> Elems; ///< Tuple components.
+  const Value *Inner = nullptr;     ///< Option payload (null = None).
+  BddManager::Ref MapRoot = 0;      ///< Map: canonical MTBDD root.
+  unsigned KeyBits = 0;             ///< Map: key bit width.
+  TypePtr KeyType;                  ///< Map: key type (for printing/get).
+  std::shared_ptr<ClosureData> Closure;
+
+  bool isBool() const { return K == Kind::Bool; }
+  bool isTrue() const { return K == Kind::Bool && B; }
+  bool isNone() const { return K == Kind::Option && !Inner; }
+  bool isSome() const { return K == Kind::Option && Inner; }
+
+  /// Structural hash; maps hash by canonical root, closures by identity.
+  uint64_t hash() const;
+  /// Structural equality consistent with hash().
+  bool equals(const Value &O) const;
+
+  /// Renders the value (maps print as "<map:N leaves>" without a context;
+  /// NvContext::printValue gives full map contents).
+  std::string str() const;
+};
+
+/// Hash-consing arena for values. Pointers returned by intern() are
+/// canonical: equal values get equal pointers.
+class ValueArena {
+public:
+  const Value *intern(Value &&V);
+  size_t size() const { return Storage.size(); }
+
+private:
+  struct PtrHash {
+    size_t operator()(const Value *V) const {
+      return static_cast<size_t>(V->hash());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const Value *A, const Value *B) const {
+      return A->equals(*B);
+    }
+  };
+  std::deque<Value> Storage;
+  std::unordered_set<const Value *, PtrHash, PtrEq> Table;
+};
+
+} // namespace nv
+
+#endif // NV_EVAL_VALUE_H

@@ -1,0 +1,306 @@
+//===- Config.cpp - Cisco-style configuration model ---------------------------===//
+
+#include "frontend/Config.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace nv;
+
+std::string Prefix::str() const {
+  return std::to_string((Addr >> 24) & 0xFF) + "." +
+         std::to_string((Addr >> 16) & 0xFF) + "." +
+         std::to_string((Addr >> 8) & 0xFF) + "." +
+         std::to_string(Addr & 0xFF) + "/" + std::to_string(Len);
+}
+
+std::vector<Prefix> RouterConfig::originated() const {
+  std::vector<Prefix> Out = StaticRoutes;
+  Out.insert(Out.end(), Networks.begin(), Networks.end());
+  Out.insert(Out.end(), Connected.begin(), Connected.end());
+  Out.insert(Out.end(), OspfNetworks.begin(), OspfNetworks.end());
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+int NetworkConfig::routerIndex(const std::string &Name) const {
+  for (size_t I = 0; I < Routers.size(); ++I)
+    if (Routers[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+NetworkConfig::links(DiagnosticEngine &Diags) const {
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  std::vector<std::pair<uint32_t, uint32_t>> Out;
+  for (size_t I = 0; I < Routers.size(); ++I) {
+    for (const std::string &N : Routers[I].InterfaceNeighbors) {
+      int J = routerIndex(N);
+      if (J < 0) {
+        Diags.error({}, "router " + Routers[I].Name +
+                            " names unknown neighbor " + N);
+        continue;
+      }
+      uint32_t A = static_cast<uint32_t>(I), B = static_cast<uint32_t>(J);
+      if (A > B)
+        std::swap(A, B);
+      if (Seen.insert({A, B}).second)
+        Out.emplace_back(A, B);
+    }
+  }
+  return Out;
+}
+
+std::vector<Prefix> NetworkConfig::allPrefixes() const {
+  std::vector<Prefix> Out;
+  for (const RouterConfig &R : Routers)
+    for (const Prefix &P : R.originated())
+      Out.push_back(P);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::istringstream In(Line);
+  std::vector<std::string> Toks;
+  std::string T;
+  while (In >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+std::optional<Prefix> parsePrefix(const std::string &S) {
+  unsigned A, B, C, D, L;
+  char Dot1, Dot2, Dot3, Slash;
+  std::istringstream In(S);
+  if (!(In >> A >> Dot1 >> B >> Dot2 >> C >> Dot3 >> D >> Slash >> L))
+    return std::nullopt;
+  if (Dot1 != '.' || Dot2 != '.' || Dot3 != '.' || Slash != '/')
+    return std::nullopt;
+  if (A > 255 || B > 255 || C > 255 || D > 255 || L > 32)
+    return std::nullopt;
+  Prefix P;
+  P.Addr = (A << 24) | (B << 16) | (C << 8) | D;
+  P.Len = static_cast<uint8_t>(L);
+  return P;
+}
+
+} // namespace
+
+std::optional<NetworkConfig> nv::parseConfigs(const std::string &Text,
+                                              DiagnosticEngine &Diags) {
+  NetworkConfig Net;
+  RouterConfig *Cur = nullptr;
+  RouteMap *CurMap = nullptr;
+  RouteMapClause *CurClause = nullptr;
+  enum class BlockMode { Top, Bgp, Ospf };
+  BlockMode Mode = BlockMode::Top;
+  int LineNo = 0;
+
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    SourceLoc Loc{LineNo, 1};
+    auto T = tokenize(Line);
+    if (T.empty() || T[0][0] == '!' || T[0][0] == '#')
+      continue;
+
+    auto NeedRouter = [&]() {
+      if (!Cur)
+        Diags.error(Loc, "statement outside a router block");
+      return Cur != nullptr;
+    };
+
+    if (T[0] == "router" && T.size() == 2) {
+      Net.Routers.push_back({});
+      Cur = &Net.Routers.back();
+      Cur->Name = T[1];
+      CurMap = nullptr;
+      CurClause = nullptr;
+      Mode = BlockMode::Top;
+      continue;
+    }
+    if (T[0] == "router" && T.size() == 3 && T[1] == "bgp") {
+      if (!NeedRouter())
+        continue;
+      Cur->BgpEnabled = true; // the ASN itself is not modeled (eBGP only)
+      Mode = BlockMode::Bgp;
+      continue;
+    }
+    if (T[0] == "router" && T.size() == 3 && T[1] == "ospf") {
+      if (!NeedRouter())
+        continue;
+      Cur->OspfEnabled = true;
+      Mode = BlockMode::Ospf;
+      continue;
+    }
+    if (T[0] == "interface" && T.size() >= 3 && T[1] == "neighbor") {
+      if (NeedRouter()) {
+        Cur->InterfaceNeighbors.push_back(T[2]);
+        if (T.size() == 5 && T[3] == "cost")
+          Cur->OspfCosts[T[2]] =
+              static_cast<unsigned>(std::stoul(T[4]));
+        else if (T.size() != 3)
+          Diags.error(Loc, "malformed interface statement");
+      }
+      continue;
+    }
+    if (T[0] == "connected" && T.size() == 2) {
+      if (!NeedRouter())
+        continue;
+      if (auto P = parsePrefix(T[1]))
+        Cur->Connected.push_back(*P);
+      else
+        Diags.error(Loc, "malformed prefix '" + T[1] + "'");
+      continue;
+    }
+    if (T[0] == "redistribute" && T.size() >= 2) {
+      if (!NeedRouter())
+        continue;
+      if (Mode == BlockMode::Bgp) {
+        if (T[1] == "static")
+          Cur->BgpRedistStatic = true;
+        else if (T[1] == "connected")
+          Cur->BgpRedistConnected = true;
+        else if (T[1] == "ospf")
+          Cur->BgpRedistOspf = true;
+        else
+          Diags.error(Loc, "cannot redistribute '" + T[1] + "' into bgp");
+      } else if (Mode == BlockMode::Ospf) {
+        if (T[1] == "static")
+          Cur->OspfRedistStatic = true;
+        else if (T[1] == "connected")
+          Cur->OspfRedistConnected = true;
+        else
+          Diags.error(Loc, "cannot redistribute '" + T[1] + "' into ospf");
+        if (T.size() >= 4 && T[2] == "metric")
+          Cur->OspfRedistMetric = static_cast<unsigned>(std::stoul(T[3]));
+      } else {
+        Diags.error(Loc, "redistribute outside a protocol block");
+      }
+      continue;
+    }
+    if (T[0] == "distance" && T.size() == 2) {
+      if (!NeedRouter())
+        continue;
+      if (Mode == BlockMode::Ospf)
+        Cur->OspfDistance = static_cast<unsigned>(std::stoul(T[1]));
+      else
+        Diags.error(Loc, "distance outside an ospf block");
+      continue;
+    }
+    if (T[0] == "ip" && T.size() >= 3 && T[1] == "route") {
+      if (!NeedRouter())
+        continue;
+      if (auto P = parsePrefix(T[2]))
+        Cur->StaticRoutes.push_back(*P);
+      else
+        Diags.error(Loc, "malformed prefix '" + T[2] + "'");
+      continue;
+    }
+    if (T[0] == "network" && T.size() >= 2) {
+      if (!NeedRouter())
+        continue;
+      if (auto P = parsePrefix(T[1])) {
+        if (Mode == BlockMode::Ospf)
+          Cur->OspfNetworks.push_back(*P); // `area <n>` suffix accepted
+        else
+          Cur->Networks.push_back(*P);
+      } else {
+        Diags.error(Loc, "malformed prefix '" + T[1] + "'");
+      }
+      continue;
+    }
+    if (T[0] == "neighbor" && T.size() == 5 && T[2] == "route-map") {
+      if (!NeedRouter())
+        continue;
+      BgpNeighbor *N = nullptr;
+      for (BgpNeighbor &Existing : Cur->BgpNeighbors)
+        if (Existing.Router == T[1])
+          N = &Existing;
+      if (!N) {
+        Cur->BgpNeighbors.push_back({T[1], {}, {}});
+        N = &Cur->BgpNeighbors.back();
+      }
+      if (T[4] == "in")
+        N->InMap = T[3];
+      else if (T[4] == "out")
+        N->OutMap = T[3];
+      else
+        Diags.error(Loc, "route-map direction must be 'in' or 'out'");
+      continue;
+    }
+    if (T[0] == "ip" && T.size() >= 5 && T[1] == "community-list" &&
+        T[3] == "permit") {
+      if (!NeedRouter())
+        continue;
+      std::vector<uint32_t> Comms;
+      for (size_t I = 4; I < T.size(); ++I)
+        Comms.push_back(static_cast<uint32_t>(std::stoul(T[I])));
+      Cur->CommunityLists[T[2]] = Comms;
+      continue;
+    }
+    if (T[0] == "ip" && T.size() == 5 && T[1] == "prefix-list" &&
+        T[3] == "permit") {
+      if (!NeedRouter())
+        continue;
+      if (auto P = parsePrefix(T[4]))
+        Cur->PrefixLists[T[2]].push_back(*P);
+      else
+        Diags.error(Loc, "malformed prefix '" + T[4] + "'");
+      continue;
+    }
+    if (T[0] == "route-map" && T.size() == 4) {
+      if (!NeedRouter())
+        continue;
+      CurMap = &Cur->RouteMaps[T[1]];
+      CurMap->Name = T[1];
+      CurMap->Clauses.push_back({});
+      CurClause = &CurMap->Clauses.back();
+      CurClause->Permit = T[2] == "permit";
+      CurClause->Seq = std::stoi(T[3]);
+      continue;
+    }
+    if (T[0] == "match" && CurClause) {
+      if (T.size() == 3 && T[1] == "community") {
+        CurClause->MatchCommunityList = T[2];
+        continue;
+      }
+      if (T.size() == 5 && T[1] == "ip" && T[2] == "address" &&
+          T[3] == "prefix-list") {
+        CurClause->MatchPrefixList = T[4];
+        continue;
+      }
+      Diags.error(Loc, "unsupported match statement");
+      continue;
+    }
+    if (T[0] == "set" && CurClause) {
+      if (T.size() == 3 && T[1] == "local-preference") {
+        CurClause->SetLocalPref = std::stoul(T[2]);
+        continue;
+      }
+      if (T.size() == 3 && T[1] == "metric") {
+        CurClause->SetMetric = std::stoul(T[2]);
+        continue;
+      }
+      if (T.size() >= 3 && T[1] == "community") {
+        CurClause->SetCommunity = std::stoul(T[2]);
+        continue;
+      }
+      Diags.error(Loc, "unsupported set statement");
+      continue;
+    }
+    Diags.error(Loc, "unrecognized statement: " + Line);
+  }
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Net;
+}

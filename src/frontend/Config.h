@@ -1,0 +1,133 @@
+//===- Config.h - Cisco-style configuration model ---------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vendor-configuration model and parser for the Cisco IOS fragment of
+/// Fig. 1 — the stand-in for the Batfish front end (see DESIGN.md). One
+/// text blob holds all routers; the grammar (one statement per line,
+/// indentation-insensitive):
+///
+///   router <name>
+///     interface neighbor <router> [cost <n>]
+///     connected <a>.<b>.<c>.<d>/<len>
+///     ip route <a>.<b>.<c>.<d>/<len>
+///     router bgp <asn>
+///       network <a>.<b>.<c>.<d>/<len>
+///       neighbor <router> route-map <rm> (in|out)
+///       redistribute (static|connected|ospf)
+///     router ospf <pid>
+///       network <a>.<b>.<c>.<d>/<len>
+///       redistribute (static|connected) [metric <n>]
+///       distance <n>
+///     ip community-list <name> permit <n>...
+///     ip prefix-list <name> permit <a>.<b>.<c>.<d>/<len>
+///     route-map <name> (permit|deny) <seq>
+///       match community <commlist>
+///       match ip address prefix-list <pfxlist>
+///       set local-preference <n>
+///       set metric <n>
+///       set community <n>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FRONTEND_CONFIG_H
+#define NV_FRONTEND_CONFIG_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// An IPv4 prefix, modeled as in Fig. 9: (address, length).
+struct Prefix {
+  uint32_t Addr = 0;
+  uint8_t Len = 0;
+
+  bool operator==(const Prefix &O) const {
+    return Addr == O.Addr && Len == O.Len;
+  }
+  bool operator<(const Prefix &O) const {
+    return Addr != O.Addr ? Addr < O.Addr : Len < O.Len;
+  }
+  std::string str() const;
+};
+
+/// One permit/deny clause of a route-map (Sec. 4.2): conditional
+/// statements (matches) guarding mutation statements (sets).
+struct RouteMapClause {
+  bool Permit = true;
+  int Seq = 0;
+  std::optional<std::string> MatchCommunityList;
+  std::optional<std::string> MatchPrefixList;
+  std::optional<uint32_t> SetLocalPref;
+  std::optional<uint32_t> SetMetric;
+  std::optional<uint32_t> SetCommunity;
+};
+
+struct RouteMap {
+  std::string Name;
+  std::vector<RouteMapClause> Clauses; ///< In sequence order.
+};
+
+struct BgpNeighbor {
+  std::string Router;
+  std::optional<std::string> InMap;
+  std::optional<std::string> OutMap;
+};
+
+struct RouterConfig {
+  std::string Name;
+  std::vector<std::string> InterfaceNeighbors;
+  std::vector<Prefix> StaticRoutes; ///< `ip route` originations.
+  std::vector<Prefix> Networks;     ///< `network` statements under bgp.
+  std::vector<BgpNeighbor> BgpNeighbors;
+
+  // Multi-protocol state (Sec. 4.1 / Fig. 9). When any router enables OSPF
+  // or redistribution, the translation emits the full RIB model.
+  bool BgpEnabled = false;
+  bool OspfEnabled = false;
+  std::vector<Prefix> Connected;    ///< `connected <prefix>` interfaces.
+  std::vector<Prefix> OspfNetworks; ///< `network` statements under ospf.
+  unsigned OspfDistance = 110;      ///< `distance <n>` under ospf (Fig. 1).
+  unsigned OspfRedistMetric = 20;   ///< `redistribute static metric <n>`.
+  bool BgpRedistStatic = false;
+  bool BgpRedistConnected = false;
+  bool BgpRedistOspf = false;
+  bool OspfRedistStatic = false;
+  bool OspfRedistConnected = false;
+  std::map<std::string, unsigned> OspfCosts; ///< Per-neighbor link cost.
+  std::map<std::string, std::vector<uint32_t>> CommunityLists;
+  std::map<std::string, std::vector<Prefix>> PrefixLists;
+  std::map<std::string, RouteMap> RouteMaps;
+
+  /// All prefixes this router originates (static + network).
+  std::vector<Prefix> originated() const;
+};
+
+struct NetworkConfig {
+  std::vector<RouterConfig> Routers;
+
+  int routerIndex(const std::string &Name) const;
+  /// Undirected links derived from (symmetric) interface statements.
+  std::vector<std::pair<uint32_t, uint32_t>> links(DiagnosticEngine &Diags) const;
+  /// All prefixes originated anywhere, sorted and deduplicated.
+  std::vector<Prefix> allPrefixes() const;
+};
+
+/// Parses a multi-router configuration blob. Diagnostics on malformed
+/// statements; returns std::nullopt when errors were found.
+std::optional<NetworkConfig> parseConfigs(const std::string &Text,
+                                          DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_FRONTEND_CONFIG_H

@@ -1,0 +1,195 @@
+//===- RouteMapDag.cpp - Route-map DAG IR -------------------------------------===//
+
+#include "frontend/RouteMapDag.h"
+
+#include "support/Fatal.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace nv;
+
+bool RouteMapDag::prefixConditionsHoisted() const {
+  // DFS: once below a community condition, no prefix condition may appear.
+  std::function<bool(int, bool)> Rec = [&](int I, bool BelowComm) -> bool {
+    if (I < 0)
+      return true;
+    const Node &N = node(I);
+    switch (N.K) {
+    case Node::Kind::Mutate:
+    case Node::Kind::Drop:
+      return true;
+    case Node::Kind::CondPrefix:
+      if (BelowComm)
+        return false;
+      return Rec(N.True, BelowComm) && Rec(N.False, BelowComm);
+    case Node::Kind::CondCommunity:
+      return Rec(N.True, true) && Rec(N.False, true);
+    }
+    return true;
+  };
+  return Rec(Root, false);
+}
+
+std::vector<std::string> RouteMapDag::prefixListsUsed() const {
+  std::vector<std::string> Out;
+  std::set<std::string> Seen;
+  std::function<void(int)> Rec = [&](int I) {
+    if (I < 0)
+      return;
+    const Node &N = node(I);
+    if (N.K == Node::Kind::CondPrefix && Seen.insert(N.ListName).second)
+      Out.push_back(N.ListName);
+    if (N.K == Node::Kind::CondPrefix || N.K == Node::Kind::CondCommunity) {
+      Rec(N.True);
+      Rec(N.False);
+    }
+  };
+  Rec(Root);
+  return Out;
+}
+
+std::string RouteMapDag::str() const {
+  std::string S;
+  std::function<void(int, int)> Rec = [&](int I, int Depth) {
+    std::string Pad(static_cast<size_t>(Depth) * 2, ' ');
+    const Node &N = node(I);
+    switch (N.K) {
+    case Node::Kind::Drop:
+      S += Pad + "drop\n";
+      return;
+    case Node::Kind::Mutate: {
+      S += Pad + "mutate";
+      if (N.SetLocalPref)
+        S += " lp<-" + std::to_string(*N.SetLocalPref);
+      if (N.SetMetric)
+        S += " med<-" + std::to_string(*N.SetMetric);
+      if (N.AddCommunity)
+        S += " comm+=" + std::to_string(*N.AddCommunity);
+      S += "\n";
+      return;
+    }
+    case Node::Kind::CondCommunity:
+      S += Pad + "match community " + N.ListName + "\n";
+      break;
+    case Node::Kind::CondPrefix:
+      S += Pad + "match prefix " + N.ListName + "\n";
+      break;
+    }
+    Rec(N.True, Depth + 1);
+    Rec(N.False, Depth + 1);
+  };
+  if (Root >= 0)
+    Rec(Root, 0);
+  return S;
+}
+
+RouteMapDag nv::buildRouteMapDag(const RouteMap &RM) {
+  RouteMapDag D;
+  auto Add = [&](RouteMapDag::Node N) {
+    D.Nodes.push_back(std::move(N));
+    return static_cast<int>(D.Nodes.size() - 1);
+  };
+
+  // Running off the end of a route-map drops the route (Fig. 10b's ⊥).
+  RouteMapDag::Node DropN;
+  DropN.K = RouteMapDag::Node::Kind::Drop;
+  int Next = Add(DropN);
+
+  for (auto It = RM.Clauses.rbegin(); It != RM.Clauses.rend(); ++It) {
+    const RouteMapClause &C = *It;
+    int Leaf;
+    if (C.Permit) {
+      RouteMapDag::Node M;
+      M.K = RouteMapDag::Node::Kind::Mutate;
+      M.SetLocalPref = C.SetLocalPref;
+      M.SetMetric = C.SetMetric;
+      M.AddCommunity = C.SetCommunity;
+      Leaf = Add(M);
+    } else {
+      Leaf = Add(DropN);
+    }
+    // Conditions nest: community first, then prefix (as written in
+    // Fig. 10a); a failed condition falls through to the next clause.
+    int Chain = Leaf;
+    if (C.MatchPrefixList) {
+      RouteMapDag::Node P;
+      P.K = RouteMapDag::Node::Kind::CondPrefix;
+      P.ListName = *C.MatchPrefixList;
+      P.True = Chain;
+      P.False = Next;
+      Chain = Add(P);
+    }
+    if (C.MatchCommunityList) {
+      RouteMapDag::Node Cm;
+      Cm.K = RouteMapDag::Node::Kind::CondCommunity;
+      Cm.ListName = *C.MatchCommunityList;
+      Cm.True = Chain;
+      Cm.False = Next;
+      Chain = Add(Cm);
+    }
+    Next = Chain;
+  }
+  D.Root = Next;
+  return D;
+}
+
+namespace {
+
+/// Copies the sub-DAG at \p I into \p Out with every prefix condition
+/// resolved per \p Fixed.
+int specialize(const RouteMapDag &In, int I, RouteMapDag &Out,
+               const std::map<std::string, bool> &Fixed) {
+  const RouteMapDag::Node &N = In.node(I);
+  switch (N.K) {
+  case RouteMapDag::Node::Kind::Drop:
+  case RouteMapDag::Node::Kind::Mutate: {
+    Out.Nodes.push_back(N);
+    return static_cast<int>(Out.Nodes.size() - 1);
+  }
+  case RouteMapDag::Node::Kind::CondPrefix: {
+    auto It = Fixed.find(N.ListName);
+    if (It == Fixed.end())
+      fatalError("hoisting missed prefix list " + N.ListName);
+    return specialize(In, It->second ? N.True : N.False, Out, Fixed);
+  }
+  case RouteMapDag::Node::Kind::CondCommunity: {
+    int T = specialize(In, N.True, Out, Fixed);
+    int F = specialize(In, N.False, Out, Fixed);
+    RouteMapDag::Node C = N;
+    C.True = T;
+    C.False = F;
+    Out.Nodes.push_back(C);
+    return static_cast<int>(Out.Nodes.size() - 1);
+  }
+  }
+  nv_unreachable("covered switch");
+}
+
+} // namespace
+
+RouteMapDag nv::hoistPrefixConditions(const RouteMapDag &In) {
+  std::vector<std::string> Lists = In.prefixListsUsed();
+  RouteMapDag Out;
+
+  std::map<std::string, bool> Fixed;
+  std::function<int(size_t)> Rec = [&](size_t Depth) -> int {
+    if (Depth == Lists.size())
+      return specialize(In, In.Root, Out, Fixed);
+    Fixed[Lists[Depth]] = true;
+    int T = Rec(Depth + 1);
+    Fixed[Lists[Depth]] = false;
+    int F = Rec(Depth + 1);
+    Fixed.erase(Lists[Depth]);
+    RouteMapDag::Node P;
+    P.K = RouteMapDag::Node::Kind::CondPrefix;
+    P.ListName = Lists[Depth];
+    P.True = T;
+    P.False = F;
+    Out.Nodes.push_back(P);
+    return static_cast<int>(Out.Nodes.size() - 1);
+  };
+  Out.Root = Rec(0);
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- RouteMapDag.h - Route-map DAG IR -------------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DAG-based intermediate policy representation of Sec. 4.2 / Fig. 10:
+/// non-leaf nodes are conditional statements (community or prefix tests),
+/// leaves are mutation lists or the implicit drop. Prefix conditions are
+/// hoisted above community conditions (Fig. 10b -> 10c) so the NV
+/// translation can use them as mapIte key predicates while community
+/// conditions become if-chains over map values (Fig. 10d).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FRONTEND_ROUTEMAPDAG_H
+#define NV_FRONTEND_ROUTEMAPDAG_H
+
+#include "frontend/Config.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+struct RouteMapDag {
+  struct Node {
+    enum class Kind {
+      CondCommunity, ///< Tests a community list against route tags.
+      CondPrefix,    ///< Tests a prefix list against the destination key.
+      Mutate,        ///< Leaf: apply the sets and accept the route.
+      Drop,          ///< Leaf: implicit or explicit deny.
+    };
+    Kind K = Kind::Drop;
+    std::string ListName; ///< Conditions: list tested.
+    int True = -1;        ///< Conditions: child when the test holds.
+    int False = -1;
+    std::optional<uint32_t> SetLocalPref; ///< Mutate payload.
+    std::optional<uint32_t> SetMetric;
+    std::optional<uint32_t> AddCommunity;
+  };
+
+  std::vector<Node> Nodes;
+  int Root = -1;
+
+  const Node &node(int I) const { return Nodes[static_cast<size_t>(I)]; }
+
+  /// True when no CondPrefix node is reachable below a CondCommunity node
+  /// (the Fig. 10c invariant the translation relies on).
+  bool prefixConditionsHoisted() const;
+
+  /// Prefix-list names in first-use order.
+  std::vector<std::string> prefixListsUsed() const;
+
+  std::string str() const; ///< Debug rendering.
+};
+
+/// Fig. 10a -> 10b: clauses become condition chains; a failed condition
+/// falls through to the next clause; running off the end drops the route.
+RouteMapDag buildRouteMapDag(const RouteMap &RM);
+
+/// Fig. 10b -> 10c: returns an equivalent DAG with every prefix condition
+/// above every community condition, by building a decision tree over the
+/// prefix lists and specializing the original DAG at each leaf.
+RouteMapDag hoistPrefixConditions(const RouteMapDag &In);
+
+} // namespace nv
+
+#endif // NV_FRONTEND_ROUTEMAPDAG_H

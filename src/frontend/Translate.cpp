@@ -1,0 +1,499 @@
+//===- Translate.cpp - Configuration-to-NV translation ------------------------===//
+
+#include "frontend/Translate.h"
+
+#include "support/Fatal.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+std::string nv::prefixKeyLiteral(const Prefix &P) {
+  return "(" + std::to_string(P.Addr) + ", " + std::to_string(P.Len) + "u6)";
+}
+
+namespace {
+
+const char *Preamble =
+    "type ipv4Prefix = (int, int6)\n"
+    "type bgpRoute = {comms : set[int]; length : int; lp : int; med : int}\n"
+    "type rib = option[bgpRoute]\n"
+    "type attribute = dict[ipv4Prefix, rib]\n";
+
+/// OR of `p = (addr, len)` tests over a prefix list's entries.
+std::string prefixListTest(const RouterConfig &Router, const std::string &List,
+                           DiagnosticEngine &Diags) {
+  auto It = Router.PrefixLists.find(List);
+  if (It == Router.PrefixLists.end() || It->second.empty()) {
+    Diags.error({}, "router " + Router.Name +
+                        " references undefined prefix-list " + List);
+    return "false";
+  }
+  std::string S;
+  for (size_t I = 0; I < It->second.size(); ++I) {
+    if (I)
+      S += " || ";
+    S += "p = " + prefixKeyLiteral(It->second[I]);
+  }
+  return It->second.size() > 1 ? "(" + S + ")" : S;
+}
+
+/// OR of community-membership tests over a community list's entries.
+std::string communityListTest(const RouterConfig &Router,
+                              const std::string &List,
+                              DiagnosticEngine &Diags) {
+  auto It = Router.CommunityLists.find(List);
+  if (It == Router.CommunityLists.end() || It->second.empty()) {
+    Diags.error({}, "router " + Router.Name +
+                        " references undefined community-list " + List);
+    return "false";
+  }
+  std::string S;
+  for (size_t I = 0; I < It->second.size(); ++I) {
+    if (I)
+      S += " || ";
+    S += "r.comms[" + std::to_string(It->second[I]) + "]";
+  }
+  return It->second.size() > 1 ? "(" + S + ")" : S;
+}
+
+/// Renders a community-only sub-DAG as an expression over the bound route
+/// variable `r` (Fig. 10d's if-chains).
+std::string emitCommTree(const RouteMapDag &D, int I,
+                         const RouterConfig &Router, DiagnosticEngine &Diags) {
+  const RouteMapDag::Node &N = D.node(I);
+  switch (N.K) {
+  case RouteMapDag::Node::Kind::Drop:
+    return "None";
+  case RouteMapDag::Node::Kind::Mutate: {
+    if (!N.SetLocalPref && !N.SetMetric && !N.AddCommunity)
+      return "Some r";
+    std::string Fields;
+    if (N.SetLocalPref)
+      Fields += "lp = " + std::to_string(*N.SetLocalPref);
+    if (N.SetMetric) {
+      if (!Fields.empty())
+        Fields += "; ";
+      Fields += "med = " + std::to_string(*N.SetMetric);
+    }
+    if (N.AddCommunity) {
+      if (!Fields.empty())
+        Fields += "; ";
+      Fields += "comms = r.comms[" + std::to_string(*N.AddCommunity) +
+                " := true]";
+    }
+    return "Some {r with " + Fields + "}";
+  }
+  case RouteMapDag::Node::Kind::CondCommunity:
+    return "if " + communityListTest(Router, N.ListName, Diags) + " then " +
+           emitCommTree(D, N.True, Router, Diags) + " else " +
+           emitCommTree(D, N.False, Router, Diags);
+  case RouteMapDag::Node::Kind::CondPrefix:
+    break;
+  }
+  fatalError("prefix condition below community condition after hoisting");
+}
+
+/// One mapIte application per prefix-condition path (disjoint predicates,
+/// identity else-branch).
+struct PrefixPath {
+  std::vector<std::pair<std::string, bool>> Tests; ///< (list, polarity).
+  int CommRoot; ///< Community-only subtree handling this path.
+};
+
+void collectPaths(const RouteMapDag &D, int I,
+                  std::vector<std::pair<std::string, bool>> &Prefix,
+                  std::vector<PrefixPath> &Out) {
+  const RouteMapDag::Node &N = D.node(I);
+  if (N.K == RouteMapDag::Node::Kind::CondPrefix) {
+    Prefix.emplace_back(N.ListName, true);
+    collectPaths(D, N.True, Prefix, Out);
+    Prefix.back().second = false;
+    collectPaths(D, N.False, Prefix, Out);
+    Prefix.pop_back();
+    return;
+  }
+  Out.push_back({Prefix, I});
+}
+
+} // namespace
+
+std::string nv::emitRouteMapFunction(const std::string &FnName,
+                                     const RouterConfig &Router,
+                                     const RouteMap &RM,
+                                     DiagnosticEngine &Diags) {
+  RouteMapDag D = hoistPrefixConditions(buildRouteMapDag(RM));
+  std::vector<PrefixPath> Paths;
+  std::vector<std::pair<std::string, bool>> Cur;
+  collectPaths(D, D.Root, Cur, Paths);
+
+  std::string S = "let " + FnName + " (x : attribute) =\n";
+  std::string Acc = "x";
+  for (const PrefixPath &P : Paths) {
+    std::string ValueFn =
+        "(fun (v : rib) -> match v with | None -> None | Some r -> " +
+        emitCommTree(D, P.CommRoot, Router, Diags) + ")";
+    if (P.Tests.empty()) {
+      // No prefix condition at all: plain map over every entry.
+      Acc = "map " + ValueFn + " (" + Acc + ")";
+      continue;
+    }
+    std::string Pred = "(fun (p : ipv4Prefix) -> ";
+    for (size_t I = 0; I < P.Tests.size(); ++I) {
+      if (I)
+        Pred += " && ";
+      std::string T = prefixListTest(Router, P.Tests[I].first, Diags);
+      Pred += P.Tests[I].second ? T : "!" + (T[0] == '(' ? T : "(" + T + ")");
+    }
+    Pred += ")";
+    Acc = "mapIte " + Pred + " " + ValueFn + " (fun (v : rib) -> v) (" + Acc +
+          ")";
+  }
+  return S + "  " + Acc + "\n";
+}
+
+std::string nv::nvAssertReachable(const Prefix &P) {
+  return "let assert (u : node) (x : attribute) =\n"
+         "  match x[" + prefixKeyLiteral(P) + "] with\n"
+         "  | None -> false\n"
+         "  | Some r -> true\n";
+}
+
+std::optional<TranslationResult>
+nv::translateConfigs(const NetworkConfig &Net, DiagnosticEngine &Diags) {
+  if (usesRibModel(Net))
+    return translateConfigsRib(Net, Diags);
+  TranslationResult R;
+  auto Links = Net.links(Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  R.Prefixes = Net.allPrefixes();
+
+  std::string S = Preamble;
+  S += "let nodes = " + std::to_string(Net.Routers.size()) + "\n";
+  S += "let edges = {";
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      S += ";";
+    S += std::to_string(Links[I].first) + "n=" +
+         std::to_string(Links[I].second) + "n";
+  }
+  S += "}\n";
+
+  // Route-map functions, one per (router, map).
+  auto FnName = [&](size_t Router, const std::string &Map) {
+    return "rm_" + std::to_string(Router) + "_" + Map;
+  };
+  for (size_t I = 0; I < Net.Routers.size(); ++I)
+    for (const auto &[Name, RM] : Net.Routers[I].RouteMaps)
+      S += emitRouteMapFunction(FnName(I, Name), Net.Routers[I], RM, Diags);
+
+  // The hop-length step applied on every edge.
+  S += "let step (y : attribute) =\n"
+       "  map (fun (w : rib) -> match w with | None -> None "
+       "| Some r -> Some {r with length = r.length + 1}) y\n";
+
+  // trans: per directed edge, out-map of the sender, step, in-map of the
+  // receiver.
+  S += "let trans (e : edge) (x : attribute) =\n  match e with\n";
+  for (const auto &[A, B] : Links) {
+    for (int Dir = 0; Dir < 2; ++Dir) {
+      uint32_t U = Dir ? B : A, V = Dir ? A : B;
+      const RouterConfig &RU = Net.Routers[U];
+      const RouterConfig &RV = Net.Routers[V];
+      std::string Body = "x";
+      for (const BgpNeighbor &N : RU.BgpNeighbors)
+        if (N.Router == RV.Name && N.OutMap)
+          Body = FnName(U, *N.OutMap) + " (" + Body + ")";
+      Body = "step (" + Body + ")";
+      for (const BgpNeighbor &N : RV.BgpNeighbors)
+        if (N.Router == RU.Name && N.InMap)
+          Body = FnName(V, *N.InMap) + " (" + Body + ")";
+      S += "  | (" + std::to_string(U) + "n, " + std::to_string(V) + "n) -> " +
+           Body + "\n";
+    }
+  }
+  S += "  | _ -> x\n";
+
+  // init: originated prefixes.
+  S += "let init (u : node) =\n"
+       "  let base : attribute = createDict None in\n"
+       "  match u with\n";
+  for (size_t I = 0; I < Net.Routers.size(); ++I) {
+    auto Origins = Net.Routers[I].originated();
+    if (Origins.empty())
+      continue;
+    std::string Sets = "base";
+    for (const Prefix &P : Origins)
+      Sets += "[" + prefixKeyLiteral(P) +
+              " := Some {comms = {}; length = 0; lp = 100; med = 0}]";
+    S += "  | " + std::to_string(I) + "n -> " + Sets + "\n";
+  }
+  S += "  | _ -> base\n";
+
+  // merge: standard BGP ranking, pointwise over the RIB.
+  S += "let better (a : rib) (b : rib) =\n"
+       "  match a, b with\n"
+       "  | _, None -> true\n"
+       "  | None, _ -> false\n"
+       "  | Some r1, Some r2 ->\n"
+       "    if r1.lp > r2.lp then true\n"
+       "    else if r2.lp > r1.lp then false\n"
+       "    else if r1.length < r2.length then true\n"
+       "    else if r2.length < r1.length then false\n"
+       "    else if r1.med <= r2.med then true else false\n";
+  S += "let merge (u : node) (x : attribute) (y : attribute) =\n"
+       "  combine (fun (a : rib) (b : rib) -> if better a b then a else b) "
+       "x y\n";
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  R.NvSource = std::move(S);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-protocol RIB model (Sec. 4.1, Fig. 9)
+//===----------------------------------------------------------------------===//
+
+bool nv::usesRibModel(const NetworkConfig &Net) {
+  for (const RouterConfig &R : Net.Routers)
+    if (R.OspfEnabled || !R.Connected.empty() || R.BgpRedistStatic ||
+        R.BgpRedistConnected || R.BgpRedistOspf || R.OspfRedistStatic ||
+        R.OspfRedistConnected)
+      return true;
+  return false;
+}
+
+std::string nv::nvAssertReachableRib(const Prefix &P) {
+  return "let assert (u : node) (x : attribute) =\n"
+         "  match (x[" + prefixKeyLiteral(P) + "]).selected with\n"
+         "  | None -> false\n"
+         "  | Some p -> true\n";
+}
+
+namespace {
+
+const char *RibPreamble =
+    "type ipv4Prefix = (int, int6)\n"
+    "type bgpRoute = {comms : set[int]; length : int; lp : int; med : int}\n"
+    "type ospfRoute = {cost : int}\n"
+    // Fig. 9: one slot per protocol plus the selection (0 = connected,
+    // 1 = static, 2 = ospf, 3 = bgp).
+    "type ribEntry = {bgp : option[bgpRoute]; connected : option[bool]; "
+    "ospf : option[ospfRoute]; selected : option[int2]; "
+    "static : option[bool]}\n"
+    "type attribute = dict[ipv4Prefix, ribEntry]\n"
+    "let emptyEntry : ribEntry = {bgp = None; connected = None; ospf = None; "
+    "selected = None; static = None}\n"
+    "let freshBgp : option[bgpRoute] = Some {comms = {}; length = 1; "
+    "lp = 100; med = 0}\n"
+    // Administrative-distance selection: connected(0) < static(1) <
+    // {ospf (default 110), bgp (170)}. BGP uses the Juniper-style
+    // distance: with paths abstracted as lengths there is no AS-path loop
+    // detection, and preferring a learned eBGP echo over the local OSPF
+    // source that was redistributed into BGP (IOS distance 20) makes
+    // mutual redistribution count to infinity.
+    "let select (dOspf : int) (r : ribEntry) =\n"
+    "  let s =\n"
+    "    match r.connected with\n"
+    "    | Some _ -> Some 0u2\n"
+    "    | None ->\n"
+    "      (match r.static with\n"
+    "       | Some _ -> Some 1u2\n"
+    "       | None ->\n"
+    "         (match r.ospf, r.bgp with\n"
+    "          | None, None -> None\n"
+    "          | Some _, None -> Some 2u2\n"
+    "          | None, Some _ -> Some 3u2\n"
+    "          | Some _, Some _ ->\n"
+    "            if dOspf <= 170 then Some 2u2 else Some 3u2))\n"
+    "  in {r with selected = s}\n"
+    "let bgpBest (a : option[bgpRoute]) (b : option[bgpRoute]) =\n"
+    "  match a, b with\n"
+    "  | _, None -> a\n"
+    "  | None, _ -> b\n"
+    "  | Some r1, Some r2 ->\n"
+    "    if r1.lp > r2.lp then a\n"
+    "    else if r2.lp > r1.lp then b\n"
+    "    else if r1.length < r2.length then a\n"
+    "    else if r2.length < r1.length then b\n"
+    "    else if r1.med <= r2.med then a else b\n"
+    "let ospfBest (a : option[ospfRoute]) (b : option[ospfRoute]) =\n"
+    "  match a, b with\n"
+    "  | _, None -> a\n"
+    "  | None, _ -> b\n"
+    "  | Some r1, Some r2 -> if r1.cost <= r2.cost then a else b\n"
+    "let localBest (a : option[bool]) (b : option[bool]) =\n"
+    "  match a with | Some _ -> a | None -> b\n";
+
+/// The per-edge transfer body of the RIB model: what router U advertises
+/// to V, per protocol, with redistribution at U.
+std::string ribTransBody(const NetworkConfig &Net, uint32_t U, uint32_t V) {
+  const RouterConfig &RU = Net.Routers[U];
+  const RouterConfig &RV = Net.Routers[V];
+  bool BgpSession = RU.BgpEnabled && RV.BgpEnabled;
+  bool OspfAdj = RU.OspfEnabled && RV.OspfEnabled;
+  unsigned Cost = 1;
+  auto It = RU.OspfCosts.find(RV.Name);
+  if (It != RU.OspfCosts.end())
+    Cost = It->second;
+
+  // eBGP advertises the *selected* route: as a BGP route when BGP was
+  // selected, or as a freshly-originated one when the selected protocol is
+  // redistributed into BGP.
+  std::string BgpOut = "None";
+  if (BgpSession) {
+    BgpOut =
+        "(match r.selected with\n"
+        "         | None -> None\n"
+        "         | Some p ->\n"
+        "           if p = 3u2 then\n"
+        "             (match r.bgp with\n"
+        "              | None -> None\n"
+        "              | Some b -> Some {b with length = b.length + 1})\n";
+    if (RU.BgpRedistStatic)
+      BgpOut += "           else if p = 1u2 then freshBgp\n";
+    if (RU.BgpRedistConnected)
+      BgpOut += "           else if p = 0u2 then freshBgp\n";
+    if (RU.BgpRedistOspf)
+      BgpOut += "           else if p = 2u2 then freshBgp\n";
+    BgpOut += "           else None)";
+  }
+
+  // OSPF floods within the OSPF domain, adding the link cost. A router
+  // with redistribution *always* originates the external route at the
+  // configured metric (like an external LSA): injecting only when no OSPF
+  // route is present would let the route's own echo suppress the
+  // origination and ratchet the cost forever.
+  std::string OspfOut = "None";
+  if (OspfAdj) {
+    std::string Prop = "(match r.ospf with\n"
+                       "         | Some o -> Some {o with cost = o.cost + " +
+                       std::to_string(Cost) +
+                       "}\n"
+                       "         | None -> None)";
+    std::string Inject;
+    if (RU.OspfRedistStatic || RU.OspfRedistConnected) {
+      std::string Has;
+      if (RU.OspfRedistStatic)
+        Has = "(match r.static with | Some _ -> true | None -> false)";
+      if (RU.OspfRedistConnected) {
+        if (!Has.empty())
+          Has += " || ";
+        Has += "(match r.connected with | Some _ -> true | None -> false)";
+      }
+      Inject = "(if " + Has + " then Some {cost = " +
+               std::to_string(RU.OspfRedistMetric + Cost) + "} else None)";
+    }
+    OspfOut = Inject.empty()
+                  ? Prop
+                  : "ospfBest " + Prop + "\n        " + Inject;
+  }
+
+  return "map (fun (r : ribEntry) ->\n"
+         "      {emptyEntry with bgp =\n        " +
+         BgpOut + ";\n        ospf =\n        " + OspfOut + "}) x";
+}
+
+} // namespace
+
+std::optional<TranslationResult>
+nv::translateConfigsRib(const NetworkConfig &Net, DiagnosticEngine &Diags) {
+  TranslationResult R;
+  auto Links = Net.links(Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  R.Prefixes = Net.allPrefixes();
+
+  std::string S = RibPreamble;
+  S += "let nodes = " + std::to_string(Net.Routers.size()) + "\n";
+  S += "let edges = {";
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      S += ";";
+    S += std::to_string(Links[I].first) + "n=" +
+         std::to_string(Links[I].second) + "n";
+  }
+  S += "}\n";
+
+  // Per-router OSPF administrative distance (Fig. 1's `distance 70`).
+  S += "let distOf (u : node) =\n  match u with\n";
+  for (size_t I = 0; I < Net.Routers.size(); ++I)
+    S += "  | " + std::to_string(I) + "n -> " +
+         std::to_string(Net.Routers[I].OspfDistance) + "\n";
+  S += "  | _ -> 110\n";
+
+  // trans: per directed edge, per protocol (route-maps are applied in the
+  // BGP-only model; combining them with redistribution is future work and
+  // diagnosed below).
+  for (const RouterConfig &RC : Net.Routers)
+    for (const BgpNeighbor &N : RC.BgpNeighbors)
+      if (N.InMap || N.OutMap)
+        Diags.warning({}, "router " + RC.Name +
+                              ": route-maps are ignored in the "
+                              "multi-protocol RIB model");
+  S += "let trans (e : edge) (x : attribute) =\n  match e with\n";
+  for (const auto &[A, B] : Links)
+    for (int Dir = 0; Dir < 2; ++Dir) {
+      uint32_t U = Dir ? B : A, V = Dir ? A : B;
+      S += "  | (" + std::to_string(U) + "n, " + std::to_string(V) +
+           "n) ->\n    " + ribTransBody(Net, U, V) + "\n";
+    }
+  S += "  | _ -> x\n";
+
+  // init: per router, per originated prefix, fill the protocol slots.
+  S += "let init (u : node) =\n"
+       "  let base : attribute = createDict emptyEntry in\n"
+       "  match u with\n";
+  for (size_t I = 0; I < Net.Routers.size(); ++I) {
+    const RouterConfig &RC = Net.Routers[I];
+    auto Origins = RC.originated();
+    if (Origins.empty())
+      continue;
+    auto Has = [](const std::vector<Prefix> &Ps, const Prefix &P) {
+      return std::find(Ps.begin(), Ps.end(), P) != Ps.end();
+    };
+    std::string Sets = "base";
+    for (const Prefix &P : Origins) {
+      std::string Entry = "select (distOf u) {emptyEntry with ";
+      std::string Fields;
+      if (Has(RC.Connected, P))
+        Fields += "connected = Some true";
+      if (Has(RC.StaticRoutes, P)) {
+        if (!Fields.empty())
+          Fields += "; ";
+        Fields += "static = Some true";
+      }
+      if (Has(RC.OspfNetworks, P)) {
+        if (!Fields.empty())
+          Fields += "; ";
+        Fields += "ospf = Some {cost = 0}";
+      }
+      if (Has(RC.Networks, P)) {
+        if (!Fields.empty())
+          Fields += "; ";
+        Fields += "bgp = Some {comms = {}; length = 0; lp = 100; med = 0}";
+      }
+      Entry += Fields + "}";
+      Sets += "[" + prefixKeyLiteral(P) + " := " + Entry + "]";
+    }
+    S += "  | " + std::to_string(I) + "n -> " + Sets + "\n";
+  }
+  S += "  | _ -> base\n";
+
+  // merge: protocol-wise bests, then re-select by administrative distance.
+  S += "let merge (u : node) (x : attribute) (y : attribute) =\n"
+       "  combine (fun (a : ribEntry) (b : ribEntry) ->\n"
+       "    select (distOf u)\n"
+       "      {bgp = bgpBest a.bgp b.bgp;\n"
+       "       connected = localBest a.connected b.connected;\n"
+       "       ospf = ospfBest a.ospf b.ospf;\n"
+       "       selected = None;\n"
+       "       static = localBest a.static b.static}) x y\n";
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  R.NvSource = std::move(S);
+  return R;
+}

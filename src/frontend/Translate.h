@@ -1,0 +1,64 @@
+//===- Translate.h - Configuration-to-NV translation ------------*- C++ -*-===//
+//
+// Part of nv-cpp. Sec. 4's translation: router configurations become an NV
+// program whose attribute is the RIB of Fig. 9 — a dict from ipv4Prefix to
+// an optional BGP route — with route-maps compiled through the DAG IR into
+// mapIte chains (prefix conditions as key predicates, Fig. 10d) and
+// community logic as if-chains over values.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FRONTEND_TRANSLATE_H
+#define NV_FRONTEND_TRANSLATE_H
+
+#include "frontend/Config.h"
+#include "frontend/RouteMapDag.h"
+
+#include <optional>
+#include <string>
+
+namespace nv {
+
+struct TranslationResult {
+  std::string NvSource;          ///< Complete NV program (no assert).
+  std::vector<Prefix> Prefixes;  ///< All originated prefixes, sorted.
+};
+
+/// Translates a parsed configuration into NV. Null (with diagnostics) when
+/// a route-map references an undefined list or a neighbor is asymmetric.
+/// Dispatches to the Fig. 9 RIB model when usesRibModel(Net) holds.
+std::optional<TranslationResult> translateConfigs(const NetworkConfig &Net,
+                                                  DiagnosticEngine &Diags);
+
+/// The multi-protocol translation (BGP + OSPF + static + connected with
+/// redistribution and administrative-distance selection).
+std::optional<TranslationResult>
+translateConfigsRib(const NetworkConfig &Net, DiagnosticEngine &Diags);
+
+/// An `assert` declaration checking that every router's RIB holds a route
+/// to \p P (control-plane reachability for one destination).
+std::string nvAssertReachable(const Prefix &P);
+
+/// The multi-protocol variant: the RIB entry for \p P has selected some
+/// protocol's route (Fig. 9's `selected` field).
+std::string nvAssertReachableRib(const Prefix &P);
+
+/// True when the configuration uses OSPF or redistribution anywhere, in
+/// which case translateConfigs emits the full Fig. 9 RIB model (per-prefix
+/// records with ospf/bgp/static/connected slots and administrative-
+/// distance selection) instead of the BGP-only model.
+bool usesRibModel(const NetworkConfig &Net);
+
+/// Renders one route-map as a standalone NV function of type
+/// attribute -> attribute named \p FnName (exposed for tests and for the
+/// Fig. 10 worked example).
+std::string emitRouteMapFunction(const std::string &FnName,
+                                 const RouterConfig &Router,
+                                 const RouteMap &RM, DiagnosticEngine &Diags);
+
+/// NV literal of a prefix key: "(addr, lenu6)".
+std::string prefixKeyLiteral(const Prefix &P);
+
+} // namespace nv
+
+#endif // NV_FRONTEND_TRANSLATE_H

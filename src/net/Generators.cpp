@@ -1,0 +1,248 @@
+//===- Generators.cpp - NV benchmark program generators ----------------------===//
+
+#include "net/Generators.h"
+
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+
+using namespace nv;
+
+namespace {
+
+/// `let layerOf (u : node) = match u with | ... ` over a fat tree.
+std::string layerFn(const FatTree &FT) {
+  std::string S = "let layerOf (u : node) =\n  match u with\n";
+  for (uint32_t U = 0; U < FT.numNodes(); ++U)
+    S += "  | " + std::to_string(U) + "n -> " +
+         std::to_string(static_cast<int>(FT.layerOf(U))) + "\n";
+  // The match is total over declared nodes; the wildcard keeps the
+  // type checker's exhaustiveness trivially satisfied.
+  S += "  | _ -> 0\n";
+  return S;
+}
+
+std::string bgpInit(uint32_t Dest) {
+  std::string D = std::to_string(Dest) + "n";
+  return "let init (u : node) =\n"
+         "  match u with\n"
+         "  | " + D + " -> Some {length = 0; lp = 100; med = 80; "
+         "comms = {}; origin = " + D + "}\n"
+         "  | _ -> None\n";
+}
+
+/// Fig. 12's property: "every node has a route to the prefix announced by
+/// the destination" — reachability, with no constraint on the route.
+std::string bgpAssertAll(uint32_t) {
+  return "let assert (u : node) (x : attribute) =\n"
+         "  match x with\n"
+         "  | None -> false\n"
+         "  | Some b -> true\n";
+}
+
+/// Under the valley-free policy only top-of-rack reachability is
+/// guaranteed across failures (aggregation/core switches in the
+/// destination plane legitimately lose the route): assert at ToRs only.
+std::string bgpAssertTors(uint32_t) {
+  return "let assert (u : node) (x : attribute) =\n"
+         "  if layerOf u = 0 then\n"
+         "    (match x with\n"
+         "     | None -> false\n"
+         "     | Some b -> true)\n"
+         "  else true\n";
+}
+
+std::string bgpInitAssert(uint32_t Dest) {
+  return bgpInit(Dest) + bgpAssertAll(Dest);
+}
+
+} // namespace
+
+std::string nv::generateSpSingle(unsigned K, unsigned DestLeaf) {
+  FatTree FT(K);
+  uint32_t Dest = FT.leaves()[DestLeaf % FT.leaves().size()];
+  std::string S = "include bgp\n" + FT.topology().toNvDecls();
+  S += "let trans e x = transBgp e x\n";
+  S += "let merge u x y = mergeBgp u x y\n";
+  S += bgpInitAssert(Dest);
+  return S;
+}
+
+std::string nv::generateFatSingle(unsigned K, unsigned DestLeaf,
+                                  bool AssertTorsOnly) {
+  FatTree FT(K);
+  uint32_t Dest = FT.leaves()[DestLeaf % FT.leaves().size()];
+  std::string S = "include bgp\n" + FT.topology().toNvDecls();
+  S += layerFn(FT);
+  // Valley-free policy: tag on the way down, filter tagged routes going
+  // back up (community 1 plays the "went down" role).
+  S += "let trans (e : edge) (x : attribute) =\n"
+       "  let (u, v) = e in\n"
+       "  let lu = layerOf u in\n"
+       "  let lv = layerOf v in\n"
+       "  match transBgp e x with\n"
+       "  | None -> None\n"
+       "  | Some b ->\n"
+       "    if lv < lu then Some {b with comms = b.comms[1 := true]}\n"
+       "    else if b.comms[1] then None\n"
+       "    else Some b\n";
+  S += "let merge u x y = mergeBgp u x y\n";
+  S += bgpInit(Dest) +
+       (AssertTorsOnly ? bgpAssertTors(Dest) : bgpAssertAll(Dest));
+  return S;
+}
+
+namespace {
+
+/// init/assert parameterized by a symbolic destination node.
+const char *ParamInit =
+    "symbolic dest : node\n"
+    "let init (u : node) =\n"
+    "  if u = dest then Some {length = 0; lp = 100; med = 80; comms = {}; "
+    "origin = dest}\n"
+    "  else None\n";
+const char *ParamAssertAll =
+    "let assert (u : node) (x : attribute) =\n"
+    "  match x with\n"
+    "  | None -> false\n"
+    "  | Some b -> b.origin = dest\n";
+const char *ParamAssertTors =
+    "let assert (u : node) (x : attribute) =\n"
+    "  if layerOf u = 0 then\n"
+    "    (match x with\n"
+    "     | None -> false\n"
+    "     | Some b -> b.origin = dest)\n"
+    "  else true\n";
+
+} // namespace
+
+std::string nv::generateSpSingleParam(unsigned K) {
+  FatTree FT(K);
+  std::string S = "include bgp\n" + FT.topology().toNvDecls();
+  S += "let trans e x = transBgp e x\n";
+  S += "let merge u x y = mergeBgp u x y\n";
+  S += ParamInit;
+  S += ParamAssertAll;
+  return S;
+}
+
+std::string nv::generateFatSingleParam(unsigned K) {
+  FatTree FT(K);
+  std::string S = "include bgp\n" + FT.topology().toNvDecls();
+  S += layerFn(FT);
+  S += "let trans (e : edge) (x : attribute) =\n"
+       "  let (u, v) = e in\n"
+       "  let lu = layerOf u in\n"
+       "  let lv = layerOf v in\n"
+       "  match transBgp e x with\n"
+       "  | None -> None\n"
+       "  | Some b ->\n"
+       "    if lv < lu then Some {b with comms = b.comms[1 := true]}\n"
+       "    else if b.comms[1] then None\n"
+       "    else Some b\n";
+  S += "let merge u x y = mergeBgp u x y\n";
+  S += ParamInit;
+  S += ParamAssertTors;
+  return S;
+}
+
+std::string nv::generateSpAllPrefixes(unsigned K) {
+  FatTree FT(K);
+  std::string S = FT.topology().toNvDecls();
+  S += "type attribute = dict[int16, option[int16]]\n";
+  S += "let init (u : node) =\n"
+       "  let base : attribute = createDict None in\n"
+       "  match u with\n";
+  auto Leaves = FT.leaves();
+  for (size_t I = 0; I < Leaves.size(); ++I)
+    S += "  | " + std::to_string(Leaves[I]) + "n -> base[" +
+         std::to_string(I) + "u16 := Some 0u16]\n";
+  S += "  | _ -> base\n";
+  S += "let trans (e : edge) (x : attribute) =\n"
+       "  map (fun w -> match w with | None -> None "
+       "| Some d -> Some (d + 1u16)) x\n";
+  S += "let merge (u : node) (x : attribute) (y : attribute) =\n"
+       "  combine (fun a b ->\n"
+       "    match a, b with\n"
+       "    | _, None -> a\n"
+       "    | None, _ -> b\n"
+       "    | Some d1, Some d2 -> if d1 <= d2 then a else b) x y\n";
+  return S;
+}
+
+std::string nv::generateFatAllPrefixes(unsigned K) {
+  FatTree FT(K);
+  std::string S = FT.topology().toNvDecls();
+  S += "type rt = {len : int16; dn : bool}\n";
+  S += "type attribute = dict[int16, option[rt]]\n";
+  S += layerFn(FT);
+  S += "let init (u : node) =\n"
+       "  let base : attribute = createDict None in\n"
+       "  match u with\n";
+  auto Leaves = FT.leaves();
+  for (size_t I = 0; I < Leaves.size(); ++I)
+    S += "  | " + std::to_string(Leaves[I]) + "n -> base[" +
+         std::to_string(I) + "u16 := Some {len = 0u16; dn = false}]\n";
+  S += "  | _ -> base\n";
+  S += "let trans (e : edge) (x : attribute) =\n"
+       "  let (u, v) = e in\n"
+       "  let down = layerOf v < layerOf u in\n"
+       "  map (fun (w : option[rt]) ->\n"
+       "    match w with\n"
+       "    | None -> None\n"
+       "    | Some r ->\n"
+       "      if down then Some {len = r.len + 1u16; dn = true}\n"
+       "      else if r.dn then None\n"
+       "      else Some {len = r.len + 1u16; dn = false}) x\n";
+  S += "let merge (u : node) (x : attribute) (y : attribute) =\n"
+       "  combine (fun (a : option[rt]) (b : option[rt]) ->\n"
+       "    match a, b with\n"
+       "    | _, None -> a\n"
+       "    | None, _ -> b\n"
+       "    | Some r1, Some r2 -> if r1.len <= r2.len then a else b) x y\n";
+  return S;
+}
+
+std::string nv::generateUsCarrier(uint32_t Seed) {
+  Topology T = usCarrierTopology(Seed);
+  std::string S = "include bgp\n" + T.toNvDecls();
+
+  // Seeded per-node multi-exit discriminators (consistent tie-breaking
+  // keeps the policy convergent) and a set of tagging hubs.
+  uint64_t State = Seed ^ 0x9E3779B97F4A7C15ull;
+  auto NextRand = [&]() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(State >> 33);
+  };
+  S += "let medOf (u : node) =\n  match u with\n";
+  for (uint32_t U = 0; U < T.NumNodes; ++U)
+    S += "  | " + std::to_string(U) + "n -> " +
+         std::to_string(10 + NextRand() % 90) + "\n";
+  S += "  | _ -> 0\n";
+  S += "let isHub (u : node) =\n  match u with\n";
+  for (uint32_t U = 0; U < T.NumNodes; ++U)
+    if (NextRand() % 10 == 0)
+      S += "  | " + std::to_string(U) + "n -> true\n";
+  S += "  | _ -> false\n";
+
+  S += "let trans (e : edge) (x : attribute) =\n"
+       "  let (u, v) = e in\n"
+       "  match transBgp e x with\n"
+       "  | None -> None\n"
+       "  | Some b ->\n"
+       "    let tagged = if isHub u then {b with comms = b.comms[7 := true]}"
+       " else b in\n"
+       "    Some {tagged with med = medOf v}\n";
+  S += "let merge u x y = mergeBgp u x y\n";
+  S += bgpInitAssert(0);
+  return S;
+}
+
+std::optional<Program> nv::loadGenerated(const std::string &Source,
+                                         DiagnosticEngine &Diags) {
+  auto P = parseProgram(Source, Diags);
+  if (!P)
+    return std::nullopt;
+  if (!typeCheck(*P, Diags))
+    return std::nullopt;
+  return P;
+}

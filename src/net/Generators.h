@@ -1,0 +1,63 @@
+//===- Generators.h - NV benchmark program generators -----------*- C++ -*-===//
+//
+// Part of nv-cpp. Emits the NV programs of the evaluation (Sec. 6.1):
+// FatTrees running plain shortest-path eBGP (SP(k)), the valley-free
+// tag-and-filter policy (FAT(k)), their all-prefixes variants, and the
+// USCarrier-style WAN with a NetComplete-flavoured policy. Programs are
+// generated as NV source text and parsed, exercising the full front half
+// of the pipeline on benchmark-scale inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NET_GENERATORS_H
+#define NV_NET_GENERATORS_H
+
+#include "core/Ast.h"
+#include "net/Topology.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace nv {
+
+/// SP(k): single destination prefix announced by ToR \p Dest (index into
+/// FatTree::leaves()), pure shortest-path BGP, all-nodes-reachable assert.
+std::string generateSpSingle(unsigned K, unsigned DestLeaf = 0);
+
+/// FAT(k): SP(k) plus the valley-free policy — routes propagated downward
+/// are tagged with community 1; tagged routes are dropped when sent back
+/// up (Sec. 6.1's "disallow valley routing"). With \p AssertTorsOnly the
+/// assert covers only top-of-rack switches — the property that is
+/// fault-tolerant under this policy (aggregation switches in the
+/// destination plane legitimately lose routes when links fail).
+std::string generateFatSingle(unsigned K, unsigned DestLeaf = 0,
+                              bool AssertTorsOnly = true);
+
+/// SP(k)/FAT(k) with a `symbolic dest : node` destination instead of a
+/// baked-in one: parse/compile once, then instantiate dest per prefix
+/// (the single-prefix mode of Fig. 13c, and the per-prefix baseline).
+std::string generateSpSingleParam(unsigned K);
+std::string generateFatSingleParam(unsigned K);
+
+/// All-prefixes SP(k): the attribute is a dict from prefix (int16) to an
+/// optional hop count; every ToR announces its own prefix (Fig. 14's
+/// workload). No assert (the figure measures simulation).
+std::string generateSpAllPrefixes(unsigned K);
+
+/// All-prefixes FAT(k): per-prefix routes carry a went-down flag; the
+/// valley-free filter applies pointwise via map (Fig. 13c's workload).
+std::string generateFatAllPrefixes(unsigned K);
+
+/// USCarrier-style WAN, single prefix at node 0: BGP with seeded per-node
+/// med tie-breaking and community tagging at hub nodes (a NetComplete-
+/// flavoured policy that stays convergent).
+std::string generateUsCarrier(uint32_t Seed = 2020);
+
+/// Parses + type-checks generated source; null on failure (internal bug).
+std::optional<Program> loadGenerated(const std::string &Source,
+                                     DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_NET_GENERATORS_H

@@ -1,0 +1,97 @@
+//===- Topology.cpp - Benchmark topologies -----------------------------------===//
+
+#include "net/Topology.h"
+
+#include "support/Fatal.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace nv;
+
+std::string Topology::toNvDecls() const {
+  std::string S = "let nodes = " + std::to_string(NumNodes) + "\n";
+  S += "let edges = {";
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      S += ";";
+    S += std::to_string(Links[I].first) + "n=" +
+         std::to_string(Links[I].second) + "n";
+  }
+  S += "}\n";
+  return S;
+}
+
+FatTree::FatTree(unsigned K) : K(K) {
+  if (K < 2 || K % 2 != 0)
+    fatalError("fat-tree parameter k must be even and >= 2");
+}
+
+Topology FatTree::topology() const {
+  Topology T;
+  T.NumNodes = numNodes();
+  unsigned Half = K / 2;
+  for (unsigned P = 0; P < K; ++P) {
+    for (unsigned I = 0; I < Half; ++I)
+      for (unsigned J = 0; J < Half; ++J)
+        T.Links.emplace_back(P * K + I, P * K + Half + J);
+    for (unsigned J = 0; J < Half; ++J)
+      for (unsigned C = 0; C < Half; ++C)
+        T.Links.emplace_back(P * K + Half + J, K * K + J * Half + C);
+  }
+  return T;
+}
+
+FatTree::Layer FatTree::layerOf(uint32_t U) const {
+  if (U >= K * K)
+    return Layer::Core;
+  return (U % K) < K / 2 ? Layer::Tor : Layer::Agg;
+}
+
+std::vector<uint32_t> FatTree::leaves() const {
+  std::vector<uint32_t> Out;
+  for (unsigned P = 0; P < K; ++P)
+    for (unsigned I = 0; I < K / 2; ++I)
+      Out.push_back(P * K + I);
+  return Out;
+}
+
+Topology nv::usCarrierTopology(uint32_t Seed) {
+  const uint32_t N = 174;
+  const size_t TargetLinks = 410;
+  Topology T;
+  T.NumNodes = N;
+
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  auto AddLink = [&](uint32_t A, uint32_t B) {
+    if (A == B)
+      return false;
+    if (A > B)
+      std::swap(A, B);
+    if (!Seen.insert({A, B}).second)
+      return false;
+    T.Links.emplace_back(A, B);
+    return true;
+  };
+
+  // Backbone ring.
+  for (uint32_t I = 0; I < N; ++I)
+    AddLink(I, (I + 1) % N);
+
+  // Seeded chords with skewed (mostly short) span: sparse local meshes
+  // with occasional long-haul links, like a geographic carrier network.
+  uint64_t State = Seed;
+  auto NextRand = [&]() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(State >> 33);
+  };
+  while (T.Links.size() < TargetLinks) {
+    uint32_t A = NextRand() % N;
+    uint32_t R = NextRand() % 100;
+    uint32_t Span = R < 70 ? 2 + NextRand() % 6
+                  : R < 95 ? 8 + NextRand() % 16
+                           : 30 + NextRand() % 60;
+    AddLink(A, (A + Span) % N);
+  }
+  return T;
+}

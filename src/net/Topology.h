@@ -1,0 +1,68 @@
+//===- Topology.h - Benchmark topologies ------------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The topologies of Sec. 6.1: k-ary FatTrees (SP(k)/FAT(k) have 5k²/4
+/// nodes and k³/2 undirected links) and a synthetic stand-in for Topology
+/// Zoo's USCarrier (174 nodes, 410 links, asymmetric ring-and-chord
+/// structure; the real data set is not redistributable, see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_NET_TOPOLOGY_H
+#define NV_NET_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nv {
+
+struct Topology {
+  uint32_t NumNodes = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> Links;
+
+  /// NV `let nodes / let edges` declarations for this topology.
+  std::string toNvDecls() const;
+};
+
+/// Node numbering inside fatTreeTopology(K):
+///   pod p in [0,K): ToR i   -> p*K + i          (i < K/2)
+///                   agg j   -> p*K + K/2 + j    (j < K/2)
+///   core (j,c)              -> K*K + j*(K/2)+c  (j,c < K/2)
+/// Aggregation switch j of every pod connects to cores (j, *).
+class FatTree {
+public:
+  explicit FatTree(unsigned K);
+
+  unsigned k() const { return K; }
+  uint32_t numNodes() const { return 5 * K * K / 4; }
+
+  Topology topology() const;
+
+  enum class Layer { Tor = 0, Agg = 1, Core = 2 };
+  Layer layerOf(uint32_t U) const;
+
+  /// All top-of-rack switches (the prefix-announcing leaves).
+  std::vector<uint32_t> leaves() const;
+
+  /// Pod of a non-core node.
+  uint32_t podOf(uint32_t U) const { return U / K; }
+
+private:
+  unsigned K;
+};
+
+/// Deterministic synthetic WAN with USCarrier's published shape: 174
+/// nodes, 410 links, a backbone ring plus seeded chords of skewed span
+/// (low symmetry, little redundancy).
+Topology usCarrierTopology(uint32_t Seed = 2020);
+
+} // namespace nv
+
+#endif // NV_NET_TOPOLOGY_H

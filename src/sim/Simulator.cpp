@@ -1,0 +1,111 @@
+//===- Simulator.cpp - Algorithm 1 control-plane simulator ------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/Fatal.h"
+
+#include <deque>
+#include <map>
+
+using namespace nv;
+
+SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
+                       const SimOptions &Opts) {
+  uint32_t N = P.numNodes();
+  if (N == 0)
+    fatalError("cannot simulate a program without a topology");
+
+  // Out-neighbors per node over directed edges.
+  std::vector<std::vector<uint32_t>> Neighbors(N);
+  for (const auto &[U, V] : P.directedEdges())
+    Neighbors[U].push_back(V);
+
+  SimResult R;
+  R.Labels.assign(N, nullptr);
+
+  // received(v): routes most recently heard from each in-neighbor, plus
+  // the node's own initial route stored under its own id (Algorithm 1,
+  // line 8) so a full re-merge is just a fold over this table.
+  std::vector<std::map<uint32_t, const Value *>> Received(N);
+
+  std::deque<uint32_t> Queue;
+  std::vector<bool> InQueue(N, false);
+
+  auto Push = [&](uint32_t U) {
+    if (!InQueue[U]) {
+      InQueue[U] = true;
+      Queue.push_back(U);
+    }
+  };
+  auto Update = [&](uint32_t V, const Value *Route) {
+    if (Route != R.Labels[V]) {
+      R.Labels[V] = Route;
+      Push(V);
+    }
+  };
+
+  for (uint32_t U = 0; U < N; ++U) {
+    R.Labels[U] = Eval.init(U);
+    Received[U][U] = R.Labels[U];
+    Push(U);
+  }
+
+  while (!Queue.empty()) {
+    if (++R.Stats.Pops > Opts.MaxSteps)
+      return R; // Converged stays false.
+    uint32_t U = Queue.front();
+    Queue.pop_front();
+    InQueue[U] = false;
+
+    // Propagate u's current route to all of its neighbors.
+    for (uint32_t V : Neighbors[U]) {
+      const Value *New = Eval.trans(U, V, R.Labels[U]);
+      ++R.Stats.TransCalls;
+
+      auto It = Received[V].find(U);
+      if (It != Received[V].end()) {
+        const Value *Old = It->second;
+        It->second = New;
+        if (Old == New)
+          continue; // Nothing changed on this edge.
+        ++R.Stats.MergeCalls;
+        if (Opts.IncrementalMerge && Eval.merge(V, Old, New) == New) {
+          // Incremental update: the new route dominates the stale one, so
+          // merging it into the current label is enough (lines 15-17).
+          ++R.Stats.MergeCalls;
+          Update(V, Eval.merge(V, R.Labels[V], New));
+        } else {
+          // Full update: re-merge everything received (line 18). The
+          // node's init is in the table under its own id.
+          ++R.Stats.FullMerges;
+          const Value *Acc = nullptr;
+          for (const auto &[From, Route] : Received[V]) {
+            if (!Acc) {
+              Acc = Route;
+              continue;
+            }
+            ++R.Stats.MergeCalls;
+            Acc = Eval.merge(V, Acc, Route);
+          }
+          Update(V, Acc);
+        }
+      } else {
+        Received[V][U] = New;
+        ++R.Stats.MergeCalls;
+        Update(V, Eval.merge(V, R.Labels[V], New));
+      }
+    }
+  }
+
+  R.Converged = true;
+  return R;
+}
+
+std::vector<uint32_t> nv::checkAsserts(ProtocolEvaluator &Eval,
+                                       const SimResult &R) {
+  std::vector<uint32_t> Failed;
+  for (uint32_t U = 0; U < R.Labels.size(); ++U)
+    if (!Eval.assertAt(U, R.Labels[U]))
+      Failed.push_back(U);
+  return Failed;
+}

@@ -1,0 +1,66 @@
+//===- Simulator.h - Algorithm 1 control-plane simulator --------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist simulator of Algorithm 1 (Sec. 5.1). It computes a stable
+/// state L of the network: for every node u, L(u) equals the merge of
+/// init(u) with the transfer of every neighbor's label. The simulator is
+/// protocol-agnostic — it executes whatever init/trans/merge a NV program
+/// defines, through the ProtocolEvaluator interface (interpreted or
+/// closure-compiled), over plain values or MTBDD-backed map attributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SIM_SIMULATOR_H
+#define NV_SIM_SIMULATOR_H
+
+#include "core/Ast.h"
+#include "eval/ProgramEvaluator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace nv {
+
+struct SimOptions {
+  /// Apply the ShapeShifter incremental-merge trick (Algorithm 1, lines
+  /// 15-17): when merge(old, new) == new, merge new into the current label
+  /// instead of re-merging everything received. Disable for the ablation
+  /// bench.
+  bool IncrementalMerge = true;
+
+  /// Abort if the queue pops exceed this bound (the stable-routing fixpoint
+  /// is not guaranteed to terminate for non-monotone policies; see the
+  /// paper's footnote 2).
+  uint64_t MaxSteps = 100'000'000;
+};
+
+struct SimStats {
+  uint64_t Pops = 0;       ///< Nodes processed off the worklist.
+  uint64_t TransCalls = 0; ///< Transfer-function evaluations.
+  uint64_t MergeCalls = 0; ///< Merge-function evaluations.
+  uint64_t FullMerges = 0; ///< Line-18 full re-merges.
+};
+
+struct SimResult {
+  bool Converged = false;
+  std::vector<const Value *> Labels; ///< L(u) per node.
+  SimStats Stats;
+};
+
+/// Runs Algorithm 1 on \p P with semantics \p Eval.
+SimResult simulate(const Program &P, ProtocolEvaluator &Eval,
+                   const SimOptions &Opts = {});
+
+/// Evaluates the program's assert declaration on a converged state;
+/// returns the nodes whose assertion failed (empty = property holds).
+std::vector<uint32_t> checkAsserts(ProtocolEvaluator &Eval,
+                                   const SimResult &R);
+
+} // namespace nv
+
+#endif // NV_SIM_SIMULATOR_H

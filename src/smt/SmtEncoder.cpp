@@ -1,0 +1,403 @@
+//===- SmtEncoder.cpp - NV-to-SMT encoding -----------------------------------===//
+
+#include "smt/SmtEncoder.h"
+
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "eval/Interp.h"
+#include "support/Fatal.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nv;
+
+//===----------------------------------------------------------------------===//
+// UnrollInfo
+//===----------------------------------------------------------------------===//
+
+int UnrollInfo::constIndex(const Value *K) const {
+  for (size_t I = 0; I < ConstKeys.size(); ++I)
+    if (ConstKeys[I] == K)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int UnrollInfo::symIndex(const std::string &Name) const {
+  for (size_t I = 0; I < SymKeys.size(); ++I)
+    if (SymKeys[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// SmtEncoder basics
+//===----------------------------------------------------------------------===//
+
+SmtEncoder::SmtEncoder(z3::context &Z, z3::solver &Solver, NvContext &Ctx,
+                       const Program &P, const SmtOptions &Opts,
+                       DiagnosticEngine &Diags)
+    : Z(Z), Solver(Solver), Ctx(Ctx), P(P), Opts(Opts), Diags(Diags) {}
+
+void SmtEncoder::scalarTypes(const TypePtr &RawTy, std::vector<TypePtr> &Out) {
+  TypePtr Ty = resolve(RawTy);
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+  case TypeKind::Int:
+  case TypeKind::Node:
+    Out.push_back(Ty);
+    return;
+  case TypeKind::Edge:
+    Out.push_back(Type::nodeTy());
+    Out.push_back(Type::nodeTy());
+    return;
+  case TypeKind::Option:
+    Out.push_back(Type::boolTy());
+    scalarTypes(Ty->Elems[0], Out);
+    return;
+  case TypeKind::Tuple:
+  case TypeKind::Record:
+    for (const TypePtr &E : Ty->Elems)
+      scalarTypes(E, Out);
+    return;
+  case TypeKind::Dict: {
+    const UnrollInfo &U = unrollFor(Ty->Elems[0]);
+    for (size_t I = 0; I < U.slots(); ++I)
+      scalarTypes(Ty->Elems[1], Out);
+    return;
+  }
+  case TypeKind::Arrow:
+  case TypeKind::Var:
+    break;
+  }
+  fatalError("type " + typeToString(Ty) + " has no SMT shape");
+}
+
+unsigned SmtEncoder::shapeWidth(const TypePtr &Ty) {
+  std::vector<TypePtr> Ts;
+  scalarTypes(Ty, Ts);
+  return static_cast<unsigned>(Ts.size());
+}
+
+z3::expr SmtEncoder::leafExpr(const SmtLeaf &L, const TypePtr &RawTy) {
+  if (L.E)
+    return *L.E;
+  TypePtr Ty = resolve(RawTy);
+  assert(L.C && "leaf has neither term nor constant");
+  bool Lia = Opts.Ints == SmtOptions::IntMode::LIA;
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+    return Z.bool_val(L.C->B);
+  case TypeKind::Int:
+    return Lia ? Z.int_val(static_cast<uint64_t>(L.C->I))
+               : Z.bv_val(static_cast<uint64_t>(L.C->I), Ty->Width);
+  case TypeKind::Node:
+    return Lia ? Z.int_val(static_cast<uint64_t>(L.C->N))
+               : Z.bv_val(static_cast<uint64_t>(L.C->N), 32);
+  default:
+    break;
+  }
+  fatalError("non-scalar leaf type " + typeToString(Ty));
+}
+
+SmtLeaf SmtEncoder::maybeName(SmtLeaf L, const TypePtr &ScalarTy) {
+  if (!Opts.NameIntermediates)
+    return L;
+  z3::expr E = leafExpr(L, ScalarTy);
+  std::string Name = "__t" + std::to_string(FreshCounter++);
+  z3::expr C = Z.constant(Name.c_str(), E.get_sort());
+  Solver.add(C == E);
+  ++NamedCount;
+  SmtLeaf Out;
+  Out.E = C;
+  return Out;
+}
+
+SmtVal SmtEncoder::freshConsts(const std::string &Prefix, const TypePtr &Ty) {
+  std::vector<TypePtr> Ts;
+  scalarTypes(Ty, Ts);
+  SmtVal V;
+  V.Ty = resolve(Ty);
+  bool Lia = Opts.Ints == SmtOptions::IntMode::LIA;
+  for (size_t I = 0; I < Ts.size(); ++I) {
+    TypePtr S = resolve(Ts[I]);
+    std::string Name = Prefix + "_" + std::to_string(I);
+    SmtLeaf L;
+    if (S->Kind == TypeKind::Bool) {
+      L.E = Z.constant(Name.c_str(), Z.bool_sort());
+    } else if (Lia) {
+      // LIA: unbounded integer constants with finiteness bounds (ints to
+      // their width range, nodes to the topology size).
+      z3::expr C = Z.constant(Name.c_str(), Z.int_sort());
+      L.E = C;
+      if (S->Kind == TypeKind::Node) {
+        Solver.add(0 <= C && C < Z.int_val(uint64_t(Ctx.Layout.numNodes())));
+      } else if (S->Width >= 63) {
+        Solver.add(0 <= C);
+      } else {
+        Solver.add(0 <= C &&
+                   C < Z.int_val(uint64_t(1) << S->Width));
+      }
+    } else {
+      L.E = Z.constant(Name.c_str(),
+                       S->Kind == TypeKind::Int ? Z.bv_sort(S->Width)
+                                                : Z.bv_sort(32));
+    }
+    V.Leaves.push_back(L);
+  }
+  return V;
+}
+
+SmtVal SmtEncoder::lift(const Value *V, const TypePtr &RawTy) {
+  TypePtr Ty = resolve(RawTy);
+  SmtVal Out;
+  Out.Ty = Ty;
+
+  std::function<void(const Value *, const TypePtr &)> Rec =
+      [&](const Value *W, const TypePtr &RawT) {
+        TypePtr T = resolve(RawT);
+        auto Push = [&](const Value *C, const TypePtr &ScalarTy) {
+          SmtLeaf L;
+          L.C = C;
+          if (!Opts.ConstantFold)
+            L.E = leafExpr(L, ScalarTy); // baseline: no concrete leaves
+          Out.Leaves.push_back(L);
+        };
+        switch (T->Kind) {
+        case TypeKind::Bool:
+        case TypeKind::Int:
+        case TypeKind::Node:
+          Push(W, T);
+          return;
+        case TypeKind::Edge:
+          Push(Ctx.nodeV(W->N), Type::nodeTy());
+          Push(Ctx.nodeV(W->N2), Type::nodeTy());
+          return;
+        case TypeKind::Option: {
+          Push(Ctx.boolV(W->Inner != nullptr), Type::boolTy());
+          if (W->Inner)
+            Rec(W->Inner, T->Elems[0]);
+          else
+            Rec(Ctx.defaultValue(T->Elems[0]), T->Elems[0]);
+          return;
+        }
+        case TypeKind::Tuple:
+        case TypeKind::Record:
+          for (size_t I = 0; I < T->Elems.size(); ++I)
+            Rec(W->Elems[I], T->Elems[I]);
+          return;
+        case TypeKind::Dict: {
+          // A concrete map value: read each unrolled key out of the MTBDD.
+          const UnrollInfo &U = unrollFor(T->Elems[0]);
+          for (const Value *K : U.ConstKeys)
+            Rec(Ctx.mapGet(W, K), T->Elems[1]);
+          // Symbolic-key slots alias some constant or each other; seed them
+          // with the map's default (any get through a symbolic key resolves
+          // via the if-chain against constant slots first).
+          for (size_t I = 0; I < U.SymKeys.size(); ++I)
+            Rec(Ctx.mapGet(W, U.ConstKeys.empty()
+                                  ? Ctx.defaultValue(T->Elems[0])
+                                  : U.ConstKeys[0]),
+                T->Elems[1]);
+          return;
+        }
+        case TypeKind::Arrow:
+        case TypeKind::Var:
+          break;
+        }
+        fatalError("cannot lift value of type " + typeToString(T));
+      };
+  Rec(V, Ty);
+  return Out;
+}
+
+const SmtVal *SmtEncoder::global(const std::string &Name) const {
+  for (auto It = Globals.rbegin(); It != Globals.rend(); ++It)
+    if (It->first == Name)
+      return &It->second;
+  return nullptr;
+}
+
+z3::expr SmtEncoder::valEquals(const SmtVal &A, const SmtVal &B) {
+  assert(A.Leaves.size() == B.Leaves.size() && "shape mismatch in equality");
+  std::vector<TypePtr> Ts;
+  scalarTypes(A.Ty, Ts);
+  z3::expr Acc = Z.bool_val(true);
+  for (size_t I = 0; I < A.Leaves.size(); ++I) {
+    const SmtLeaf &LA = A.Leaves[I], &LB = B.Leaves[I];
+    if (LA.isConcrete() && LB.isConcrete()) {
+      if (LA.C != LB.C)
+        return Z.bool_val(false);
+      continue;
+    }
+    Acc = Acc && (leafExpr(LA, Ts[I]) == leafExpr(LB, Ts[I]));
+  }
+  return Acc.simplify();
+}
+
+void SmtEncoder::addEquality(const SmtVal &A, const SmtVal &B) {
+  std::vector<TypePtr> Ts;
+  scalarTypes(A.Ty, Ts);
+  assert(A.Leaves.size() == B.Leaves.size() && "shape mismatch");
+  for (size_t I = 0; I < A.Leaves.size(); ++I) {
+    const SmtLeaf &LA = A.Leaves[I], &LB = B.Leaves[I];
+    if (LA.isConcrete() && LB.isConcrete()) {
+      if (LA.C != LB.C)
+        Solver.add(Z.bool_val(false));
+      continue;
+    }
+    Solver.add(leafExpr(LA, Ts[I]) == leafExpr(LB, Ts[I]));
+  }
+}
+
+z3::expr SmtEncoder::boolExpr(const SmtVal &V) {
+  assert(V.Leaves.size() == 1 && "boolean values have one leaf");
+  return leafExpr(V.Leaves[0], Type::boolTy());
+}
+
+const Value *SmtEncoder::decodeFromModel(const z3::model &M, const SmtVal &V) {
+  size_t Pos = 0;
+  std::function<const Value *(const TypePtr &)> Rec =
+      [&](const TypePtr &RawT) -> const Value * {
+    TypePtr T = resolve(RawT);
+    auto Scalar = [&](const TypePtr &ScalarTy) -> const Value * {
+      const SmtLeaf &L = V.Leaves[Pos++];
+      if (L.isConcrete())
+        return L.C;
+      z3::expr E = M.eval(*L.E, true);
+      TypePtr S = resolve(ScalarTy);
+      if (S->Kind == TypeKind::Bool)
+        return Ctx.boolV(E.is_true());
+      uint64_t Num = E.get_numeral_uint64();
+      if (S->Kind == TypeKind::Int)
+        return Ctx.intV(Num, S->Width);
+      return Ctx.nodeV(static_cast<uint32_t>(Num));
+    };
+    switch (T->Kind) {
+    case TypeKind::Bool:
+    case TypeKind::Int:
+    case TypeKind::Node:
+      return Scalar(T);
+    case TypeKind::Edge: {
+      const Value *U = Scalar(Type::nodeTy());
+      const Value *W = Scalar(Type::nodeTy());
+      return Ctx.edgeV(U->N, W->N);
+    }
+    case TypeKind::Option: {
+      const Value *Tag = Scalar(Type::boolTy());
+      const Value *Payload = Rec(T->Elems[0]);
+      return Tag->B ? Ctx.someV(Payload) : Ctx.noneV();
+    }
+    case TypeKind::Tuple:
+    case TypeKind::Record: {
+      std::vector<const Value *> Elems;
+      for (const TypePtr &E : T->Elems)
+        Elems.push_back(Rec(E));
+      return Ctx.tupleV(std::move(Elems));
+    }
+    case TypeKind::Dict: {
+      const UnrollInfo &U = unrollFor(T->Elems[0]);
+      const Value *Map = Ctx.mapCreate(T->Elems[0],
+                                       Ctx.defaultValue(T->Elems[1]));
+      for (const Value *K : U.ConstKeys)
+        Map = Ctx.mapSet(Map, K, Rec(T->Elems[1]));
+      for (size_t I = 0; I < U.SymKeys.size(); ++I)
+        Rec(T->Elems[1]); // skip symbolic slots in the reconstruction
+      return Map;
+    }
+    case TypeKind::Arrow:
+    case TypeKind::Var:
+      break;
+    }
+    fatalError("cannot decode type " + typeToString(T));
+  };
+  return Rec(V.Ty);
+}
+
+//===----------------------------------------------------------------------===//
+// Unroll table
+//===----------------------------------------------------------------------===//
+
+const UnrollInfo &SmtEncoder::unrollFor(const TypePtr &KeyTy) {
+  std::string Name = typeToString(zonk(KeyTy));
+  auto It = Unroll.find(Name);
+  if (It != Unroll.end())
+    return It->second;
+  UnrollInfo Info;
+  Info.KeyTy = zonk(KeyTy);
+  return Unroll.emplace(Name, std::move(Info)).first->second;
+}
+
+bool SmtEncoder::buildUnrollTable() {
+  // Constant global definitions usable inside key expressions.
+  Interp I(Ctx);
+  EnvPtr ConstGlobals;
+  std::vector<std::string> SymbolicNames;
+  for (const DeclPtr &D : P.Decls)
+    if (D->Kind == DeclKind::Symbolic)
+      SymbolicNames.push_back(D->Name);
+
+  auto IsSymbolic = [&](const std::string &N) {
+    return std::find(SymbolicNames.begin(), SymbolicNames.end(), N) !=
+           SymbolicNames.end();
+  };
+
+  bool Ok = true;
+  auto ScanKey = [&](const ExprPtr &KeyE) {
+    TypePtr KeyTy = zonk(KeyE->Ty);
+    std::string TyName = typeToString(KeyTy);
+    auto &Info = Unroll[TyName];
+    if (!Info.KeyTy)
+      Info.KeyTy = KeyTy;
+    // Symbolic variable key.
+    if (KeyE->Kind == ExprKind::Var && IsSymbolic(KeyE->Name)) {
+      if (Info.symIndex(KeyE->Name) < 0)
+        Info.SymKeys.push_back(KeyE->Name);
+      return;
+    }
+    // Constant key: closed under the constant globals.
+    bool Closed = true;
+    for (const std::string &FV : freeVarsOf(KeyE.get()))
+      if (!envLookup(ConstGlobals.get(), FV))
+        Closed = false;
+    if (!Closed) {
+      Diags.error(KeyE->Loc,
+                  "map keys must be constants or symbolic values "
+                  "(Sec. 3.1); cannot encode key '" +
+                      printExpr(KeyE) + "'");
+      Ok = false;
+      return;
+    }
+    const Value *K = I.eval(KeyE.get(), ConstGlobals);
+    if (Info.constIndex(K) < 0)
+      Info.ConstKeys.push_back(K);
+  };
+
+  for (const DeclPtr &D : P.Decls) {
+    if (D->Kind == DeclKind::Let && D->Body) {
+      // Track which globals are concrete constants (no symbolics, no
+      // functions needed): try only scalar-ish closed bodies.
+      bool Closed = true;
+      for (const std::string &FV : freeVarsOf(D->Body.get()))
+        if (!envLookup(ConstGlobals.get(), FV))
+          Closed = false;
+      if (Closed && D->Body->Kind != ExprKind::Fun)
+        ConstGlobals = envBind(ConstGlobals, D->Name,
+                               I.eval(D->Body.get(), ConstGlobals));
+    }
+    if (!D->Body)
+      continue;
+    forEachExpr(D->Body, [&](const ExprPtr &E) {
+      if (E->Kind != ExprKind::Oper)
+        return;
+      if (E->OpCode == Op::MGet || E->OpCode == Op::MSet)
+        ScanKey(E->Args[1]);
+    });
+  }
+
+  // Deterministic slot order: sort constant keys by their rendering.
+  for (auto &[_, Info] : Unroll)
+    std::sort(Info.ConstKeys.begin(), Info.ConstKeys.end(),
+              [](const Value *A, const Value *B) { return A->str() < B->str(); });
+  return Ok;
+}

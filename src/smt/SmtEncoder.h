@@ -1,0 +1,181 @@
+//===- SmtEncoder.h - NV-to-SMT encoding ------------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizing pipeline to SMT of Sec. 5.2, realized as a symbolic
+/// evaluator from typed NV into Z3 terms. The pipeline stages the paper
+/// lists appear as follows:
+///
+///   Map unrolling     — dict[K, V] values are represented as one block of
+///                       V-leaves per key in the program's key table
+///                       (constant keys + symbolic keys, with the paper's
+///                       if-chain encoding for symbolic get/set).
+///   Option unboxing   — option[T] is a boolean tag leaf plus T's leaves.
+///   Tuple flattening  — every value is a flat vector of scalar leaves
+///                       (Bool or bit-vector), so only QF_BV remains.
+///   Inlining          — applications are beta-expanded during evaluation
+///                       (NV functions are non-recursive and total).
+///   Partial evaluation— leaves carry concrete scalars until an operation
+///                       actually mixes them with symbolic terms; concrete
+///                       computation happens in C++, never in Z3.
+///
+/// The SmtOptions knobs degrade the encoder into the MineSweeper-style
+/// baseline of Sec. 6.2: ConstantFold=false disables partial evaluation
+/// (everything becomes a Z3 term), and NameIntermediates=true introduces a
+/// fresh equated constant per intermediate result (the ad hoc one-pass
+/// encoding's variable blowup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SMT_SMTENCODER_H
+#define NV_SMT_SMTENCODER_H
+
+#include "core/Ast.h"
+#include "eval/Interp.h"
+#include "eval/NvContext.h"
+#include "support/Diagnostics.h"
+
+#include <z3++.h>
+
+#include <map>
+#include <optional>
+#include <set>
+
+namespace nv {
+
+struct SmtOptions {
+  /// Compute operations over concrete leaves in C++ (the paper's partial
+  /// evaluation). Off = every leaf becomes a Z3 term immediately.
+  bool ConstantFold = true;
+  /// Introduce a named constant per intermediate application/let result
+  /// (MineSweeper-style naming). Off = structural terms.
+  bool NameIntermediates = false;
+  /// Integer theory (Sec. 5.2 mentions both): LIA encodes NV ints as
+  /// unbounded integers with 0 <= x bounds (like MineSweeper; wrap-around
+  /// is not modeled) and solves far faster on routing instances; BV is
+  /// exact wrap-around bit-vector arithmetic.
+  enum class IntMode { LIA, BV };
+  IntMode Ints = IntMode::LIA;
+};
+
+/// One scalar slot of a flattened value: either a concrete interned scalar
+/// or a Z3 term (Bool or bit-vector).
+struct SmtLeaf {
+  const Value *C = nullptr;
+  std::optional<z3::expr> E;
+
+  bool isConcrete() const { return C != nullptr; }
+};
+
+/// A flattened symbolic value: scalar leaves for finite types (with dicts
+/// unrolled), or a function (an NV closure over symbolic locals).
+struct SmtVal {
+  TypePtr Ty;
+  std::vector<SmtLeaf> Leaves;
+
+  // Function representation.
+  const Expr *FnExpr = nullptr;
+  std::shared_ptr<std::vector<std::pair<std::string, SmtVal>>> FnLocals;
+
+  bool isFun() const { return FnExpr != nullptr; }
+};
+
+/// Per-key-type unrolling info (Sec. 5.2 "Map Unrolling").
+struct UnrollInfo {
+  TypePtr KeyTy;
+  std::vector<const Value *> ConstKeys;  ///< Sorted canonical constants.
+  std::vector<std::string> SymKeys;      ///< Symbolic declarations used as keys.
+
+  size_t slots() const { return ConstKeys.size() + SymKeys.size(); }
+  int constIndex(const Value *K) const;
+  int symIndex(const std::string &Name) const;
+};
+
+/// Symbolically evaluates a type-checked NV program into Z3 terms.
+class SmtEncoder {
+public:
+  SmtEncoder(z3::context &Z, z3::solver &Solver, NvContext &Ctx,
+             const Program &P, const SmtOptions &Opts,
+             DiagnosticEngine &Diags);
+
+  /// Builds the key table and the global environment (evaluating every
+  /// top-level let, declaring symbolics, asserting requires).
+  /// \returns false when the program violates the encoding restrictions
+  /// (e.g. a computed map key).
+  bool initialize();
+
+  /// Number of scalar leaves of a (dict-unrolled) type.
+  unsigned shapeWidth(const TypePtr &Ty);
+
+  /// Declares fresh Z3 constants shaped like \p Ty.
+  SmtVal freshConsts(const std::string &Prefix, const TypePtr &Ty);
+
+  /// Lifts a concrete finite value (no dicts) to constant leaves.
+  SmtVal lift(const Value *V, const TypePtr &Ty);
+
+  /// Looks up a global (let or symbolic) by name; null if absent.
+  const SmtVal *global(const std::string &Name) const;
+
+  /// Applies a function value to arguments (beta expansion).
+  SmtVal apply(const SmtVal &Fn, std::vector<SmtVal> Args);
+
+  /// Leaf-wise equality as a single Z3 boolean.
+  z3::expr valEquals(const SmtVal &A, const SmtVal &B);
+
+  /// Asserts leaf-wise equality (used to tie label constants to their
+  /// merge expressions).
+  void addEquality(const SmtVal &A, const SmtVal &B);
+
+  /// Converts a boolean SmtVal to a Z3 expression.
+  z3::expr boolExpr(const SmtVal &V);
+
+  /// Reads a concrete Value back out of a model (counterexamples). Dict
+  /// slots are reported per-key through \p OnDictEntry when non-null.
+  const Value *decodeFromModel(const z3::model &M, const SmtVal &V);
+
+  /// The symbolic declarations' encodings, for model reporting.
+  const std::vector<std::pair<std::string, SmtVal>> &symbolicVals() const {
+    return Symbolics;
+  }
+
+  /// Metrics for the evaluation section: number of named intermediates and
+  /// solver assertions issued through this encoder.
+  uint64_t namedIntermediates() const { return NamedCount; }
+
+  z3::context &z3ctx() { return Z; }
+
+private:
+  friend class SmtEval;
+
+  z3::context &Z;
+  z3::solver &Solver;
+  NvContext &Ctx;
+  const Program &P;
+  SmtOptions Opts;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, UnrollInfo> Unroll; ///< By canonical key-type name.
+  std::vector<std::pair<std::string, SmtVal>> Globals;
+  std::vector<std::pair<std::string, SmtVal>> Symbolics;
+  EnvPtr KeyGlobals;                  ///< Concrete globals usable in keys.
+  std::set<std::string> SymbolicNameSet;
+  uint64_t NamedCount = 0;
+  uint64_t FreshCounter = 0;
+
+  bool buildUnrollTable();
+  const UnrollInfo &unrollFor(const TypePtr &KeyTy);
+
+  z3::expr leafExpr(const SmtLeaf &L, const TypePtr &ScalarTy);
+  SmtLeaf maybeName(SmtLeaf L, const TypePtr &ScalarTy);
+
+  /// Scalar leaf types of \p Ty in order (for fresh consts / decoding).
+  void scalarTypes(const TypePtr &Ty, std::vector<TypePtr> &Out);
+};
+
+} // namespace nv
+
+#endif // NV_SMT_SMTENCODER_H

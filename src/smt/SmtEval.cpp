@@ -1,0 +1,687 @@
+//===- SmtEval.cpp - Symbolic evaluation of NV into Z3 terms ----------------===//
+//
+// The expression-level half of the SMT encoder: evaluates typed NV
+// expressions to flattened SmtVals, folding concrete leaves in C++ when
+// SmtOptions::ConstantFold is on (the paper's partial evaluation), and
+// unrolling dictionary operations against the encoder's key table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Printer.h"
+#include "smt/SmtEncoder.h"
+#include "support/Fatal.h"
+
+#include <cassert>
+
+using namespace nv;
+
+namespace nv {
+
+using Locals = std::vector<std::pair<std::string, SmtVal>>;
+
+class SmtEval {
+public:
+  explicit SmtEval(SmtEncoder &Enc)
+      : Enc(Enc), Z(Enc.Z), Ctx(Enc.Ctx), Fold(Enc.Opts.ConstantFold) {}
+
+  SmtVal eval(const Expr *E, Locals &Frame);
+
+  SmtVal applyFn(const SmtVal &Fn, SmtVal Arg) {
+    if (!Fn.isFun())
+      fatalError("SMT evaluation applied a non-function");
+    Locals Frame = Fn.FnLocals ? *Fn.FnLocals : Locals{};
+    Frame.emplace_back(Fn.FnExpr->Name, std::move(Arg));
+    SmtVal R = eval(Fn.FnExpr->Args[0].get(), Frame);
+    // Baseline mode: name every (non-function) application result, the ad
+    // hoc one-pass encoding's variable-per-intermediate blowup.
+    if (Enc.Opts.NameIntermediates && !R.isFun()) {
+      std::vector<TypePtr> Ts;
+      Enc.scalarTypes(R.Ty, Ts);
+      for (size_t I = 0; I < R.Leaves.size(); ++I)
+        R.Leaves[I] = Enc.maybeName(R.Leaves[I], Ts[I]);
+    }
+    return R;
+  }
+
+private:
+  SmtEncoder &Enc;
+  z3::context &Z;
+  NvContext &Ctx;
+  bool Fold;
+
+  //===--------------------------------------------------------------------===//
+  // Leaf helpers
+  //===--------------------------------------------------------------------===//
+
+  SmtLeaf boolLeaf(bool B) {
+    SmtLeaf L;
+    L.C = Ctx.boolV(B);
+    if (!Fold)
+      L.E = Z.bool_val(B);
+    return L;
+  }
+
+  bool isConcrete(const SmtLeaf &L) { return Fold && L.isConcrete(); }
+
+  z3::expr asBool(const SmtLeaf &L) {
+    return Enc.leafExpr(L, Type::boolTy());
+  }
+
+  SmtLeaf notL(const SmtLeaf &A) {
+    if (isConcrete(A))
+      return boolLeaf(!A.C->B);
+    SmtLeaf L;
+    L.E = !asBool(A);
+    return L;
+  }
+  SmtLeaf andL(const SmtLeaf &A, const SmtLeaf &B) {
+    if (isConcrete(A))
+      return A.C->B ? B : boolLeaf(false);
+    if (isConcrete(B))
+      return B.C->B ? A : boolLeaf(false);
+    SmtLeaf L;
+    L.E = asBool(A) && asBool(B);
+    return L;
+  }
+  SmtLeaf orL(const SmtLeaf &A, const SmtLeaf &B) {
+    if (isConcrete(A))
+      return A.C->B ? boolLeaf(true) : B;
+    if (isConcrete(B))
+      return B.C->B ? boolLeaf(true) : A;
+    SmtLeaf L;
+    L.E = asBool(A) || asBool(B);
+    return L;
+  }
+
+  SmtVal boolVal(SmtLeaf L) {
+    SmtVal V;
+    V.Ty = Type::boolTy();
+    V.Leaves.push_back(std::move(L));
+    return V;
+  }
+
+  /// Leaf-wise equality with folding.
+  SmtLeaf eqLeafwise(const SmtVal &A, const SmtVal &B) {
+    if (A.Leaves.size() != B.Leaves.size())
+      fatalError("SMT equality over mismatched shapes: " +
+                 typeToString(A.Ty) + " vs " + typeToString(B.Ty));
+    std::vector<TypePtr> Ts;
+    Enc.scalarTypes(A.Ty, Ts);
+    SmtLeaf Acc = boolLeaf(true);
+    for (size_t I = 0; I < A.Leaves.size(); ++I) {
+      const SmtLeaf &LA = A.Leaves[I], &LB = B.Leaves[I];
+      if (isConcrete(LA) && isConcrete(LB)) {
+        if (LA.C != LB.C)
+          return boolLeaf(false);
+        continue;
+      }
+      SmtLeaf Cmp;
+      Cmp.E = Enc.leafExpr(LA, Ts[I]) == Enc.leafExpr(LB, Ts[I]);
+      Acc = andL(Acc, Cmp);
+    }
+    return Acc;
+  }
+
+  /// Leaf-wise merge under a (possibly symbolic) boolean condition.
+  SmtVal mergeIte(const SmtLeaf &Cond, const SmtVal &T, const SmtVal &E) {
+    if (isConcrete(Cond))
+      return Cond.C->B ? T : E;
+    if (T.isFun() || E.isFun())
+      fatalError("cannot merge function values under a symbolic condition");
+    if (T.Leaves.size() != E.Leaves.size())
+      fatalError("SMT ite over mismatched shapes");
+    std::vector<TypePtr> Ts;
+    Enc.scalarTypes(T.Ty, Ts);
+    SmtVal Out;
+    Out.Ty = T.Ty;
+    z3::expr C = asBool(Cond);
+    for (size_t I = 0; I < T.Leaves.size(); ++I) {
+      const SmtLeaf &LT = T.Leaves[I], &LE = E.Leaves[I];
+      if (isConcrete(LT) && isConcrete(LE) && LT.C == LE.C) {
+        Out.Leaves.push_back(LT);
+        continue;
+      }
+      SmtLeaf L;
+      L.E = z3::ite(C, Enc.leafExpr(LT, Ts[I]), Enc.leafExpr(LE, Ts[I]));
+      Out.Leaves.push_back(L);
+    }
+    return Out;
+  }
+
+  std::pair<unsigned, unsigned> fieldRange(const TypePtr &Ty, size_t Idx) {
+    unsigned Off = 0;
+    for (size_t I = 0; I < Idx; ++I)
+      Off += Enc.shapeWidth(Ty->Elems[I]);
+    return {Off, Enc.shapeWidth(Ty->Elems[Idx])};
+  }
+
+  SmtVal slice(const SmtVal &V, unsigned Off, unsigned W, TypePtr Ty) {
+    SmtVal S;
+    S.Ty = resolve(std::move(Ty));
+    S.Leaves.assign(V.Leaves.begin() + Off, V.Leaves.begin() + Off + W);
+    return S;
+  }
+
+  const SmtVal *lookupLocal(const Locals &Frame, const std::string &Name) {
+    for (auto It = Frame.rbegin(); It != Frame.rend(); ++It)
+      if (It->first == Name)
+        return &It->second;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pattern matching
+  //===--------------------------------------------------------------------===//
+
+  SmtLeaf matchSmt(const Pattern *P, const SmtVal &Scrut, Locals &Frame) {
+    switch (P->Kind) {
+    case PatternKind::Wild:
+      return boolLeaf(true);
+    case PatternKind::Var:
+      Frame.emplace_back(P->Name, Scrut);
+      return boolLeaf(true);
+    case PatternKind::Lit:
+      return eqLeafwise(Scrut,
+                        Enc.lift(Ctx.valueOfLiteral(P->Lit), P->Lit.type()));
+    case PatternKind::None:
+      return notL(Scrut.Leaves[0]);
+    case PatternKind::Some: {
+      TypePtr Inner = resolve(Scrut.Ty)->Elems[0];
+      SmtVal Payload = slice(Scrut, 1, Enc.shapeWidth(Inner), Inner);
+      SmtLeaf Tag = Scrut.Leaves[0];
+      return andL(Tag, matchSmt(P->Elems[0].get(), Payload, Frame));
+    }
+    case PatternKind::Tuple: {
+      TypePtr Ty = resolve(Scrut.Ty);
+      if (Ty->Kind == TypeKind::Edge) {
+        SmtLeaf C1 = matchSmt(P->Elems[0].get(),
+                              slice(Scrut, 0, 1, Type::nodeTy()), Frame);
+        SmtLeaf C2 = matchSmt(P->Elems[1].get(),
+                              slice(Scrut, 1, 1, Type::nodeTy()), Frame);
+        return andL(C1, C2);
+      }
+      SmtLeaf C = boolLeaf(true);
+      for (size_t I = 0; I < P->Elems.size(); ++I) {
+        auto [Off, W] = fieldRange(Ty, I);
+        C = andL(C, matchSmt(P->Elems[I].get(),
+                             slice(Scrut, Off, W, Ty->Elems[I]), Frame));
+      }
+      return C;
+    }
+    case PatternKind::Record: {
+      TypePtr Ty = resolve(Scrut.Ty);
+      SmtLeaf C = boolLeaf(true);
+      for (size_t I = 0; I < P->Labels.size(); ++I) {
+        int Idx = Ty->labelIndex(P->Labels[I]);
+        auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+        C = andL(C, matchSmt(P->Elems[I].get(),
+                             slice(Scrut, Off, W, Ty->Elems[Idx]), Frame));
+      }
+      return C;
+    }
+    }
+    nv_unreachable("covered switch");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Map operations (Sec. 5.2 unrolled encoding)
+  //===--------------------------------------------------------------------===//
+
+  /// Classifies a map-access key: symbolic (returns its SmtVal and slot
+  /// name) or constant (returns the interned key value).
+  struct KeyClass {
+    bool Symbolic = false;
+    std::string SymName;
+    const Value *ConstKey = nullptr;
+  };
+
+  KeyClass classifyKey(const Expr *KeyE) {
+    KeyClass K;
+    if (KeyE->Kind == ExprKind::Var && Enc.SymbolicNameSet.count(KeyE->Name)) {
+      K.Symbolic = true;
+      K.SymName = KeyE->Name;
+      return K;
+    }
+    Interp I(Ctx);
+    K.ConstKey = I.eval(KeyE, Enc.KeyGlobals);
+    return K;
+  }
+
+  SmtVal dictSlot(const SmtVal &M, const TypePtr &ValTy, size_t Slot) {
+    unsigned W = Enc.shapeWidth(ValTy);
+    return slice(M, Slot * W, W, ValTy);
+  }
+
+  SmtVal evalMapOp(const Expr *E, Locals &Frame) {
+    TypePtr DictTy = resolve(E->OpCode == Op::MGet ? E->Args[0]->Ty : E->Ty);
+    // For MGet the dict type is the first argument's; for the rest the
+    // result type is itself a dict of the same key type.
+    assert(DictTy->Kind == TypeKind::Dict && "map op without dict type");
+    TypePtr KeyTy = DictTy->Elems[0];
+    TypePtr ValTy = DictTy->Elems[1];
+    const UnrollInfo &U = Enc.unrollFor(KeyTy);
+
+    switch (E->OpCode) {
+    case Op::MCreate: {
+      SmtVal D = eval(E->Args[0].get(), Frame);
+      SmtVal Out;
+      Out.Ty = DictTy;
+      for (size_t S = 0; S < U.slots(); ++S)
+        Out.Leaves.insert(Out.Leaves.end(), D.Leaves.begin(), D.Leaves.end());
+      return Out;
+    }
+    case Op::MGet: {
+      SmtVal M = eval(E->Args[0].get(), Frame);
+      KeyClass K = classifyKey(E->Args[1].get());
+      if (!K.Symbolic) {
+        int Idx = U.constIndex(K.ConstKey);
+        if (Idx < 0)
+          fatalError("key " + K.ConstKey->str() +
+                     " missing from the unroll table");
+        return dictSlot(M, ValTy, static_cast<size_t>(Idx));
+      }
+      // Symbolic key: the paper's if-chain over constant keys, then
+      // earlier symbolic keys, falling through to the key's own slot.
+      int J = U.symIndex(K.SymName);
+      assert(J >= 0 && "symbolic key missing from the unroll table");
+      const SmtVal *SymV = Enc.global(K.SymName);
+      SmtVal Res = dictSlot(M, ValTy, U.ConstKeys.size() + J);
+      for (int S = J - 1; S >= 0; --S) {
+        const SmtVal *Other = Enc.global(U.SymKeys[S]);
+        SmtLeaf Cond = eqLeafwise(*SymV, *Other);
+        Res = mergeIte(Cond, dictSlot(M, ValTy, U.ConstKeys.size() + S), Res);
+      }
+      for (int I = static_cast<int>(U.ConstKeys.size()) - 1; I >= 0; --I) {
+        SmtLeaf Cond = eqLeafwise(*SymV, Enc.lift(U.ConstKeys[I], KeyTy));
+        Res = mergeIte(Cond, dictSlot(M, ValTy, static_cast<size_t>(I)), Res);
+      }
+      return Res;
+    }
+    case Op::MSet: {
+      SmtVal M = eval(E->Args[0].get(), Frame);
+      SmtVal V = eval(E->Args[2].get(), Frame);
+      KeyClass K = classifyKey(E->Args[1].get());
+      unsigned W = Enc.shapeWidth(ValTy);
+      SmtVal Out = M;
+      Out.Ty = DictTy;
+      if (!K.Symbolic) {
+        int Idx = U.constIndex(K.ConstKey);
+        if (Idx < 0)
+          fatalError("key " + K.ConstKey->str() +
+                     " missing from the unroll table");
+        for (unsigned B = 0; B < W; ++B)
+          Out.Leaves[Idx * W + B] = V.Leaves[B];
+        return Out;
+      }
+      int J = U.symIndex(K.SymName);
+      const SmtVal *SymV = Enc.global(K.SymName);
+      for (size_t S = 0; S < U.slots(); ++S) {
+        SmtLeaf Cond;
+        if (S < U.ConstKeys.size())
+          Cond = eqLeafwise(*SymV, Enc.lift(U.ConstKeys[S], KeyTy));
+        else if (static_cast<int>(S - U.ConstKeys.size()) == J)
+          Cond = boolLeaf(true);
+        else
+          Cond = eqLeafwise(*SymV, *Enc.global(U.SymKeys[S - U.ConstKeys.size()]));
+        SmtVal Updated = mergeIte(Cond, V, dictSlot(M, ValTy, S));
+        for (unsigned B = 0; B < W; ++B)
+          Out.Leaves[S * W + B] = Updated.Leaves[B];
+      }
+      return Out;
+    }
+    case Op::MMap: {
+      SmtVal Fn = eval(E->Args[0].get(), Frame);
+      SmtVal M = eval(E->Args[1].get(), Frame);
+      SmtVal Out;
+      Out.Ty = DictTy;
+      TypePtr InValTy = resolve(E->Args[1]->Ty)->Elems[1];
+      for (size_t S = 0; S < U.slots(); ++S) {
+        SmtVal R = applyFn(Fn, dictSlot(M, InValTy, S));
+        Out.Leaves.insert(Out.Leaves.end(), R.Leaves.begin(), R.Leaves.end());
+      }
+      return Out;
+    }
+    case Op::MCombine: {
+      SmtVal Fn = eval(E->Args[0].get(), Frame);
+      SmtVal A = eval(E->Args[1].get(), Frame);
+      SmtVal B = eval(E->Args[2].get(), Frame);
+      TypePtr ATy = resolve(E->Args[1]->Ty)->Elems[1];
+      TypePtr BTy = resolve(E->Args[2]->Ty)->Elems[1];
+      SmtVal Out;
+      Out.Ty = DictTy;
+      for (size_t S = 0; S < U.slots(); ++S) {
+        SmtVal R = applyFn(applyFn2(Fn, dictSlot(A, ATy, S)),
+                           dictSlot(B, BTy, S));
+        Out.Leaves.insert(Out.Leaves.end(), R.Leaves.begin(), R.Leaves.end());
+      }
+      return Out;
+    }
+    case Op::MMapIte: {
+      SmtVal Pred = eval(E->Args[0].get(), Frame);
+      SmtVal FnT = eval(E->Args[1].get(), Frame);
+      SmtVal FnE = eval(E->Args[2].get(), Frame);
+      SmtVal M = eval(E->Args[3].get(), Frame);
+      TypePtr InValTy = resolve(E->Args[3]->Ty)->Elems[1];
+      SmtVal Out;
+      Out.Ty = DictTy;
+      for (size_t S = 0; S < U.slots(); ++S) {
+        SmtVal KeyV = S < U.ConstKeys.size()
+                          ? Enc.lift(U.ConstKeys[S], KeyTy)
+                          : *Enc.global(U.SymKeys[S - U.ConstKeys.size()]);
+        SmtVal CondV = applyFn(Pred, KeyV);
+        SmtVal In = dictSlot(M, InValTy, S);
+        SmtVal R = mergeIte(CondV.Leaves[0], applyFn(FnT, In),
+                            applyFn(FnE, In));
+        Out.Leaves.insert(Out.Leaves.end(), R.Leaves.begin(), R.Leaves.end());
+      }
+      return Out;
+    }
+    default:
+      break;
+    }
+    nv_unreachable("handled all map ops");
+  }
+
+  /// Partial application helper for curried two-argument closures.
+  SmtVal applyFn2(const SmtVal &Fn, SmtVal Arg) { return applyFn(Fn, Arg); }
+
+  //===--------------------------------------------------------------------===//
+  // Operators
+  //===--------------------------------------------------------------------===//
+
+  SmtVal evalOper(const Expr *E, Locals &Frame) {
+    Op O = E->OpCode;
+    if (isMapOp(O))
+      return evalMapOp(E, Frame);
+    switch (O) {
+    case Op::And: {
+      SmtVal A = eval(E->Args[0].get(), Frame);
+      if (isConcrete(A.Leaves[0]) && !A.Leaves[0].C->B)
+        return boolVal(boolLeaf(false));
+      SmtVal B = eval(E->Args[1].get(), Frame);
+      return boolVal(andL(A.Leaves[0], B.Leaves[0]));
+    }
+    case Op::Or: {
+      SmtVal A = eval(E->Args[0].get(), Frame);
+      if (isConcrete(A.Leaves[0]) && A.Leaves[0].C->B)
+        return boolVal(boolLeaf(true));
+      SmtVal B = eval(E->Args[1].get(), Frame);
+      return boolVal(orL(A.Leaves[0], B.Leaves[0]));
+    }
+    case Op::Not:
+      return boolVal(notL(eval(E->Args[0].get(), Frame).Leaves[0]));
+    case Op::Eq:
+    case Op::Neq: {
+      SmtLeaf R = eqLeafwise(eval(E->Args[0].get(), Frame),
+                             eval(E->Args[1].get(), Frame));
+      return boolVal(O == Op::Eq ? R : notL(R));
+    }
+    case Op::Add:
+    case Op::Sub: {
+      SmtVal A = eval(E->Args[0].get(), Frame);
+      SmtVal B = eval(E->Args[1].get(), Frame);
+      TypePtr Ty = resolve(A.Ty);
+      const SmtLeaf &LA = A.Leaves[0], &LB = B.Leaves[0];
+      SmtVal Out;
+      Out.Ty = Ty;
+      if (isConcrete(LA) && isConcrete(LB)) {
+        uint64_t R = O == Op::Add ? LA.C->I + LB.C->I : LA.C->I - LB.C->I;
+        SmtLeaf L;
+        L.C = Ctx.intV(R, Ty->Width);
+        Out.Leaves.push_back(L);
+        return Out;
+      }
+      z3::expr EA = Enc.leafExpr(LA, Ty), EB = Enc.leafExpr(LB, Ty);
+      SmtLeaf L;
+      L.E = O == Op::Add ? (EA + EB) : (EA - EB);
+      Out.Leaves.push_back(L);
+      return Out;
+    }
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      SmtVal A = eval(E->Args[0].get(), Frame);
+      SmtVal B = eval(E->Args[1].get(), Frame);
+      TypePtr Ty = resolve(A.Ty);
+      const SmtLeaf &LA = A.Leaves[0], &LB = B.Leaves[0];
+      if (isConcrete(LA) && isConcrete(LB)) {
+        uint64_t L = LA.C->I, R = LB.C->I;
+        bool V = O == Op::Lt ? L < R : O == Op::Le ? L <= R : O == Op::Gt
+                                                        ? L > R
+                                                        : L >= R;
+        return boolVal(boolLeaf(V));
+      }
+      z3::expr EA = Enc.leafExpr(LA, Ty), EB = Enc.leafExpr(LB, Ty);
+      bool Lia = Enc.Opts.Ints == SmtOptions::IntMode::LIA;
+      SmtLeaf L;
+      switch (O) {
+      case Op::Lt:
+        L.E = Lia ? (EA < EB) : z3::ult(EA, EB);
+        break;
+      case Op::Le:
+        L.E = Lia ? (EA <= EB) : z3::ule(EA, EB);
+        break;
+      case Op::Gt:
+        L.E = Lia ? (EA > EB) : z3::ugt(EA, EB);
+        break;
+      default:
+        L.E = Lia ? (EA >= EB) : z3::uge(EA, EB);
+        break;
+      }
+      return boolVal(L);
+    }
+    default:
+      break;
+    }
+    nv_unreachable("covered all operators");
+  }
+
+public:
+  //===--------------------------------------------------------------------===//
+  // Expression dispatch
+  //===--------------------------------------------------------------------===//
+
+  SmtVal evalImpl(const Expr *E, Locals &Frame) {
+    switch (E->Kind) {
+    case ExprKind::Const:
+      return Enc.lift(Ctx.valueOfLiteral(E->Lit), E->Lit.type());
+    case ExprKind::Var: {
+      if (const SmtVal *L = lookupLocal(Frame, E->Name))
+        return *L;
+      if (const SmtVal *G = Enc.global(E->Name))
+        return *G;
+      fatalError("SMT evaluation: unbound variable " + E->Name);
+    }
+    case ExprKind::Let: {
+      SmtVal Init = eval(E->Args[0].get(), Frame);
+      if (Enc.Opts.NameIntermediates && !Init.isFun()) {
+        std::vector<TypePtr> Ts;
+        Enc.scalarTypes(Init.Ty, Ts);
+        for (size_t I = 0; I < Init.Leaves.size(); ++I)
+          Init.Leaves[I] = Enc.maybeName(Init.Leaves[I], Ts[I]);
+      }
+      Frame.emplace_back(E->Name, std::move(Init));
+      SmtVal R = eval(E->Args[1].get(), Frame);
+      Frame.pop_back();
+      return R;
+    }
+    case ExprKind::Fun: {
+      SmtVal V;
+      V.Ty = resolve(E->Ty);
+      V.FnExpr = E;
+      V.FnLocals = std::make_shared<Locals>(Frame);
+      return V;
+    }
+    case ExprKind::App: {
+      SmtVal Fn = eval(E->Args[0].get(), Frame);
+      SmtVal Arg = eval(E->Args[1].get(), Frame);
+      return applyFn(Fn, std::move(Arg));
+    }
+    case ExprKind::If: {
+      SmtVal C = eval(E->Args[0].get(), Frame);
+      if (isConcrete(C.Leaves[0]))
+        return eval(E->Args[C.Leaves[0].C->B ? 1 : 2].get(), Frame);
+      SmtVal T = eval(E->Args[1].get(), Frame);
+      SmtVal El = eval(E->Args[2].get(), Frame);
+      return mergeIte(C.Leaves[0], T, El);
+    }
+    case ExprKind::Match: {
+      SmtVal Scrut = eval(E->Args[0].get(), Frame);
+      std::vector<SmtLeaf> Conds;
+      std::vector<SmtVal> Bodies;
+      for (const MatchCase &C : E->Cases) {
+        size_t Mark = Frame.size();
+        SmtLeaf Cond = matchSmt(C.Pat.get(), Scrut, Frame);
+        if (isConcrete(Cond) && !Cond.C->B) {
+          Frame.resize(Mark);
+          continue;
+        }
+        Conds.push_back(Cond);
+        Bodies.push_back(eval(C.Body.get(), Frame));
+        Frame.resize(Mark);
+        if (isConcrete(Cond) && Cond.C->B)
+          break;
+      }
+      if (Bodies.empty())
+        fatalError("SMT evaluation: match with no reachable cases in " +
+                   printExpr(std::make_shared<Expr>(*E)));
+      SmtVal R = Bodies.back();
+      for (size_t I = Bodies.size() - 1; I-- > 0;)
+        R = mergeIte(Conds[I], Bodies[I], R);
+      return R;
+    }
+    case ExprKind::Oper:
+      return evalOper(E, Frame);
+    case ExprKind::Tuple:
+    case ExprKind::Record: {
+      SmtVal Out;
+      Out.Ty = resolve(E->Ty);
+      for (const ExprPtr &A : E->Args) {
+        SmtVal S = eval(A.get(), Frame);
+        Out.Leaves.insert(Out.Leaves.end(), S.Leaves.begin(), S.Leaves.end());
+      }
+      return Out;
+    }
+    case ExprKind::Proj: {
+      SmtVal V = eval(E->Args[0].get(), Frame);
+      TypePtr Ty = resolve(V.Ty);
+      auto [Off, W] = fieldRange(Ty, E->Index);
+      return slice(V, Off, W, Ty->Elems[E->Index]);
+    }
+    case ExprKind::RecordUpdate: {
+      SmtVal Base = eval(E->Args[0].get(), Frame);
+      TypePtr Ty = resolve(Base.Ty);
+      SmtVal Out = Base;
+      for (size_t I = 0; I < E->Labels.size(); ++I) {
+        int Idx = Ty->labelIndex(E->Labels[I]);
+        auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+        SmtVal V = eval(E->Args[I + 1].get(), Frame);
+        for (unsigned B = 0; B < W; ++B)
+          Out.Leaves[Off + B] = V.Leaves[B];
+      }
+      return Out;
+    }
+    case ExprKind::Field: {
+      SmtVal V = eval(E->Args[0].get(), Frame);
+      TypePtr Ty = resolve(V.Ty);
+      int Idx = Ty->labelIndex(E->Name);
+      auto [Off, W] = fieldRange(Ty, static_cast<size_t>(Idx));
+      return slice(V, Off, W, Ty->Elems[Idx]);
+    }
+    case ExprKind::Some: {
+      SmtVal Inner = eval(E->Args[0].get(), Frame);
+      SmtVal Out;
+      Out.Ty = resolve(E->Ty);
+      Out.Leaves.push_back(boolLeaf(true));
+      Out.Leaves.insert(Out.Leaves.end(), Inner.Leaves.begin(),
+                        Inner.Leaves.end());
+      return Out;
+    }
+    case ExprKind::None: {
+      TypePtr Ty = resolve(E->Ty);
+      SmtVal Out;
+      Out.Ty = Ty;
+      Out.Leaves.push_back(boolLeaf(false));
+      SmtVal Payload = Enc.lift(Ctx.defaultValue(Ty->Elems[0]), Ty->Elems[0]);
+      Out.Leaves.insert(Out.Leaves.end(), Payload.Leaves.begin(),
+                        Payload.Leaves.end());
+      return Out;
+    }
+    }
+    nv_unreachable("covered switch");
+  }
+};
+
+SmtVal SmtEval::eval(const Expr *E, Locals &Frame) {
+  return evalImpl(E, Frame);
+}
+
+} // namespace nv
+
+//===----------------------------------------------------------------------===//
+// Encoder entry points built on the evaluator
+//===----------------------------------------------------------------------===//
+
+bool SmtEncoder::initialize() {
+  for (const DeclPtr &D : P.Decls)
+    if (D->Kind == DeclKind::Symbolic)
+      SymbolicNameSet.insert(D->Name);
+
+  if (!buildUnrollTable())
+    return false;
+
+  // Rebuild the constant-global environment for key evaluation at encode
+  // time (mirrors buildUnrollTable).
+  {
+    Interp I(Ctx);
+    EnvPtr Env;
+    for (const DeclPtr &D : P.Decls) {
+      if (D->Kind != DeclKind::Let || !D->Body)
+        continue;
+      bool Closed = true;
+      for (const std::string &FV : freeVarsOf(D->Body.get()))
+        if (!envLookup(Env.get(), FV))
+          Closed = false;
+      if (Closed && D->Body->Kind != ExprKind::Fun)
+        Env = envBind(Env, D->Name, I.eval(D->Body.get(), Env));
+    }
+    KeyGlobals = Env;
+  }
+
+  SmtEval Eval(*this);
+  for (const DeclPtr &D : P.Decls) {
+    switch (D->Kind) {
+    case DeclKind::Let: {
+      Locals Frame;
+      Globals.emplace_back(D->Name, Eval.eval(D->Body.get(), Frame));
+      break;
+    }
+    case DeclKind::Symbolic: {
+      SmtVal V = freshConsts("sym_" + D->Name, D->Ty);
+      Globals.emplace_back(D->Name, V);
+      Symbolics.emplace_back(D->Name, V);
+      break;
+    }
+    case DeclKind::Require: {
+      Locals Frame;
+      SmtVal V = Eval.eval(D->Body.get(), Frame);
+      Solver.add(boolExpr(V));
+      break;
+    }
+    case DeclKind::TypeAlias:
+    case DeclKind::Nodes:
+    case DeclKind::Edges:
+      break;
+    }
+  }
+  return !Diags.hasErrors();
+}
+
+SmtVal SmtEncoder::apply(const SmtVal &Fn, std::vector<SmtVal> Args) {
+  SmtEval Eval(*this);
+  SmtVal Cur = Fn;
+  for (SmtVal &A : Args)
+    Cur = Eval.applyFn(Cur, std::move(A));
+  return Cur;
+}

@@ -1,0 +1,128 @@
+//===- Verifier.cpp - SMT-based stable-state verification --------------------===//
+
+#include "smt/Verifier.h"
+
+#include "support/Timer.h"
+
+using namespace nv;
+
+VerifyResult nv::verifyProgram(const Program &P, const VerifyOptions &Opts,
+                               DiagnosticEngine &Diags) {
+  VerifyResult R;
+  if (!P.AttrType) {
+    Diags.error({}, "verifier requires a type-checked program");
+    return R;
+  }
+  uint32_t N = P.numNodes();
+  if (N == 0) {
+    Diags.error({}, "verifier requires a topology");
+    return R;
+  }
+
+  Stopwatch W;
+  z3::context Z;
+  // The encoding has one defining equation per label leaf; eliminating
+  // those equations first (and bit-blasting in BV mode) is far faster
+  // than the default solver on these instances.
+  z3::solver Solver =
+      Opts.UseTacticPipeline
+          ? (z3::tactic(Z, "simplify") & z3::tactic(Z, "solve-eqs") &
+             z3::tactic(Z, "bit-blast") & z3::tactic(Z, "smt"))
+                .mk_solver()
+          : z3::solver(Z);
+  if (Opts.TimeoutMs) {
+    z3::params Params(Z);
+    Params.set("timeout", Opts.TimeoutMs);
+    Solver.set(Params);
+  }
+
+  NvContext Ctx(N);
+  SmtEncoder Enc(Z, Solver, Ctx, P, Opts.Smt, Diags);
+  if (!Enc.initialize())
+    return R;
+
+  const SmtVal *InitFn = Enc.global("init");
+  const SmtVal *TransFn = Enc.global("trans");
+  const SmtVal *MergeFn = Enc.global("merge");
+  const SmtVal *AssertFn = Enc.global("assert");
+  if (!InitFn || !TransFn || !MergeFn) {
+    Diags.error({}, "program is missing init/trans/merge declarations");
+    return R;
+  }
+
+  // In-edges per node.
+  std::vector<std::vector<uint32_t>> InNeighbors(N);
+  for (const auto &[U, V] : P.directedEdges())
+    InNeighbors[V].push_back(U);
+
+  // Declare the per-node stable-state labels and tie them to their merge
+  // expressions (Sec. 2.5's fixpoint equations).
+  std::vector<SmtVal> Labels;
+  Labels.reserve(N);
+  for (uint32_t U = 0; U < N; ++U)
+    Labels.push_back(Enc.freshConsts("L" + std::to_string(U), P.AttrType));
+
+  for (uint32_t U = 0; U < N; ++U) {
+    SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
+    SmtVal Acc = Enc.apply(*InitFn, {NodeV});
+    for (uint32_t V : InNeighbors[U]) {
+      SmtVal EdgeV = Enc.lift(Ctx.edgeV(V, U), Type::edgeTy());
+      SmtVal Transferred = Enc.apply(*TransFn, {EdgeV, Labels[V]});
+      Acc = Enc.apply(*MergeFn, {NodeV, Acc, Transferred});
+    }
+    Enc.addEquality(Labels[U], Acc);
+  }
+
+  // Property: every node's assertion holds; check N ∧ ¬P.
+  if (AssertFn) {
+    z3::expr Prop = Z.bool_val(true);
+    for (uint32_t U = 0; U < N; ++U) {
+      SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
+      Prop = Prop && Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]}));
+    }
+    Solver.add(!Prop);
+  }
+
+  R.EncodeMs = W.elapsedMs();
+  R.NumAssertions = Solver.assertions().size();
+  R.NamedIntermediates = Enc.namedIntermediates();
+
+  W.restart();
+  z3::check_result CR = Solver.check();
+  R.SolveMs = W.elapsedMs();
+
+  if (CR == z3::unsat) {
+    // With an assert: no stable state violates it. Without: the
+    // constraints themselves are inconsistent, which we surface as
+    // Unknown so callers notice vacuity.
+    R.Status = AssertFn ? VerifyStatus::Verified : VerifyStatus::Unknown;
+    return R;
+  }
+  if (CR == z3::unknown) {
+    R.Status = VerifyStatus::Unknown;
+    return R;
+  }
+
+  if (!AssertFn) {
+    R.Status = VerifyStatus::Verified; // consistent constraints, no property
+    return R;
+  }
+
+  R.Status = VerifyStatus::Falsified;
+  z3::model M = Solver.get_model();
+  std::string Text;
+  for (const auto &[Name, V] : Enc.symbolicVals())
+    Text += "symbolic " + Name + " = " +
+            Ctx.printValue(Enc.decodeFromModel(M, V)) + "\n";
+  for (uint32_t U = 0; U < N; ++U) {
+    const Value *L = Enc.decodeFromModel(M, Labels[U]);
+    SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
+    bool Holds = M.eval(Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]})),
+                        true)
+                     .is_true();
+    Text += "node " + std::to_string(U) + (Holds ? "    " : " [!] ") +
+            Ctx.printValue(L) + "\n";
+  }
+  R.Counterexample = std::move(Text);
+  return R;
+}

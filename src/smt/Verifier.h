@@ -1,0 +1,61 @@
+//===- Verifier.h - SMT-based stable-state verification ---------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT verifier of Sec. 5.2: encodes the stable states N of a network
+/// as constraints — per node u, L(u) = merge(u, init(u), trans(e, L(v))
+/// over in-edges — plus symbolic declarations and require clauses, and
+/// checks N ∧ ¬P for the program's assert P. UNSAT means the property
+/// holds in every stable state for every symbolic assignment; SAT yields a
+/// counterexample model (symbolic values plus the per-node routes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SMT_VERIFIER_H
+#define NV_SMT_VERIFIER_H
+
+#include "core/Ast.h"
+#include "smt/SmtEncoder.h"
+#include "support/Diagnostics.h"
+
+namespace nv {
+
+struct VerifyOptions {
+  SmtOptions Smt;
+  unsigned TimeoutMs = 0; ///< Z3 timeout; 0 = none.
+  /// Preprocess with simplify/solve-eqs/bit-blast tactics before solving.
+  /// Essential for the exact bit-vector mode (IntMode::BV); the default
+  /// LIA encoding solves fastest on Z3's default solver.
+  bool UseTacticPipeline = false;
+};
+
+enum class VerifyStatus {
+  Verified,      ///< N ∧ ¬P unsatisfiable.
+  Falsified,     ///< Counterexample found.
+  Unknown,       ///< Solver timeout / incompleteness.
+  EncodingError, ///< Program violates the encodable fragment.
+};
+
+struct VerifyResult {
+  VerifyStatus Status = VerifyStatus::EncodingError;
+  double EncodeMs = 0;
+  double SolveMs = 0;
+  uint64_t NumAssertions = 0;      ///< Solver assertion count (size metric).
+  uint64_t NamedIntermediates = 0; ///< Baseline-mode fresh constants.
+  std::string Counterexample;      ///< Human-readable model (Falsified).
+};
+
+/// Verifies a type-checked program's assert declaration over its stable
+/// states. A program without an assert is trivially Verified (after
+/// checking the constraints are satisfiable, which guards against
+/// vacuously unsatisfiable requires).
+VerifyResult verifyProgram(const Program &P, const VerifyOptions &Opts,
+                           DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_SMT_VERIFIER_H

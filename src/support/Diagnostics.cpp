@@ -1,0 +1,35 @@
+//===- Diagnostics.cpp - Source locations and diagnostics -----------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace nv;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostic::str() const {
+  const char *Prefix = "error";
+  if (Kind == DiagKind::Warning)
+    Prefix = "warning";
+  else if (Kind == DiagKind::Note)
+    Prefix = "note";
+  return Loc.str() + ": " + Prefix + ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::printToStderr() const {
+  std::fprintf(stderr, "%s", str().c_str());
+}

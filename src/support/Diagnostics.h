@@ -1,0 +1,82 @@
+//===- Diagnostics.h - Source locations and diagnostics ---------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic engine shared by the lexer, parser,
+/// type checker and frontend. Recoverable (user-input) errors are reported
+/// here rather than via exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_DIAGNOSTICS_H
+#define NV_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// A position in an NV source buffer (1-based line/column, 0 = unknown).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const;
+};
+
+enum class DiagKind { Error, Warning, Note };
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+///
+/// The engine never aborts; callers check \c hasErrors() at phase
+/// boundaries and stop the pipeline when user input was malformed.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Error, Loc, Msg});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Warning, Loc, Msg});
+  }
+  void note(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Note, Loc, Msg});
+  }
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+  /// Writes all diagnostics to stderr.
+  void printToStderr() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,16 @@
+//===- Fatal.cpp - Internal error reporting -------------------------------===//
+
+#include "support/Fatal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void nv::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "nv fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void nv::unreachableImpl(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "nv unreachable: %s at %s:%d\n", Msg, File, Line);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- Fatal.h - Internal error reporting -----------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers. nv-cpp is built without exceptions; internal
+/// invariant violations print a message and abort, in the spirit of
+/// llvm_unreachable / report_fatal_error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_FATAL_H
+#define NV_SUPPORT_FATAL_H
+
+#include <string>
+
+namespace nv {
+
+/// Prints \p Msg to stderr and aborts. Use for broken invariants that are
+/// bugs in nv-cpp itself, not for malformed user input.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachableImpl(const char *Msg, const char *File, int Line);
+
+} // namespace nv
+
+#define nv_unreachable(MSG) ::nv::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // NV_SUPPORT_FATAL_H

@@ -1,0 +1,38 @@
+//===- Timer.h - Wall-clock timing for benchmarks ---------------*- C++ -*-===//
+//
+// Part of nv-cpp. Simple wall-clock stopwatch used by the benchmark drivers
+// to report per-phase times (encode vs solve, compile vs simulate).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_TIMER_H
+#define NV_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace nv {
+
+/// A restartable wall-clock stopwatch with millisecond reporting.
+class Stopwatch {
+public:
+  Stopwatch() { restart(); }
+
+  void restart() { Start = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last restart().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsedSec() const { return elapsedMs() / 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_TIMER_H

@@ -1,0 +1,193 @@
+//===- CompileTests.cpp - Closure compiler vs interpreter agreement ---------===//
+//
+// The compiled ("native") evaluator must agree with the tree-walking
+// interpreter on every expression and every simulated network.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+#include "eval/Interp.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+/// Evaluates a closed expression both ways and checks agreement; returns
+/// the (shared) result rendering.
+std::string evalBoth(NvContext &Ctx, const std::string &Src) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  if (!E)
+    return "<parse error>";
+  TypePtr T = typeCheckExpr(E, Diags);
+  EXPECT_TRUE(T) << Src << "\n" << Diags.str();
+  if (!T)
+    return "<type error>";
+
+  Interp I(Ctx);
+  const Value *VI = I.eval(E.get(), nullptr);
+
+  Compiler C(Ctx);
+  CExpr CE = C.compile(E);
+  Frame F;
+  const Value *VC = CE(F);
+
+  EXPECT_EQ(VI, VC) << Src << ": interp=" << VI->str()
+                    << " compiled=" << VC->str();
+  return VI->str();
+}
+
+class InterpCompiledAgreement : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(InterpCompiledAgreement, SameResult) {
+  NvContext Ctx(8);
+  evalBoth(Ctx, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, InterpCompiledAgreement,
+    ::testing::Values(
+        "1 + 2 - 1",
+        "let x = 4 in x + x",
+        "let f (x : int) (y : int) = x - y in f 10 3",
+        "if 3 < 4 then Some 1 else None",
+        "match (Some 3, None) with | (Some a, None) -> a | _ -> 0",
+        "let r = {lp = 7; med = 2} in {r with med = r.lp}.med",
+        "(1, (2, 3)).1.0",
+        "let g (f : int -> int) = f 5 in g (fun x -> x + 1)",
+        "let y = 3 in let f (x : int) = x + y in let y = 100 in f 1",
+        "let m : dict[int4, int] = createDict 0 in (m[3u4 := 9])[3u4]",
+        "let m : set[int4] = {1u4, 3u4} in (m[1u4], m[2u4])",
+        "let m : dict[int4, int] = (createDict 1)[2u4 := 5] in "
+        "(map (fun v -> v + 10) m)[2u4] + (map (fun v -> v + 10) m)[0u4]",
+        "let a : dict[int4, int] = (createDict 1)[2u4 := 5] in "
+        "let b : dict[int4, int] = (createDict 10)[3u4 := 70] in "
+        "(combine (fun x y -> x + y) a b)[3u4]",
+        "let m : dict[int4, option[int]] = createDict (Some 0) in "
+        "(mapIte (fun k -> k > 3u4) "
+        " (fun v -> match v with | None -> None | Some x -> Some (x + 1)) "
+        " (fun v -> None) m)[9u4]",
+        "match 2n with | 0n -> 10 | 2n -> 20 | _ -> 30",
+        "let (a, b) = (4, 7) in a - b"));
+
+const char *Fig2b = R"nv(
+include bgp
+let nodes = 5
+let edges = {0n=1n;0n=2n;1n=4n;2n=4n;1n=3n;2n=3n}
+symbolic route : attribute
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+let init (u : node) =
+  match u with
+  | 0n -> Some {length = 0; lp = 100; med = 80; comms = {}; origin = 0n}
+  | 4n -> route
+  | _ -> None
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> if u <> 4n then b.origin = 0n else true
+)nv";
+
+TEST(Compiled, SimulationAgreesWithInterpreter) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Fig2b, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+
+  NvContext Ctx(P->numNodes());
+  InterpProgramEvaluator EI(Ctx, *P);
+  SimResult RI = simulate(*P, EI);
+  CompiledProgramEvaluator EC(Ctx, *P);
+  SimResult RC = simulate(*P, EC);
+
+  ASSERT_TRUE(RI.Converged && RC.Converged);
+  EXPECT_EQ(RI.Labels, RC.Labels);
+  EXPECT_EQ(checkAsserts(EI, RI), checkAsserts(EC, RC));
+}
+
+TEST(Compiled, MapAttributeSimulationAgrees) {
+  const char *Src = R"nv(
+let nodes = 4
+let edges = {0n=1n;1n=2n;2n=3n;0n=3n}
+type attribute = dict[int2, option[int8]]
+let init (u : node) =
+  let base : attribute = createDict None in
+  match u with
+  | 0n -> base[0u2 := Some 0u8]
+  | 3n -> base[1u2 := Some 0u8]
+  | _ -> base
+let trans (e : edge) (x : attribute) =
+  map (fun v -> match v with | None -> None | Some d -> Some (d + 1u8)) x
+let merge (u : node) (x : attribute) (y : attribute) =
+  combine (fun a b ->
+    match a, b with
+    | _, None -> a
+    | None, _ -> b
+    | Some d1, Some d2 -> if d1 <= d2 then a else b) x y
+)nv";
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+
+  NvContext Ctx(P->numNodes());
+  InterpProgramEvaluator EI(Ctx, *P);
+  CompiledProgramEvaluator EC(Ctx, *P);
+  SimResult RI = simulate(*P, EI);
+  SimResult RC = simulate(*P, EC);
+  ASSERT_TRUE(RI.Converged && RC.Converged);
+  EXPECT_EQ(RI.Labels, RC.Labels);
+}
+
+TEST(Compiled, SymbolicAssignmentRespected) {
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+symbolic seed : int
+let init (u : node) = seed
+let trans (e : edge) (x : int) = x
+let merge (u : node) (a : int) (b : int) = if a <= b then a else b
+)nv";
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  NvContext Ctx(2);
+  CompiledProgramEvaluator EC(Ctx, *P, {{"seed", Ctx.intV(42)}});
+  SimResult R = simulate(*P, EC);
+  EXPECT_EQ(R.Labels[0], Ctx.intV(42));
+  EXPECT_EQ(R.Labels[1], Ctx.intV(42));
+}
+
+TEST(Compiled, PredicateBddsWorkFromCompiledClosures) {
+  // Symbolic evaluation (predToBdd) must also work when the predicate is a
+  // CompiledClosure, via its sourceExpr/lookupFree hooks.
+  NvContext Ctx(6);
+  DiagnosticEngine Diags;
+  ExprPtr E =
+      parseExprString("fun (e : edge) -> fun (k : edge) -> e = k", Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  Compiler C(Ctx);
+  CExpr CE = C.compile(E);
+  Frame F;
+  const Value *Outer = CE(F);
+  const Value *Pred = Ctx.applyClosure(Outer, Ctx.edgeV(4, 1));
+
+  BddManager::Ref Bdd = Ctx.predToBdd(Pred, Type::edgeTy());
+  for (uint32_t U = 0; U < 6; ++U)
+    for (uint32_t V = 0; V < 6; ++V) {
+      std::vector<bool> Bits;
+      Ctx.encodeValue(Ctx.edgeV(U, V), Type::edgeTy(), Bits);
+      EXPECT_EQ(Ctx.Mgr.get(Bdd, Bits) == Ctx.TrueV, U == 4 && V == 1);
+    }
+}
+
+} // namespace

@@ -1,0 +1,477 @@
+//===- EvalTests.cpp - Interpreter / map runtime / simulator tests ----------===//
+
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "eval/Interp.h"
+#include "eval/NvContext.h"
+#include "eval/ProgramEvaluator.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+/// Parses, type-checks and interprets a closed expression.
+const Value *evalStr(NvContext &Ctx, const std::string &Src) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  if (!E)
+    return nullptr;
+  TypePtr T = typeCheckExpr(E, Diags);
+  EXPECT_TRUE(T) << "typecheck failed: " << Src << "\n" << Diags.str();
+  if (!T)
+    return nullptr;
+  Interp I(Ctx);
+  return I.eval(E.get(), nullptr);
+}
+
+std::string evalStrS(NvContext &Ctx, const std::string &Src) {
+  const Value *V = evalStr(Ctx, Src);
+  return V ? V->str() : "<error>";
+}
+
+TEST(Interp, Arithmetic) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "1 + 2"), "3");
+  EXPECT_EQ(evalStrS(Ctx, "5 - 7"), "4294967294"); // 32-bit wrap
+  EXPECT_EQ(evalStrS(Ctx, "255u8 + 1u8"), "0u8");  // width-8 wrap
+  EXPECT_EQ(evalStrS(Ctx, "0u8 - 1u8"), "255u8");
+  EXPECT_EQ(evalStrS(Ctx, "3 < 4"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "4 <= 3"), "false");
+  EXPECT_EQ(evalStrS(Ctx, "4 >= 4"), "true");
+}
+
+TEST(Interp, Booleans) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "true && false"), "false");
+  EXPECT_EQ(evalStrS(Ctx, "true || false"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "!true"), "false");
+}
+
+TEST(Interp, StructuralEqualityViaInterning) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "(1, true) = (1, true)"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "(1, true) = (2, true)"), "false");
+  EXPECT_EQ(evalStrS(Ctx, "Some (1, 2) = Some (1, 2)"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "{lp = 1; med = 2} = {med = 2; lp = 1}"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "None = Some 1"), "false");
+}
+
+TEST(Interp, LetFunMatch) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "let x = 3 in x + x"), "6");
+  EXPECT_EQ(evalStrS(Ctx, "let f (x : int) = x + 1 in f (f 1)"), "3");
+  EXPECT_EQ(evalStrS(Ctx, "match Some 5 with | None -> 0 | Some v -> v"), "5");
+  EXPECT_EQ(evalStrS(Ctx, "match (1, 2) with | (a, b) -> a + b"), "3");
+  EXPECT_EQ(
+      evalStrS(Ctx, "match Some (Some 2) with | Some (Some x) -> x | _ -> 0"),
+      "2");
+}
+
+TEST(Interp, RecordsAndUpdates) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "{lp = 100; length = 3}.lp"), "100");
+  EXPECT_EQ(
+      evalStrS(Ctx, "let b = {lp = 100; length = 3} in "
+                    "{b with length = b.length + 1}.length"),
+      "4");
+  EXPECT_EQ(evalStrS(Ctx, "match {lp = 9; med = 1} with | {lp = v} -> v"),
+            "9");
+}
+
+TEST(Interp, ClosuresCapture) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "let y = 10 in let f (x : int) = x + y in "
+                          "let y = 99 in f 1"),
+            "11"); // lexical scoping
+}
+
+TEST(Interp, MapOperations) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "let m : dict[int8, int] = createDict 7 in m[3u8]"),
+            "7");
+  EXPECT_EQ(evalStrS(Ctx, "let m : dict[int8, int] = createDict 7 in "
+                          "m[3u8 := 9][3u8]"),
+            "9");
+  EXPECT_EQ(evalStrS(Ctx, "let m : dict[int8, int] = createDict 7 in "
+                          "m[3u8 := 9][4u8]"),
+            "7");
+  EXPECT_EQ(evalStrS(Ctx, "let m : set[int8] = {1u8, 2u8} in m[2u8]"), "true");
+  EXPECT_EQ(evalStrS(Ctx, "let m : set[int8] = {1u8, 2u8} in m[3u8]"),
+            "false");
+}
+
+TEST(Interp, MapHigherOrder) {
+  NvContext Ctx(4);
+  EXPECT_EQ(evalStrS(Ctx, "let m : dict[int8, int] = createDict 1 in "
+                          "(map (fun v -> v + 10) m[2u8 := 5])[2u8]"),
+            "15");
+  EXPECT_EQ(evalStrS(Ctx, "let m : dict[int8, int] = createDict 1 in "
+                          "(map (fun v -> v + 10) m[2u8 := 5])[9u8]"),
+            "11");
+  EXPECT_EQ(evalStrS(Ctx,
+                     "let a : dict[int8, int] = (createDict 1)[2u8 := 5] in "
+                     "let b : dict[int8, int] = (createDict 100)[3u8 := 7] in "
+                     "(combine (fun x y -> x + y) a b)[2u8]"),
+            "105");
+}
+
+TEST(Interp, MapEqualityIsCanonical) {
+  NvContext Ctx(4);
+  // Same contents built in different orders compare equal.
+  EXPECT_EQ(evalStrS(Ctx, "let a : set[int8] = {1u8, 2u8} in "
+                          "let b : set[int8] = {2u8, 1u8} in a = b"),
+            "true");
+  EXPECT_EQ(evalStrS(Ctx, "let a : set[int8] = {1u8} in "
+                          "let b : set[int8] = {2u8} in a = b"),
+            "false");
+}
+
+//===----------------------------------------------------------------------===//
+// mapIte and symbolic predicates
+//===----------------------------------------------------------------------===//
+
+TEST(SymBdd, MapIteOnIntPredicate) {
+  NvContext Ctx(4);
+  // Fig. 11: increment where key > 3, drop (to None) elsewhere.
+  const char *Src =
+      "let m : dict[int3, option[int]] = createDict (Some 0) in "
+      "mapIte (fun k -> k > 3u3) "
+      "  (fun v -> match v with | None -> None | Some x -> Some (x + 1)) "
+      "  (fun v -> None) m";
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  Interp I(Ctx);
+  const Value *M = I.eval(E.get(), nullptr);
+  ASSERT_EQ(M->K, Value::Kind::Map);
+  for (uint64_t K = 0; K < 8; ++K) {
+    const Value *V = Ctx.mapGet(M, Ctx.intV(K, 3));
+    if (K > 3) {
+      ASSERT_TRUE(V->isSome()) << K;
+      EXPECT_EQ(V->Inner->I, 1u) << K;
+    } else {
+      EXPECT_TRUE(V->isNone()) << K;
+    }
+  }
+}
+
+/// Property: predToBdd agrees with concretely applying the predicate, for
+/// a family of predicates over int8 keys.
+class PredBdd : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PredBdd, MatchesConcreteEvaluation) {
+  NvContext Ctx(4);
+  std::string Src = GetParam();
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  Interp I(Ctx);
+  const Value *Pred = I.eval(E.get(), nullptr);
+  ASSERT_EQ(Pred->K, Value::Kind::Closure);
+
+  TypePtr KeyTy = Type::intTy(8);
+  BddManager::Ref Bdd = Ctx.predToBdd(Pred, KeyTy);
+  for (uint64_t K = 0; K < 256; ++K) {
+    const Value *Key = Ctx.intV(K, 8);
+    std::vector<bool> Bits;
+    Ctx.encodeValue(Key, KeyTy, Bits);
+    bool FromBdd = Ctx.Mgr.get(Bdd, Bits) == Ctx.TrueV;
+    bool Concrete = Ctx.applyClosure(Pred, Key)->isTrue();
+    ASSERT_EQ(FromBdd, Concrete) << Src << " at key " << K;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, PredBdd,
+    ::testing::Values(
+        "fun (k : int8) -> k = 3u8",
+        "fun (k : int8) -> k < 10u8",
+        "fun (k : int8) -> k >= 200u8",
+        "fun (k : int8) -> k = 3u8 || k = 250u8",
+        "fun (k : int8) -> !(k <= 5u8) && k < 9u8",
+        "fun (k : int8) -> k + 1u8 = 0u8",
+        "fun (k : int8) -> k - 1u8 > k", // wraps only at 0
+        "fun (k : int8) -> if k < 128u8 then k = 5u8 else k = 200u8",
+        "fun (k : int8) -> let t = k + k in t = 4u8",
+        "fun (k : int8) -> (match k = 7u8 with | true -> true | _ -> k = 9u8)",
+        "fun (k : int8) -> (fun (j : int8) -> j > 250u8) k"));
+
+TEST(SymBdd, EdgeEqualityPredicate) {
+  // The fault-tolerance transfer predicate: fun e' -> e = e'.
+  NvContext Ctx(6);
+  const char *Src = "fun (e : edge) -> fun (k : edge) -> e = k";
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  Interp I(Ctx);
+  const Value *Outer = I.eval(E.get(), nullptr);
+  const Value *Pred = Ctx.applyClosure(Outer, Ctx.edgeV(2, 3));
+
+  BddManager::Ref Bdd = Ctx.predToBdd(Pred, Type::edgeTy());
+  for (uint32_t U = 0; U < 6; ++U)
+    for (uint32_t V = 0; V < 6; ++V) {
+      std::vector<bool> Bits;
+      Ctx.encodeValue(Ctx.edgeV(U, V), Type::edgeTy(), Bits);
+      bool FromBdd = Ctx.Mgr.get(Bdd, Bits) == Ctx.TrueV;
+      EXPECT_EQ(FromBdd, U == 2 && V == 3) << U << "~" << V;
+    }
+}
+
+TEST(SymBdd, OptionKeyPredicate) {
+  NvContext Ctx(4);
+  const char *Src =
+      "fun (k : option[int4]) -> match k with | None -> true | Some v -> "
+      "v > 2u4";
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  Interp I(Ctx);
+  const Value *Pred = I.eval(E.get(), nullptr);
+  TypePtr KeyTy = Type::optionTy(Type::intTy(4));
+  BddManager::Ref Bdd = Ctx.predToBdd(Pred, KeyTy);
+
+  for (const Value *Key : Ctx.enumerateType(KeyTy)) {
+    std::vector<bool> Bits;
+    Ctx.encodeValue(Key, KeyTy, Bits);
+    bool FromBdd = Ctx.Mgr.get(Bdd, Bits) == Ctx.TrueV;
+    bool Concrete = Ctx.applyClosure(Pred, Key)->isTrue();
+    EXPECT_EQ(FromBdd, Concrete) << Key->str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding round trips
+//===----------------------------------------------------------------------===//
+
+class EncodingRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(EncodingRoundTrip, DecodeInvertsEncode) {
+  NvContext Ctx(5);
+  DiagnosticEngine Diags;
+  TypePtr Ty = parseTypeString(GetParam(), Diags);
+  ASSERT_TRUE(Ty) << Diags.str();
+  for (const Value *V : Ctx.enumerateType(Ty)) {
+    std::vector<bool> Bits;
+    Ctx.encodeValue(V, Ty, Bits);
+    EXPECT_EQ(Bits.size(), Ctx.Layout.widthOf(Ty));
+    size_t Pos = 0;
+    EXPECT_EQ(Ctx.decodeValue(Bits, Pos, Ty), V) << V->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, EncodingRoundTrip,
+                         ::testing::Values("bool", "int4", "node", "edge",
+                                           "option[int3]", "(int2, bool)",
+                                           "{a : int2; b : option[bool]}",
+                                           "option[(node, int2)]"));
+
+//===----------------------------------------------------------------------===//
+// Whole-program evaluation and simulation
+//===----------------------------------------------------------------------===//
+
+const char *Fig2b = R"nv(
+include bgp
+let nodes = 5
+let edges = {0n=1n;0n=2n;1n=4n;2n=4n;1n=3n;2n=3n}
+
+symbolic route : attribute
+
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+
+let init (u : node) =
+  match u with
+  | 0n -> Some {length = 0; lp = 100; med = 80; comms = {}; origin = 0n}
+  | 4n -> route
+  | _ -> None
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> if u <> 4n then b.origin = 0n else true
+)nv";
+
+Program parseAndCheck(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return *P;
+}
+
+/// Builds the Fig. 2b route announced by the external peer (node 4).
+const Value *mkBgpRoute(NvContext &Ctx, InterpProgramEvaluator &PE,
+                        const std::string &Fields) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(
+      "let c : set[int] = {} in Some {length = 0; lp = 100; med = 80; "
+      "comms = c; origin = 4n}",
+      Diags);
+  (void)Fields;
+  EXPECT_TRUE(E);
+  return nullptr;
+}
+
+TEST(Simulate, Fig2bNoHijackWhenPeerSilent) {
+  Program P = parseAndCheck(Fig2b);
+  NvContext Ctx(P.numNodes());
+  // symbolic route defaults to None: node 4 announces nothing.
+  InterpProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+
+  // Every node (including the silent peer, which learns the route back
+  // from nodes 1 and 2) ends up routing to origin 0: the assert holds.
+  auto Failed = checkAsserts(Eval, R);
+  EXPECT_TRUE(Failed.empty());
+  EXPECT_EQ(R.Labels[4]->Inner->Elems[4], Ctx.nodeV(0));
+  for (uint32_t U : {0u, 1u, 2u, 3u}) {
+    ASSERT_TRUE(R.Labels[U]->isSome()) << U;
+    // origin is the last field in sorted label order
+    // {comms, length, lp, med, origin}.
+    EXPECT_EQ(R.Labels[U]->Inner->Elems[4], Ctx.nodeV(0)) << U;
+  }
+  // Path lengths: node 0 announces at 0; its neighbors see 1; node 3/4 two.
+  EXPECT_EQ(R.Labels[0]->Inner->Elems[1]->I, 0u);
+  EXPECT_EQ(R.Labels[1]->Inner->Elems[1]->I, 1u);
+  EXPECT_EQ(R.Labels[2]->Inner->Elems[1]->I, 1u);
+  EXPECT_EQ(R.Labels[3]->Inner->Elems[1]->I, 2u);
+}
+
+TEST(Simulate, Fig2bHijackWithBetterRoute) {
+  Program P = parseAndCheck(Fig2b);
+  NvContext Ctx(P.numNodes());
+
+  // Node 4 announces a same-length route with a lower med: by the Fig. 2a
+  // tie-breaking it beats node 0's route at nodes 1 and 2 (length 1 vs 1,
+  // equal lp, med 10 < 80): traffic is hijacked.
+  InterpProgramEvaluator Boot(Ctx, P);
+  DiagnosticEngine Diags;
+  ExprPtr RouteE = parseExprString(
+      "let c : set[int] = {} in "
+      "Some {length = 0; lp = 100; med = 10; comms = c; origin = 4n}",
+      Diags);
+  ASSERT_TRUE(RouteE);
+  ASSERT_TRUE(typeCheckExpr(RouteE, Diags)) << Diags.str();
+  const Value *Route = Boot.evalUnderGlobals(RouteE);
+
+  InterpProgramEvaluator Eval(Ctx, P, {{"route", Route}});
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  auto Failed = checkAsserts(Eval, R);
+  // Nodes 1 and 2 prefer the hijacker's route.
+  EXPECT_EQ(R.Labels[1]->Inner->Elems[4], Ctx.nodeV(4));
+  EXPECT_EQ(R.Labels[2]->Inner->Elems[4], Ctx.nodeV(4));
+  EXPECT_FALSE(Failed.empty());
+}
+
+TEST(Simulate, ShortestPathHopCount) {
+  // A 6-node line with a shortcut; attribute = option[int] hop count.
+  const char *Src = R"nv(
+let nodes = 6
+let edges = {0n=1n;1n=2n;2n=3n;3n=4n;4n=5n;0n=4n}
+let init (u : node) = match u with | 0n -> Some 0 | _ -> None
+let trans (e : edge) (x : option[int]) =
+  match x with | None -> None | Some d -> Some (d + 1)
+let merge (u : node) (x : option[int]) (y : option[int]) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a <= b then x else y
+)nv";
+  Program P = parseAndCheck(Src);
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  int Expected[6] = {0, 1, 2, 2, 1, 2}; // 0-4 shortcut pulls 3,4,5 closer
+  for (uint32_t U = 0; U < 6; ++U) {
+    ASSERT_TRUE(R.Labels[U]->isSome());
+    EXPECT_EQ(R.Labels[U]->Inner->I, static_cast<uint64_t>(Expected[U])) << U;
+  }
+}
+
+TEST(Simulate, IncrementalAndFullMergeAgree) {
+  Program P = parseAndCheck(Fig2b);
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator E1(Ctx, P);
+  SimOptions Fast;
+  SimResult R1 = simulate(P, E1, Fast);
+  SimOptions Slow;
+  Slow.IncrementalMerge = false;
+  InterpProgramEvaluator E2(Ctx, P);
+  SimResult R2 = simulate(P, E2, Slow);
+  ASSERT_TRUE(R1.Converged && R2.Converged);
+  EXPECT_EQ(R1.Labels, R2.Labels); // interned: pointer equality is semantic
+}
+
+TEST(Simulate, RequireTracksAssignment) {
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+symbolic x : int
+require x < 10
+let init (u : node) = x
+let trans (e : edge) (v : int) = v
+let merge (u : node) (a : int) (b : int) = a
+)nv";
+  Program P = parseAndCheck(Src);
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Ok(Ctx, P, {{"x", Ctx.intV(5)}});
+  EXPECT_TRUE(Ok.requiresHold());
+  InterpProgramEvaluator Bad(Ctx, P, {{"x", Ctx.intV(50)}});
+  EXPECT_FALSE(Bad.requiresHold());
+}
+
+TEST(Simulate, MapValuedAttributes) {
+  // Attributes are whole dictionaries (the all-prefixes pattern): each of
+  // two prefixes is announced by a different node; everyone learns both.
+  const char *Src = R"nv(
+let nodes = 3
+let edges = {0n=1n;1n=2n}
+type attribute = dict[int2, option[int]]
+
+let init (u : node) =
+  let base : attribute = createDict None in
+  match u with
+  | 0n -> base[0u2 := Some 0]
+  | 2n -> base[1u2 := Some 0]
+  | _ -> base
+
+let trans (e : edge) (x : attribute) =
+  map (fun v -> match v with | None -> None | Some d -> Some (d + 1)) x
+
+let merge (u : node) (x : attribute) (y : attribute) =
+  combine (fun a b ->
+    match a, b with
+    | _, None -> a
+    | None, _ -> b
+    | Some d1, Some d2 -> if d1 <= d2 then a else b) x y
+)nv";
+  Program P = parseAndCheck(Src);
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+
+  auto DistTo = [&](uint32_t U, uint64_t Prefix) -> const Value * {
+    return Ctx.mapGet(R.Labels[U], Ctx.intV(Prefix, 2));
+  };
+  EXPECT_EQ(DistTo(0, 0)->Inner->I, 0u);
+  EXPECT_EQ(DistTo(1, 0)->Inner->I, 1u);
+  EXPECT_EQ(DistTo(2, 0)->Inner->I, 2u);
+  EXPECT_EQ(DistTo(0, 1)->Inner->I, 2u);
+  EXPECT_EQ(DistTo(2, 1)->Inner->I, 0u);
+  // Unannounced prefixes stay None everywhere.
+  EXPECT_TRUE(DistTo(1, 2)->isNone());
+}
+
+} // namespace

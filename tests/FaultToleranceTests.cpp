@@ -1,0 +1,211 @@
+//===- FaultToleranceTests.cpp - Fig. 5 meta-protocol tests -----------------===//
+//
+// The MTBDD fault-tolerance analysis is checked against the naive
+// per-scenario simulation baseline: for every scenario, indexing the
+// meta-program's converged dict must give exactly the label the scenario's
+// own simulation computes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FaultTolerance.h"
+#include "baselines/NaiveFailures.h"
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+Program parseAndCheck(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return *P;
+}
+
+/// Shortest-path routing with an all-nodes-reachable assertion, on a
+/// configurable topology.
+std::string spProgram(uint32_t Nodes,
+                      const std::vector<std::pair<int, int>> &Links) {
+  std::string Edges;
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      Edges += ";";
+    Edges += std::to_string(Links[I].first) + "n=" +
+             std::to_string(Links[I].second) + "n";
+  }
+  return "let nodes = " + std::to_string(Nodes) +
+         "\n"
+         "let edges = {" +
+         Edges +
+         "}\n"
+         "let init (u : node) = match u with | 0n -> Some 0 | _ -> None\n"
+         "let trans (e : edge) (x : option[int]) =\n"
+         "  match x with | None -> None | Some d -> Some (d + 1)\n"
+         "let merge (u : node) (x : option[int]) (y : option[int]) =\n"
+         "  match x, y with\n"
+         "  | _, None -> x\n"
+         "  | None, _ -> y\n"
+         "  | Some a, Some b -> if a <= b then x else y\n"
+         "let assert (u : node) (x : option[int]) =\n"
+         "  match x with | None -> false | Some d -> true\n";
+}
+
+/// Diamond: 0-1, 0-2, 1-3, 2-3 — survives any single link failure.
+const std::vector<std::pair<int, int>> Diamond = {{0, 1}, {0, 2}, {1, 3},
+                                                  {2, 3}};
+/// Line: 0-1-2-3 — any link failure cuts reachability.
+const std::vector<std::pair<int, int>> Line = {{0, 1}, {1, 2}, {2, 3}};
+
+/// Oracle check: the meta-program's per-scenario routes equal the naive
+/// per-scenario simulation's routes, for every node and scenario.
+void expectMatchesNaive(const std::string &Src, const FtOptions &Opts) {
+  Program P = parseAndCheck(Src);
+  DiagnosticEngine Diags;
+  auto Meta = makeFaultTolerantProgram(P, Opts, Diags);
+  ASSERT_TRUE(Meta.has_value()) << Diags.str();
+
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator MetaEval(Ctx, *Meta);
+  SimResult MetaR = simulate(*Meta, MetaEval);
+  ASSERT_TRUE(MetaR.Converged);
+
+  InterpProgramEvaluator BaseEval(Ctx, P);
+  for (const FtScenario &S : enumerateScenarios(P, Opts)) {
+    SimResult NaiveR = simulateScenario(P, BaseEval, S, Ctx.noneV());
+    ASSERT_TRUE(NaiveR.Converged) << S.str();
+    const Value *Key = scenarioKey(Ctx, S, Opts);
+    for (uint32_t U = 0; U < P.numNodes(); ++U) {
+      const Value *FromMeta = Ctx.mapGet(MetaR.Labels[U], Key);
+      EXPECT_EQ(FromMeta, NaiveR.Labels[U])
+          << "scenario " << S.str() << " node " << U << ": meta="
+          << FromMeta->str() << " naive=" << NaiveR.Labels[U]->str();
+    }
+  }
+}
+
+TEST(FaultTolerance, SingleLinkMatchesNaiveOnDiamond) {
+  expectMatchesNaive(spProgram(4, Diamond), FtOptions{});
+}
+
+TEST(FaultTolerance, SingleLinkMatchesNaiveOnLine) {
+  expectMatchesNaive(spProgram(4, Line), FtOptions{});
+}
+
+TEST(FaultTolerance, TwoLinksMatchesNaive) {
+  FtOptions Opts;
+  Opts.LinkFailures = 2;
+  expectMatchesNaive(spProgram(4, Diamond), Opts);
+}
+
+TEST(FaultTolerance, NodeAndLinkMatchesNaive) {
+  FtOptions Opts;
+  Opts.NodeFailure = true;
+  Opts.LinkFailures = 1;
+  expectMatchesNaive(spProgram(4, Diamond), Opts);
+}
+
+TEST(FaultTolerance, NodeOnlyMatchesNaive) {
+  FtOptions Opts;
+  Opts.NodeFailure = true;
+  Opts.LinkFailures = 0;
+  expectMatchesNaive(spProgram(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}}),
+                     Opts);
+}
+
+TEST(FaultTolerance, BgpPolicyMatchesNaive) {
+  // The Fig. 2 BGP model (lp/med tie-breaking) under single link failure.
+  const char *Src = R"nv(
+include bgp
+let nodes = 5
+let edges = {0n=1n;0n=2n;1n=4n;2n=4n;1n=3n;2n=3n}
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+let init (u : node) =
+  match u with
+  | 0n -> Some {length = 0; lp = 100; med = 80; comms = {}; origin = 0n}
+  | _ -> None
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> b.origin = 0n
+)nv";
+  expectMatchesNaive(Src, FtOptions{});
+}
+
+TEST(FaultTolerance, DiamondSurvivesSingleFailure) {
+  Program P = parseAndCheck(spProgram(4, Diamond));
+  DiagnosticEngine Diags;
+  FtRunResult R = runFaultTolerance(P, FtOptions{}, /*Compiled=*/false, Diags);
+  ASSERT_TRUE(R.Converged) << Diags.str();
+  EXPECT_TRUE(R.Check.holds());
+  EXPECT_EQ(R.Check.ScenariosChecked, 4u);
+}
+
+TEST(FaultTolerance, LineViolatesSingleFailure) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  FtRunResult R = runFaultTolerance(P, FtOptions{}, /*Compiled=*/false, Diags);
+  ASSERT_TRUE(R.Converged) << Diags.str();
+  EXPECT_FALSE(R.Check.holds());
+  // Failing link 1-2 cuts nodes 2 and 3; failing 2-3 cuts node 3; failing
+  // 0-1 cuts 1, 2, 3.
+  EXPECT_EQ(R.Check.Violations.size(), 6u);
+}
+
+TEST(FaultTolerance, DiamondDoesNotSurviveTwoFailures) {
+  Program P = parseAndCheck(spProgram(4, Diamond));
+  FtOptions Opts;
+  Opts.LinkFailures = 2;
+  DiagnosticEngine Diags;
+  FtRunResult R = runFaultTolerance(P, Opts, /*Compiled=*/false, Diags);
+  ASSERT_TRUE(R.Converged) << Diags.str();
+  EXPECT_FALSE(R.Check.holds());
+}
+
+TEST(FaultTolerance, CompiledEvaluatorAgrees) {
+  Program P = parseAndCheck(spProgram(4, Diamond));
+  DiagnosticEngine Diags;
+  FtRunResult RI = runFaultTolerance(P, FtOptions{}, false, Diags);
+  FtRunResult RC = runFaultTolerance(P, FtOptions{}, true, Diags);
+  ASSERT_TRUE(RI.Converged && RC.Converged);
+  EXPECT_EQ(RI.Check.holds(), RC.Check.holds());
+  EXPECT_EQ(RI.Check.Violations.size(), RC.Check.Violations.size());
+}
+
+TEST(FaultTolerance, SharingCollapsesScenarios) {
+  // Fig. 4's insight: the number of distinct routes across scenarios is
+  // far below the number of scenarios. On the diamond, node 3's dict over
+  // 4+ scenarios holds at most 3 distinct routes.
+  Program P = parseAndCheck(spProgram(4, Diamond));
+  DiagnosticEngine Diags;
+  auto Meta = makeFaultTolerantProgram(P, FtOptions{}, Diags);
+  ASSERT_TRUE(Meta.has_value()) << Diags.str();
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, *Meta);
+  SimResult R = simulate(*Meta, Eval);
+  ASSERT_TRUE(R.Converged);
+  for (uint32_t U = 0; U < 4; ++U) {
+    ASSERT_EQ(R.Labels[U]->K, Value::Kind::Map);
+    EXPECT_LE(Ctx.Mgr.numDistinctLeaves(R.Labels[U]->MapRoot), 3u) << U;
+  }
+}
+
+TEST(FaultTolerance, GeneratedProgramPrintsAndReparses) {
+  Program P = parseAndCheck(spProgram(4, Diamond));
+  DiagnosticEngine Diags;
+  auto Meta = makeFaultTolerantProgram(P, FtOptions{}, Diags);
+  ASSERT_TRUE(Meta.has_value()) << Diags.str();
+  std::string Printed = printProgram(*Meta);
+  DiagnosticEngine D2;
+  auto Again = parseProgram(Printed, D2);
+  ASSERT_TRUE(Again.has_value()) << D2.str() << "\n" << Printed;
+  EXPECT_TRUE(typeCheck(*Again, D2)) << D2.str();
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- FrontendTests.cpp - Config parsing / DAG / translation tests ----------===//
+
+#include "eval/ProgramEvaluator.h"
+#include "frontend/Config.h"
+#include "frontend/RouteMapDag.h"
+#include "frontend/Translate.h"
+#include "net/Generators.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+/// The route-map of Fig. 10a, inside a minimal router.
+const char *Fig10Config = R"cfg(
+router A
+ip community-list comm1 permit 12
+ip community-list comm2 permit 34
+ip prefix-list pfx permit 192.168.2.0/24
+route-map RM1 permit 10
+match community comm1
+match ip address prefix-list pfx
+set local-preference 200
+route-map RM1 permit 20
+match community comm2
+set local-preference 100
+)cfg";
+
+NetworkConfig parseCfg(const std::string &Text) {
+  DiagnosticEngine Diags;
+  auto Net = parseConfigs(Text, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.str();
+  return *Net;
+}
+
+TEST(ConfigParse, Fig10aStructure) {
+  NetworkConfig Net = parseCfg(Fig10Config);
+  ASSERT_EQ(Net.Routers.size(), 1u);
+  const RouterConfig &A = Net.Routers[0];
+  EXPECT_EQ(A.CommunityLists.at("comm1"), std::vector<uint32_t>{12});
+  EXPECT_EQ(A.PrefixLists.at("pfx").size(), 1u);
+  EXPECT_EQ(A.PrefixLists.at("pfx")[0].str(), "192.168.2.0/24");
+  const RouteMap &RM = A.RouteMaps.at("RM1");
+  ASSERT_EQ(RM.Clauses.size(), 2u);
+  EXPECT_EQ(RM.Clauses[0].Seq, 10);
+  EXPECT_EQ(*RM.Clauses[0].MatchCommunityList, "comm1");
+  EXPECT_EQ(*RM.Clauses[0].MatchPrefixList, "pfx");
+  EXPECT_EQ(*RM.Clauses[0].SetLocalPref, 200u);
+  EXPECT_FALSE(RM.Clauses[1].MatchPrefixList.has_value());
+  EXPECT_EQ(*RM.Clauses[1].SetLocalPref, 100u);
+}
+
+TEST(ConfigParse, BadStatementsRejected) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseConfigs("router A\nbogus statement", Diags).has_value());
+  DiagnosticEngine D2;
+  EXPECT_FALSE(parseConfigs("network 1.2.3.4/24", D2).has_value());
+  DiagnosticEngine D3;
+  EXPECT_FALSE(
+      parseConfigs("router A\nip route 999.2.3.4/24", D3).has_value());
+}
+
+TEST(RouteMapDagTest, Fig10bShape) {
+  NetworkConfig Net = parseCfg(Fig10Config);
+  RouteMapDag D = buildRouteMapDag(Net.Routers[0].RouteMaps.at("RM1"));
+  // Fig. 10b: comm1 at the root; its true-branch tests the prefix; its
+  // false-branch tests comm2.
+  const auto &Root = D.node(D.Root);
+  EXPECT_EQ(Root.K, RouteMapDag::Node::Kind::CondCommunity);
+  EXPECT_EQ(Root.ListName, "comm1");
+  EXPECT_EQ(D.node(Root.True).K, RouteMapDag::Node::Kind::CondPrefix);
+  EXPECT_EQ(D.node(Root.False).K, RouteMapDag::Node::Kind::CondCommunity);
+  EXPECT_EQ(D.node(Root.False).ListName, "comm2");
+  EXPECT_FALSE(D.prefixConditionsHoisted());
+}
+
+TEST(RouteMapDagTest, Fig10cHoisting) {
+  NetworkConfig Net = parseCfg(Fig10Config);
+  RouteMapDag D = buildRouteMapDag(Net.Routers[0].RouteMaps.at("RM1"));
+  RouteMapDag H = hoistPrefixConditions(D);
+  EXPECT_TRUE(H.prefixConditionsHoisted());
+  // Fig. 10c: prefix test at the top, community tests below.
+  const auto &Root = H.node(H.Root);
+  EXPECT_EQ(Root.K, RouteMapDag::Node::Kind::CondPrefix);
+  EXPECT_EQ(Root.ListName, "pfx");
+  EXPECT_EQ(H.node(Root.True).K, RouteMapDag::Node::Kind::CondCommunity);
+  EXPECT_EQ(H.node(Root.False).K, RouteMapDag::Node::Kind::CondCommunity);
+  // On the prefix-false side the comm1-true path must fall through to
+  // comm2 (lp 100), not to the lp 200 mutation.
+  const auto &FalseSide = H.node(Root.False);
+  EXPECT_EQ(FalseSide.ListName, "comm1");
+  const auto &FT = H.node(FalseSide.True);
+  EXPECT_EQ(FT.K, RouteMapDag::Node::Kind::CondCommunity);
+  EXPECT_EQ(FT.ListName, "comm2");
+}
+
+/// Semantic check of the emitted Fig. 10d function: apply it to RIBs with
+/// known tags/prefixes and check the resulting local preferences.
+TEST(RouteMapDagTest, Fig10dSemantics) {
+  NetworkConfig Net = parseCfg(Fig10Config);
+  DiagnosticEngine Diags;
+  std::string Fn = emitRouteMapFunction(
+      "transRM1", Net.Routers[0], Net.Routers[0].RouteMaps.at("RM1"), Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+
+  Prefix Matching = Net.Routers[0].PrefixLists.at("pfx")[0];
+  Prefix Other;
+  Other.Addr = 0x0A000000; // 10.0.0.0/24
+  Other.Len = 24;
+
+  std::string Src =
+      "type ipv4Prefix = (int, int6)\n"
+      "type bgpRoute = {comms : set[int]; length : int; lp : int; "
+      "med : int}\n"
+      "type rib = option[bgpRoute]\n"
+      "type attribute = dict[ipv4Prefix, rib]\n" +
+      Fn +
+      "let mkRoute (c : int) =\n"
+      "  let tags : set[int] = {} in\n"
+      "  Some {comms = tags[c := true]; length = 0; lp = 0; med = 0}\n"
+      // A RIB with a comm1-tagged route at the matching prefix, a
+      // comm1-tagged route at another prefix, and a comm2-tagged route.
+      "let base : attribute = createDict None\n"
+      "let ribIn : attribute = ((base[" +
+      prefixKeyLiteral(Matching) + " := mkRoute 12])[" +
+      prefixKeyLiteral(Other) + " := mkRoute 12])[" +
+      "(167772672, 24u6) := mkRoute 34]\n"
+      "let ribOut : attribute = transRM1 ribIn\n"
+      "let lpAt (p : ipv4Prefix) =\n"
+      "  match ribOut[p] with | None -> 0 - 1 | Some r -> r.lp\n"
+      "let r1 = lpAt " + prefixKeyLiteral(Matching) + "\n"
+      "let r2 = lpAt " + prefixKeyLiteral(Other) + "\n"
+      "let r3 = lpAt (167772672, 24u6)\n";
+
+  DiagnosticEngine D2;
+  auto P = loadGenerated(Src, D2);
+  ASSERT_TRUE(P.has_value()) << D2.str() << "\n" << Src;
+
+  // No topology needed: evaluate the globals directly.
+  NvContext Ctx(2);
+  Interp I(Ctx);
+  EnvPtr Env;
+  for (const DeclPtr &D : P->Decls)
+    if (D->Kind == DeclKind::Let)
+      Env = envBind(Env, D->Name, I.eval(D->Body.get(), Env));
+  // comm1 + matching prefix -> lp 200 (clause 10).
+  EXPECT_EQ(envLookup(Env.get(), "r1")->I, 200u);
+  // comm1 + other prefix -> falls through; no comm2 -> dropped (-1).
+  EXPECT_EQ(envLookup(Env.get(), "r2"),
+            Ctx.intV(static_cast<uint64_t>(0) - 1, 32));
+  // comm2 -> lp 100 (clause 20).
+  EXPECT_EQ(envLookup(Env.get(), "r3")->I, 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: configs -> NV -> simulate + verify
+//===----------------------------------------------------------------------===//
+
+/// A 4-router square with tagging at B and filtering at C: A originates
+/// two prefixes, D should route around C for tagged routes.
+const char *SquareConfig = R"cfg(
+router A
+interface neighbor B
+interface neighbor C
+ip route 10.0.1.0/24
+network 10.0.2.0/24
+
+router B
+interface neighbor A
+interface neighbor D
+router bgp 2
+neighbor D route-map TAG out
+ip community-list all permit 55
+route-map TAG permit 10
+set community 55
+
+router C
+interface neighbor A
+interface neighbor D
+router bgp 3
+neighbor D route-map NOOP out
+route-map NOOP permit 10
+
+router D
+interface neighbor B
+interface neighbor C
+router bgp 4
+neighbor B route-map DROPTAG in
+ip community-list tagged permit 55
+route-map DROPTAG deny 5
+match community tagged
+route-map DROPTAG permit 10
+)cfg";
+
+TEST(Translate, SquareEndToEnd) {
+  NetworkConfig Net = parseCfg(SquareConfig);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  ASSERT_EQ(T->Prefixes.size(), 2u);
+
+  std::string Src = T->NvSource + nvAssertReachable(T->Prefixes[0]);
+  DiagnosticEngine D2;
+  auto P = loadGenerated(Src, D2);
+  ASSERT_TRUE(P.has_value()) << D2.str() << "\n" << Src;
+
+  NvContext Ctx(P->numNodes());
+  InterpProgramEvaluator Eval(Ctx, *P);
+  SimResult R = simulate(*P, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+
+  // D (router 3) must have learned A's prefixes via C (unfiltered): its
+  // routes are present and untagged.
+  const Value *DRoute = Ctx.mapGet(R.Labels[3], Ctx.tupleV({
+      Ctx.intV(T->Prefixes[0].Addr), Ctx.intV(T->Prefixes[0].Len, 6)}));
+  ASSERT_TRUE(DRoute->isSome());
+  // Route record sorted fields: {comms, length, lp, med}; tag 55 unset.
+  const Value *Comms = DRoute->Inner->Elems[0];
+  EXPECT_EQ(Ctx.mapGet(Comms, Ctx.intV(55)), Ctx.FalseV);
+  // Two hops: A -> C -> D.
+  EXPECT_EQ(DRoute->Inner->Elems[1]->I, 2u);
+}
+
+TEST(Translate, SquareVerifiesWithSmt) {
+  NetworkConfig Net = parseCfg(SquareConfig);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  std::string Src = T->NvSource + nvAssertReachable(T->Prefixes[0]);
+  DiagnosticEngine D2;
+  auto P = loadGenerated(Src, D2);
+  ASSERT_TRUE(P.has_value()) << D2.str();
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(*P, Opts, D2);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+TEST(Translate, UndefinedListRejected) {
+  const char *Bad = R"cfg(
+router A
+interface neighbor B
+router bgp 1
+neighbor B route-map RM out
+route-map RM permit 10
+match community nosuchlist
+set local-preference 200
+
+router B
+interface neighbor A
+)cfg";
+  NetworkConfig Net = parseCfg(Bad);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  EXPECT_FALSE(T.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- NetTests.cpp - Topology + generated-program tests ---------------------===//
+
+#include "eval/Compile.h"
+#include "eval/ProgramEvaluator.h"
+#include "net/Generators.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace nv;
+
+namespace {
+
+TEST(Topology, FatTreeCounts) {
+  for (unsigned K : {4u, 6u, 8u}) {
+    FatTree FT(K);
+    Topology T = FT.topology();
+    EXPECT_EQ(T.NumNodes, 5 * K * K / 4) << K;
+    EXPECT_EQ(T.Links.size(), static_cast<size_t>(K) * K * K / 2) << K;
+    EXPECT_EQ(FT.leaves().size(), static_cast<size_t>(K) * K / 2) << K;
+    // Every link endpoint is a declared node, and layers differ by one.
+    for (const auto &[U, V] : T.Links) {
+      EXPECT_LT(U, T.NumNodes);
+      EXPECT_LT(V, T.NumNodes);
+      int LU = static_cast<int>(FT.layerOf(U));
+      int LV = static_cast<int>(FT.layerOf(V));
+      EXPECT_EQ(LV - LU, 1) << U << "~" << V;
+    }
+  }
+}
+
+TEST(Topology, UsCarrierShape) {
+  Topology T = usCarrierTopology();
+  EXPECT_EQ(T.NumNodes, 174u);
+  EXPECT_EQ(T.Links.size(), 410u);
+  // Deterministic: same seed, same graph.
+  Topology T2 = usCarrierTopology();
+  EXPECT_EQ(T.Links, T2.Links);
+  // No duplicate links.
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  for (auto [U, V] : T.Links) {
+    if (U > V)
+      std::swap(U, V);
+    EXPECT_TRUE(Seen.insert({U, V}).second);
+  }
+}
+
+Program load(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = loadGenerated(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  return *P;
+}
+
+TEST(Generators, SpSingleSimulatesAndAsserts) {
+  Program P = load(generateSpSingle(4));
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+}
+
+TEST(Generators, FatSingleSimulatesAndAsserts) {
+  Program P = load(generateFatSingle(4));
+  NvContext Ctx(P.numNodes());
+  CompiledProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+}
+
+TEST(Generators, FatPolicyDropsValleys) {
+  // Under the valley-free policy, the hop counts must match SP hop counts
+  // (valley paths are never shortest in a fat tree), and all routes keep
+  // origin = dest: simulate both and compare path lengths.
+  Program SP = load(generateSpSingle(4));
+  Program FAT = load(generateFatSingle(4));
+  NvContext Ctx(SP.numNodes());
+  InterpProgramEvaluator ESP(Ctx, SP), EFAT(Ctx, FAT);
+  SimResult RSP = simulate(SP, ESP), RFAT = simulate(FAT, EFAT);
+  ASSERT_TRUE(RSP.Converged && RFAT.Converged);
+  for (uint32_t U = 0; U < SP.numNodes(); ++U) {
+    ASSERT_TRUE(RSP.Labels[U]->isSome());
+    ASSERT_TRUE(RFAT.Labels[U]->isSome());
+    // length is field index 1 in sorted order {comms,length,lp,med,origin}.
+    EXPECT_EQ(RSP.Labels[U]->Inner->Elems[1], RFAT.Labels[U]->Inner->Elems[1])
+        << U;
+  }
+}
+
+TEST(Generators, SpAllPrefixesComputesAllDistances) {
+  Program P = load(generateSpAllPrefixes(4));
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  FatTree FT(4);
+  auto Leaves = FT.leaves();
+  // Every node has a route to every prefix; a leaf's own prefix is 0 hops.
+  for (uint32_t U = 0; U < P.numNodes(); ++U)
+    for (size_t Pfx = 0; Pfx < Leaves.size(); ++Pfx) {
+      const Value *D = Ctx.mapGet(R.Labels[U], Ctx.intV(Pfx, 16));
+      ASSERT_TRUE(D->isSome()) << U << " prefix " << Pfx;
+      if (U == Leaves[Pfx])
+        EXPECT_EQ(D->Inner->I, 0u);
+      else
+        EXPECT_GE(D->Inner->I, 1u);
+    }
+}
+
+TEST(Generators, FatAllPrefixesAgreesWithSpOnDistances) {
+  Program PS = load(generateSpAllPrefixes(4));
+  Program PF = load(generateFatAllPrefixes(4));
+  NvContext Ctx(PS.numNodes());
+  InterpProgramEvaluator ES(Ctx, PS), EF(Ctx, PF);
+  SimResult RS = simulate(PS, ES), RF = simulate(PF, EF);
+  ASSERT_TRUE(RS.Converged && RF.Converged);
+  FatTree FT(4);
+  for (uint32_t U = 0; U < PS.numNodes(); ++U)
+    for (size_t Pfx = 0; Pfx < FT.leaves().size(); ++Pfx) {
+      const Value *DS = Ctx.mapGet(RS.Labels[U], Ctx.intV(Pfx, 16));
+      const Value *DF = Ctx.mapGet(RF.Labels[U], Ctx.intV(Pfx, 16));
+      ASSERT_TRUE(DF->isSome());
+      // rt = {dn; len}: len is field 1 in sorted order.
+      EXPECT_EQ(DS->Inner->I, DF->Inner->Elems[1]->I) << U << "/" << Pfx;
+    }
+}
+
+TEST(Generators, UsCarrierSimulatesAndAsserts) {
+  Program P = load(generateUsCarrier());
+  NvContext Ctx(P.numNodes());
+  CompiledProgramEvaluator Eval(Ctx, P);
+  SimResult R = simulate(P, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+}
+
+TEST(Generators, SpSingleVerifiesWithSmt) {
+  Program P = load(generateSpSingle(4));
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+TEST(Generators, FatSingleVerifiesWithSmt) {
+  Program P = load(generateFatSingle(4));
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+} // namespace

@@ -1,0 +1,277 @@
+//===- PropertyTests.cpp - Randomized cross-component properties -------------===//
+//
+// Seed-parameterized properties tying independent subsystems together:
+// the simulator and the SMT verifier must agree on reachability of random
+// networks; the per-prefix Batfish baseline must compute the same routes
+// as the bulk MTBDD simulation; route-map DAG hoisting must preserve the
+// DAG's decision semantics; and the parser must reject garbage gracefully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BatfishSim.h"
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+#include "frontend/RouteMapDag.h"
+#include "net/Generators.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace nv;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Simulator vs SMT on random topologies
+//===----------------------------------------------------------------------===//
+
+/// Random (possibly disconnected) graph running shortest-path routing with
+/// an all-nodes-reachable assert. The protocol is strictly monotone, so
+/// the stable state is unique: the simulator's verdict and the verifier's
+/// verdict must coincide exactly.
+std::string randomSpNetwork(std::mt19937 &Rng, uint32_t N) {
+  std::set<std::pair<uint32_t, uint32_t>> Links;
+  uint32_t NumLinks = 1 + Rng() % (2 * N);
+  for (uint32_t I = 0; I < NumLinks; ++I) {
+    uint32_t A = Rng() % N, B = Rng() % N;
+    if (A == B)
+      continue;
+    if (A > B)
+      std::swap(A, B);
+    Links.insert({A, B});
+  }
+  std::string Edges;
+  for (auto [A, B] : Links) {
+    if (!Edges.empty())
+      Edges += ";";
+    Edges += std::to_string(A) + "n=" + std::to_string(B) + "n";
+  }
+  if (Edges.empty())
+    Edges = "0n=1n";
+  return "let nodes = " + std::to_string(N) + "\nlet edges = {" + Edges +
+         "}\n"
+         "let init (u : node) = match u with | 0n -> Some 0 | _ -> None\n"
+         "let trans (e : edge) (x : option[int]) =\n"
+         "  match x with | None -> None | Some d -> Some (d + 1)\n"
+         "let merge (u : node) (x : option[int]) (y : option[int]) =\n"
+         "  match x, y with\n"
+         "  | _, None -> x\n"
+         "  | None, _ -> y\n"
+         "  | Some a, Some b -> if a <= b then x else y\n"
+         "let assert (u : node) (x : option[int]) =\n"
+         "  match x with | None -> false | Some d -> true\n";
+}
+
+class SimSmtAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimSmtAgreement, SameReachabilityVerdict) {
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round < 3; ++Round) {
+    uint32_t N = 3 + Rng() % 5;
+    std::string Src = randomSpNetwork(Rng, N);
+    DiagnosticEngine Diags;
+    auto P = parseProgram(Src, Diags);
+    ASSERT_TRUE(P.has_value()) << Diags.str() << Src;
+    ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str() << Src;
+
+    NvContext Ctx(N);
+    InterpProgramEvaluator Eval(Ctx, *P);
+    SimResult R = simulate(*P, Eval);
+    ASSERT_TRUE(R.Converged);
+    bool SimHolds = checkAsserts(Eval, R).empty();
+
+    VerifyOptions Opts;
+    Opts.TimeoutMs = 20000;
+    VerifyResult V = verifyProgram(*P, Opts, Diags);
+    ASSERT_NE(V.Status, VerifyStatus::EncodingError) << Diags.str();
+    ASSERT_NE(V.Status, VerifyStatus::Unknown);
+    EXPECT_EQ(SimHolds, V.Status == VerifyStatus::Verified)
+        << Src << "\n" << V.Counterexample;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSmtAgreement, ::testing::Range(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Batfish per-prefix baseline vs NV bulk simulation
+//===----------------------------------------------------------------------===//
+
+class BatfishAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BatfishAgreement, SameDistancesAsBulkMtbddRun) {
+  unsigned K = GetParam();
+  DiagnosticEngine Diags;
+  auto All = loadGenerated(generateSpAllPrefixes(K), Diags);
+  auto Param = loadGenerated(generateSpSingleParam(K), Diags);
+  ASSERT_TRUE(All && Param) << Diags.str();
+  FatTree FT(K);
+  auto Leaves = FT.leaves();
+
+  NvContext Ctx(All->numNodes());
+  InterpProgramEvaluator Eval(Ctx, *All);
+  SimResult Bulk = simulate(*All, Eval);
+  ASSERT_TRUE(Bulk.Converged);
+
+  // Extract hop counts while each per-prefix context is alive; BGP record
+  // sorted fields: {comms, length, lp, med, origin}.
+  BatfishResult BF = batfishAllPrefixes(*Param, Leaves, [](const Value *L) {
+    return L->isSome() ? static_cast<int64_t>(L->Inner->Elems[1]->I) : -1;
+  });
+  ASSERT_TRUE(BF.Converged);
+  ASSERT_EQ(BF.Labels.size(), Leaves.size());
+
+  for (size_t Pfx = 0; Pfx < Leaves.size(); ++Pfx)
+    for (uint32_t U = 0; U < All->numNodes(); ++U) {
+      const Value *FromBulk = Ctx.mapGet(Bulk.Labels[U], Ctx.intV(Pfx, 16));
+      int64_t FromBF = BF.Labels[Pfx][U];
+      if (FromBulk->isNone()) {
+        EXPECT_EQ(FromBF, -1) << U << "/" << Pfx;
+        continue;
+      }
+      EXPECT_EQ(static_cast<int64_t>(FromBulk->Inner->I), FromBF)
+          << U << "/" << Pfx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatfishAgreement, ::testing::Values(4u, 6u));
+
+//===----------------------------------------------------------------------===//
+// Route-map DAG hoisting preserves decision semantics
+//===----------------------------------------------------------------------===//
+
+/// Direct C++ evaluation of a DAG against an assignment of list names to
+/// truth values; returns the reached leaf's description.
+std::string evalDag(const RouteMapDag &D,
+                    const std::map<std::string, bool> &Truth) {
+  int I = D.Root;
+  for (;;) {
+    const RouteMapDag::Node &N = D.node(I);
+    switch (N.K) {
+    case RouteMapDag::Node::Kind::Drop:
+      return "drop";
+    case RouteMapDag::Node::Kind::Mutate: {
+      std::string S = "mutate";
+      if (N.SetLocalPref)
+        S += " lp" + std::to_string(*N.SetLocalPref);
+      if (N.SetMetric)
+        S += " med" + std::to_string(*N.SetMetric);
+      if (N.AddCommunity)
+        S += " c" + std::to_string(*N.AddCommunity);
+      return S;
+    }
+    default:
+      I = Truth.at(N.ListName) ? N.True : N.False;
+    }
+  }
+}
+
+class DagHoisting : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagHoisting, PreservesSemanticsOnRandomRouteMaps) {
+  std::mt19937 Rng(GetParam());
+  const char *CommLists[] = {"c1", "c2", "c3"};
+  const char *PfxLists[] = {"p1", "p2"};
+
+  for (int Round = 0; Round < 10; ++Round) {
+    RouteMap RM;
+    RM.Name = "RM";
+    unsigned NumClauses = 1 + Rng() % 4;
+    for (unsigned C = 0; C < NumClauses; ++C) {
+      RouteMapClause Clause;
+      Clause.Permit = Rng() % 4 != 0;
+      Clause.Seq = static_cast<int>(C) * 10;
+      if (Rng() % 2)
+        Clause.MatchCommunityList = CommLists[Rng() % 3];
+      if (Rng() % 2)
+        Clause.MatchPrefixList = PfxLists[Rng() % 2];
+      if (Rng() % 2)
+        Clause.SetLocalPref = 100 + Rng() % 100;
+      if (Rng() % 2)
+        Clause.SetMetric = Rng() % 50;
+      RM.Clauses.push_back(Clause);
+    }
+
+    RouteMapDag D = buildRouteMapDag(RM);
+    RouteMapDag H = hoistPrefixConditions(D);
+    ASSERT_TRUE(H.prefixConditionsHoisted());
+
+    // Exhaustive truth assignments over the five lists.
+    for (unsigned Bits = 0; Bits < 32; ++Bits) {
+      std::map<std::string, bool> Truth = {
+          {"c1", (Bits & 1) != 0},  {"c2", (Bits & 2) != 0},
+          {"c3", (Bits & 4) != 0},  {"p1", (Bits & 8) != 0},
+          {"p2", (Bits & 16) != 0},
+      };
+      EXPECT_EQ(evalDag(D, Truth), evalDag(H, Truth))
+          << "seed " << GetParam() << " round " << Round << " bits " << Bits;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagHoisting, ::testing::Range(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Parser robustness
+//===----------------------------------------------------------------------===//
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, GarbageNeverCrashes) {
+  std::mt19937 Rng(GetParam());
+  const char *Fragments[] = {
+      "let",   "in",    "fun",  "match", "with", "|",  "->", "(",  ")",
+      "{",     "}",     "[",    "]",     "=",    ":=", "x",  "1",  "2n",
+      "Some",  "None",  "if",   "then",  "else", "+",  "-",  "&&", "!",
+      "dict",  "int8",  ",",    ";",     ":",    "3u4", "createDict",
+      "mapIte", "type", "symbolic", "require", "\"s\"", ".",
+  };
+  for (int Round = 0; Round < 40; ++Round) {
+    std::string Src;
+    unsigned Len = Rng() % 60;
+    for (unsigned I = 0; I < Len; ++I) {
+      Src += Fragments[Rng() % (sizeof(Fragments) / sizeof(*Fragments))];
+      Src += ' ';
+    }
+    DiagnosticEngine Diags;
+    auto P = parseProgram(Src, Diags); // must not crash or hang
+    if (P) {
+      DiagnosticEngine D2;
+      typeCheck(*P, D2); // nor may checking a parsed soup crash
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 7));
+
+//===----------------------------------------------------------------------===//
+// Compiled vs interpreted on random topologies with richer policy
+//===----------------------------------------------------------------------===//
+
+class EvaluatorAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorAgreement, SameFixpointOnRandomBgpNetworks) {
+  std::mt19937 Rng(GetParam() * 77);
+  uint32_t N = 4 + Rng() % 4;
+  std::string Src = randomSpNetwork(Rng, N);
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+
+  NvContext Ctx(N);
+  InterpProgramEvaluator EI(Ctx, *P);
+  CompiledProgramEvaluator EC(Ctx, *P);
+  SimResult RI = simulate(*P, EI);
+  SimResult RC = simulate(*P, EC);
+  ASSERT_TRUE(RI.Converged && RC.Converged);
+  EXPECT_EQ(RI.Labels, RC.Labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorAgreement, ::testing::Range(1, 11));
+
+} // namespace

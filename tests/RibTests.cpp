@@ -1,0 +1,243 @@
+//===- RibTests.cpp - Multi-protocol RIB model tests (Sec. 4.1, Fig. 9) ------===//
+
+#include "eval/ProgramEvaluator.h"
+#include "frontend/Config.h"
+#include "frontend/Translate.h"
+#include "net/Generators.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+/// Fig. 1's flavor: A statically routes a prefix and injects it into OSPF
+/// (metric 20, distance 70); B carries it in OSPF and redistributes OSPF
+/// into BGP; C speaks only BGP.
+const char *MixedConfig = R"cfg(
+router A
+interface neighbor B cost 5
+ip route 192.168.1.0/24
+router ospf 1
+redistribute static metric 20
+distance 70
+
+router B
+interface neighbor A cost 5
+interface neighbor C
+router ospf 1
+router bgp 2
+redistribute ospf
+
+router C
+interface neighbor B
+router bgp 3
+)cfg";
+
+NetworkConfig parseCfg(const std::string &Text) {
+  DiagnosticEngine Diags;
+  auto Net = parseConfigs(Text, Diags);
+  EXPECT_TRUE(Net.has_value()) << Diags.str();
+  return *Net;
+}
+
+TEST(RibConfig, ParsesProtocolBlocks) {
+  NetworkConfig Net = parseCfg(MixedConfig);
+  ASSERT_EQ(Net.Routers.size(), 3u);
+  const RouterConfig &A = Net.Routers[0];
+  EXPECT_TRUE(A.OspfEnabled);
+  EXPECT_FALSE(A.BgpEnabled);
+  EXPECT_TRUE(A.OspfRedistStatic);
+  EXPECT_EQ(A.OspfRedistMetric, 20u);
+  EXPECT_EQ(A.OspfDistance, 70u);
+  EXPECT_EQ(A.OspfCosts.at("B"), 5u);
+  const RouterConfig &B = Net.Routers[1];
+  EXPECT_TRUE(B.OspfEnabled);
+  EXPECT_TRUE(B.BgpEnabled);
+  EXPECT_TRUE(B.BgpRedistOspf);
+  EXPECT_TRUE(usesRibModel(Net));
+}
+
+TEST(RibTranslate, RedistributionChainEndToEnd) {
+  NetworkConfig Net = parseCfg(MixedConfig);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  ASSERT_EQ(T->Prefixes.size(), 1u);
+  Prefix P = T->Prefixes[0];
+
+  std::string Src = T->NvSource + nvAssertReachableRib(P);
+  DiagnosticEngine D2;
+  auto Prog = loadGenerated(Src, D2);
+  ASSERT_TRUE(Prog.has_value()) << D2.str() << "\n" << Src;
+
+  NvContext Ctx(3);
+  InterpProgramEvaluator Eval(Ctx, *Prog);
+  SimResult R = simulate(*Prog, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+
+  const Value *Key = Ctx.tupleV({Ctx.intV(P.Addr), Ctx.intV(P.Len, 6)});
+  // ribEntry sorted fields: {bgp, connected, ospf, selected, static}.
+  auto EntryAt = [&](uint32_t U) { return Ctx.mapGet(R.Labels[U], Key); };
+
+  // A selects its static route (selected = 1).
+  const Value *EA = EntryAt(0);
+  ASSERT_TRUE(EA->Elems[4]->isSome());
+  EXPECT_EQ(EA->Elems[3]->Inner->I, 1u);
+
+  // B carries the OSPF route: cost = redist metric 20 + link cost 5,
+  // selected = 2 (ospf).
+  const Value *EB = EntryAt(1);
+  ASSERT_TRUE(EB->Elems[2]->isSome());
+  EXPECT_EQ(EB->Elems[2]->Inner->Elems[0]->I, 25u);
+  EXPECT_EQ(EB->Elems[3]->Inner->I, 2u);
+  // C echoes the redistributed route back to B over eBGP; it sits in B's
+  // BGP slot but loses the administrative-distance selection to OSPF.
+  EXPECT_TRUE(EB->Elems[0]->isSome());
+
+  // C learns it via BGP redistribution at B: selected = 3 (bgp), one hop.
+  const Value *EC = EntryAt(2);
+  ASSERT_TRUE(EC->Elems[0]->isSome());
+  EXPECT_EQ(EC->Elems[3]->Inner->I, 3u);
+  EXPECT_TRUE(EC->Elems[2]->isNone()); // OSPF does not reach C
+}
+
+TEST(RibTranslate, OspfPrefersLowerCostPath) {
+  // Triangle with asymmetric costs: A-B direct cost 10, A-C-B cost 2+2.
+  const char *Cfg = R"cfg(
+router A
+interface neighbor B cost 10
+interface neighbor C cost 2
+connected 10.1.0.0/16
+router ospf 1
+redistribute connected
+network 10.1.0.0/16
+
+router B
+interface neighbor A cost 10
+interface neighbor C cost 2
+router ospf 1
+
+router C
+interface neighbor A cost 2
+interface neighbor B cost 2
+router ospf 1
+)cfg";
+  NetworkConfig Net = parseCfg(Cfg);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  std::string Src = T->NvSource + nvAssertReachableRib(T->Prefixes[0]);
+  DiagnosticEngine D2;
+  auto Prog = loadGenerated(Src, D2);
+  ASSERT_TRUE(Prog.has_value()) << D2.str() << "\n" << Src;
+
+  NvContext Ctx(3);
+  InterpProgramEvaluator Eval(Ctx, *Prog);
+  SimResult R = simulate(*Prog, Eval);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(checkAsserts(Eval, R).empty());
+
+  Prefix P = T->Prefixes[0];
+  const Value *Key = Ctx.tupleV({Ctx.intV(P.Addr), Ctx.intV(P.Len, 6)});
+  // B's OSPF cost must be 4 (via C), not 10 (direct).
+  const Value *EB = Ctx.mapGet(R.Labels[1], Key);
+  ASSERT_TRUE(EB->Elems[2]->isSome());
+  EXPECT_EQ(EB->Elems[2]->Inner->Elems[0]->I, 4u);
+  // C: cost 2.
+  const Value *EC = Ctx.mapGet(R.Labels[2], Key);
+  EXPECT_EQ(EC->Elems[2]->Inner->Elems[0]->I, 2u);
+}
+
+TEST(RibTranslate, AdministrativeDistanceDecidesOspfVsBgp) {
+  // D hears the same prefix via OSPF (from A) and via eBGP (from E which
+  // originates it into BGP). With the default distances OSPF(110) beats
+  // BGP(170); raising D's OSPF distance above 170 flips the choice.
+  const char *Base = R"cfg(
+router A
+interface neighbor D
+connected 10.9.0.0/16
+router ospf 1
+redistribute connected
+
+router E
+interface neighbor D
+router bgp 5
+network 10.9.0.0/16
+
+router D
+interface neighbor A
+interface neighbor E
+router bgp 9
+router ospf 1
+)cfg";
+  for (bool RaiseOspf : {false, true}) {
+    bool LowerOspf = RaiseOspf; // raised above BGP's 170 => BGP selected
+    std::string Cfg(Base);
+    if (LowerOspf)
+      Cfg += "distance 180\n"; // appended inside D's ospf block
+    NetworkConfig Net = parseCfg(Cfg);
+    DiagnosticEngine Diags;
+    auto T = translateConfigs(Net, Diags);
+    ASSERT_TRUE(T.has_value()) << Diags.str();
+    std::string Src = T->NvSource + nvAssertReachableRib(T->Prefixes[0]);
+    DiagnosticEngine D2;
+    auto Prog = loadGenerated(Src, D2);
+    ASSERT_TRUE(Prog.has_value()) << D2.str();
+
+    NvContext Ctx(3);
+    InterpProgramEvaluator Eval(Ctx, *Prog);
+    SimResult R = simulate(*Prog, Eval);
+    ASSERT_TRUE(R.Converged);
+    Prefix P = T->Prefixes[0];
+    const Value *Key = Ctx.tupleV({Ctx.intV(P.Addr), Ctx.intV(P.Len, 6)});
+    const Value *ED = Ctx.mapGet(R.Labels[2], Key); // router D is index 2
+    ASSERT_TRUE(ED->Elems[3]->isSome()) << "selected must exist";
+    // Both protocol slots are populated...
+    ASSERT_TRUE(ED->Elems[0]->isSome());
+    ASSERT_TRUE(ED->Elems[2]->isSome());
+    // ...and the admin distance decides: bgp(3) once OSPF's distance is
+    // raised past BGP's 170, ospf(2) by default.
+    EXPECT_EQ(ED->Elems[3]->Inner->I, LowerOspf ? 3u : 2u);
+  }
+}
+
+TEST(RibTranslate, SmtVerifiesRibReachability) {
+  NetworkConfig Net = parseCfg(MixedConfig);
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  std::string Src = T->NvSource + nvAssertReachableRib(T->Prefixes[0]);
+  DiagnosticEngine D2;
+  auto Prog = loadGenerated(Src, D2);
+  ASSERT_TRUE(Prog.has_value()) << D2.str();
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(*Prog, Opts, D2);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+TEST(RibTranslate, BgpOnlyConfigsKeepTheLeanModel) {
+  // No OSPF/redistribution: the original BGP-only translation is used
+  // (attribute = dict[prefix, option[bgpRoute]]).
+  const char *Cfg = R"cfg(
+router A
+interface neighbor B
+network 10.0.0.0/8
+
+router B
+interface neighbor A
+router bgp 2
+)cfg";
+  NetworkConfig Net = parseCfg(Cfg);
+  EXPECT_FALSE(usesRibModel(Net));
+  DiagnosticEngine Diags;
+  auto T = translateConfigs(Net, Diags);
+  ASSERT_TRUE(T.has_value()) << Diags.str();
+  EXPECT_NE(T->NvSource.find("type rib = option[bgpRoute]"), std::string::npos);
+  EXPECT_EQ(T->NvSource.find("ribEntry"), std::string::npos);
+}
+
+} // namespace

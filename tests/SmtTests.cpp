@@ -1,0 +1,310 @@
+//===- SmtTests.cpp - SMT verifier tests -------------------------------------===//
+
+#include "analysis/SymbolicFailures.h"
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "smt/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+Program parseAndCheck(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return *P;
+}
+
+VerifyResult verify(const Program &P, SmtOptions Smt = {}) {
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  Opts.Smt = Smt;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_NE(R.Status, VerifyStatus::EncodingError) << Diags.str();
+  return R;
+}
+
+/// Fig. 2b, with a symbolic route announced by the external peer.
+std::string fig2b(bool WithFilter) {
+  std::string ImportFilter =
+      WithFilter
+          // Import policy on edges from node 4: drop everything.
+          ? "let trans (e : edge) (x : attribute) =\n"
+            "  let (u, v) = e in\n"
+            "  if u = 4n then None else transBgp e x\n"
+          : "let trans e x = transBgp e x\n";
+  return "include bgp\n"
+         "let nodes = 5\n"
+         "let edges = {0n=1n;0n=2n;1n=4n;2n=4n;1n=3n;2n=3n}\n"
+         "symbolic route : attribute\n" +
+         ImportFilter +
+         "let merge u x y = mergeBgp u x y\n"
+         "let init (u : node) =\n"
+         "  match u with\n"
+         "  | 0n -> Some {length = 0; lp = 100; med = 80; comms = {}; "
+         "origin = 0n}\n"
+         "  | 4n -> route\n"
+         "  | _ -> None\n"
+         "let assert (u : node) (x : attribute) =\n"
+         "  match x with\n"
+         "  | None -> false\n"
+         "  | Some b -> if u <> 4n then b.origin = 0n else true\n";
+}
+
+TEST(Smt, Fig2bHijackRefuted) {
+  // Sec. 2.5: "the SMT analysis will refute our assertion: node 4 may
+  // send a better route than node 0".
+  Program P = parseAndCheck(fig2b(false));
+  VerifyResult R = verify(P);
+  EXPECT_EQ(R.Status, VerifyStatus::Falsified);
+  EXPECT_FALSE(R.Counterexample.empty());
+}
+
+TEST(Smt, Fig2bVerifiedWithImportFilter) {
+  Program P = parseAndCheck(fig2b(true));
+  VerifyResult R = verify(P);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+TEST(Smt, ShortestPathReachabilityVerified) {
+  const char *Src = R"nv(
+let nodes = 4
+let edges = {0n=1n;0n=2n;1n=3n;2n=3n}
+let init (u : node) = match u with | 0n -> Some 0 | _ -> None
+let trans (e : edge) (x : option[int]) =
+  match x with | None -> None | Some d -> Some (d + 1)
+let merge (u : node) (x : option[int]) (y : option[int]) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a <= b then x else y
+let assert (u : node) (x : option[int]) =
+  match x with | None -> false | Some d -> true
+)nv";
+  Program P = parseAndCheck(Src);
+  VerifyResult R = verify(P);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << R.Counterexample;
+}
+
+TEST(Smt, DisconnectedNodeFalsified) {
+  const char *Src = R"nv(
+let nodes = 3
+let edges = {0n=1n}
+let init (u : node) = match u with | 0n -> Some 0 | _ -> None
+let trans (e : edge) (x : option[int]) =
+  match x with | None -> None | Some d -> Some (d + 1)
+let merge (u : node) (x : option[int]) (y : option[int]) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a <= b then x else y
+let assert (u : node) (x : option[int]) =
+  match x with | None -> false | Some d -> true
+)nv";
+  Program P = parseAndCheck(Src);
+  VerifyResult R = verify(P);
+  EXPECT_EQ(R.Status, VerifyStatus::Falsified);
+  // Node 2 is unreachable and must be flagged in the counterexample.
+  EXPECT_NE(R.Counterexample.find("node 2 [!]"), std::string::npos)
+      << R.Counterexample;
+}
+
+TEST(Smt, BoundOnPathLengthVerified) {
+  // Richer arithmetic property: hop counts are at most 2 on the diamond.
+  const char *Src = R"nv(
+let nodes = 4
+let edges = {0n=1n;0n=2n;1n=3n;2n=3n}
+let init (u : node) = match u with | 0n -> Some 0 | _ -> None
+let trans (e : edge) (x : option[int]) =
+  match x with | None -> None | Some d -> Some (d + 1)
+let merge (u : node) (x : option[int]) (y : option[int]) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a <= b then x else y
+let assert (u : node) (x : option[int]) =
+  match x with | None -> false | Some d -> d <= 2
+)nv";
+  Program P = parseAndCheck(Src);
+  EXPECT_EQ(verify(P).Status, VerifyStatus::Verified);
+}
+
+TEST(Smt, RequireConstrainsSymbolics) {
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+symbolic seed : int
+require seed < 10
+let init (u : node) = seed
+let trans (e : edge) (x : int) = x
+let merge (u : node) (x : int) (y : int) = if x <= y then x else y
+let assert (u : node) (x : int) = x < 10
+)nv";
+  Program P = parseAndCheck(Src);
+  EXPECT_EQ(verify(P).Status, VerifyStatus::Verified);
+
+  // Without the require, the property is falsifiable.
+  Program P2 = parseAndCheck(
+      "let nodes = 2\nlet edges = {0n=1n}\nsymbolic seed : int\n"
+      "let init (u : node) = seed\nlet trans (e : edge) (x : int) = x\n"
+      "let merge (u : node) (x : int) (y : int) = if x <= y then x else y\n"
+      "let assert (u : node) (x : int) = x < 10");
+  EXPECT_EQ(verify(P2).Status, VerifyStatus::Falsified);
+}
+
+TEST(Smt, CommunitiesUnrolledAndFiltered) {
+  // Tag-and-filter policy over a set of communities (the FAT-policy
+  // mechanism): node 1 tags routes with community 99; node 2 drops tagged
+  // routes. Node 3 (behind 2) still gets the direct route via 2.
+  const char *Src = R"nv(
+let nodes = 4
+let edges = {0n=1n;1n=2n;0n=2n;2n=3n}
+type rt = {hops : int; tags : set[int]}
+type attribute = option[rt]
+
+let init (u : node) =
+  let empty : set[int] = {} in
+  match u with
+  | 0n -> Some {hops = 0; tags = empty}
+  | _ -> None
+
+let trans (e : edge) (x : attribute) =
+  let (u, v) = e in
+  match x with
+  | None -> None
+  | Some r ->
+    let stepped = {r with hops = r.hops + 1} in
+    if u = 1n then Some {stepped with tags = stepped.tags[99 := true]}
+    else if v = 2n && stepped.tags[99] then None
+    else Some stepped
+
+let merge (u : node) (x : attribute) (y : attribute) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a.hops <= b.hops then x else y
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some r -> !(r.tags[99])
+)nv";
+  Program P = parseAndCheck(Src);
+  EXPECT_EQ(verify(P).Status, VerifyStatus::Verified);
+}
+
+TEST(Smt, SymbolicMapKey) {
+  // The paper's symbolic-key encoding: a symbolic destination indexes the
+  // map; whatever the key, the stored value is >= 1.
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+symbolic dest : int4
+let table : dict[int4, int] = ((createDict 1)[3u4 := 5])[7u4 := 9]
+let init (u : node) = table[dest]
+(* Strictly increasing transfer: rules out self-supporting loop states. *)
+let trans (e : edge) (x : int) = x + 1
+let merge (u : node) (x : int) (y : int) = if x <= y then x else y
+let assert (u : node) (x : int) = 1 <= x
+)nv";
+  Program P = parseAndCheck(Src);
+  EXPECT_EQ(verify(P).Status, VerifyStatus::Verified);
+
+  // And a falsifiable variant: claim the value is always below 5 (dest may
+  // select the 5 or 9 entries).
+  std::string Bad(Src);
+  size_t Pos = Bad.find("1 <= x");
+  Bad.replace(Pos, 6, "x < 5");
+  Program P2 = parseAndCheck(Bad);
+  EXPECT_EQ(verify(P2).Status, VerifyStatus::Falsified);
+}
+
+TEST(Smt, ComputedMapKeyRejected) {
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+let init (u : node) = 1
+let trans (e : edge) (x : int) = x
+let merge (u : node) (x : int) (y : int) = x
+let assert (u : node) (x : int) =
+  let m : dict[int, bool] = createDict false in m[x]
+)nv";
+  Program P = parseAndCheck(Src);
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::EncodingError);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline (MineSweeper-style) options agree on verdicts
+//===----------------------------------------------------------------------===//
+
+class SmtModeAgreement : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SmtModeAgreement, SameVerdictsLargerEncoding) {
+  bool Hijack = GetParam();
+  Program P = parseAndCheck(fig2b(!Hijack));
+  SmtOptions Optimized; // NV pipeline
+  SmtOptions Baseline;  // MineSweeper-ish
+  Baseline.ConstantFold = false;
+  Baseline.NameIntermediates = true;
+
+  VerifyResult RO = verify(P, Optimized);
+  VerifyResult RB = verify(P, Baseline);
+  EXPECT_EQ(RO.Status, RB.Status);
+  EXPECT_GT(RB.NamedIntermediates, 0u);
+  EXPECT_GE(RB.NumAssertions, RO.NumAssertions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, SmtModeAgreement, ::testing::Bool());
+
+//===----------------------------------------------------------------------===//
+// Symbolic failures (the NV-SMT fault-tolerance route)
+//===----------------------------------------------------------------------===//
+
+std::string spAssert(const std::string &Edges, uint32_t Nodes) {
+  return "let nodes = " + std::to_string(Nodes) + "\nlet edges = {" + Edges +
+         "}\n"
+         "let init (u : node) = match u with | 0n -> Some 0 | _ -> None\n"
+         "let trans (e : edge) (x : option[int]) =\n"
+         "  match x with | None -> None | Some d -> Some (d + 1)\n"
+         "let merge (u : node) (x : option[int]) (y : option[int]) =\n"
+         "  match x, y with\n"
+         "  | _, None -> x\n"
+         "  | None, _ -> y\n"
+         "  | Some a, Some b -> if a <= b then x else y\n"
+         "let assert (u : node) (x : option[int]) =\n"
+         "  match x with | None -> false | Some d -> true\n";
+}
+
+TEST(SmtFailures, DiamondSingleFailureVerified) {
+  Program P = parseAndCheck(spAssert("0n=1n;0n=2n;1n=3n;2n=3n", 4));
+  DiagnosticEngine Diags;
+  auto F = makeSymbolicFailureProgram(P, 1, Diags);
+  ASSERT_TRUE(F.has_value()) << Diags.str();
+  EXPECT_EQ(verify(*F).Status, VerifyStatus::Verified);
+}
+
+TEST(SmtFailures, DiamondTwoFailuresFalsified) {
+  Program P = parseAndCheck(spAssert("0n=1n;0n=2n;1n=3n;2n=3n", 4));
+  DiagnosticEngine Diags;
+  auto F = makeSymbolicFailureProgram(P, 2, Diags);
+  ASSERT_TRUE(F.has_value()) << Diags.str();
+  EXPECT_EQ(verify(*F).Status, VerifyStatus::Falsified);
+}
+
+TEST(SmtFailures, LineSingleFailureFalsified) {
+  Program P = parseAndCheck(spAssert("0n=1n;1n=2n", 3));
+  DiagnosticEngine Diags;
+  auto F = makeSymbolicFailureProgram(P, 1, Diags);
+  ASSERT_TRUE(F.has_value()) << Diags.str();
+  EXPECT_EQ(verify(*F).Status, VerifyStatus::Falsified);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- TransformTests.cpp - NV-to-NV transformation tests -------------------===//
+
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "eval/Interp.h"
+#include "eval/ProgramEvaluator.h"
+#include "transform/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace nv;
+
+namespace {
+
+ExprPtr parseE(const std::string &Src) {
+  DiagnosticEngine Diags;
+  ExprPtr E = parseExprString(Src, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+TEST(Subst, ReplacesFreeOccurrences) {
+  ExprPtr E = substitute(parseE("x + x"), "x", parseE("3"));
+  EXPECT_EQ(printExpr(E), "3 + 3");
+}
+
+TEST(Subst, RespectsShadowing) {
+  ExprPtr E = substitute(parseE("let x = 1 in x + y"), "x", parseE("9"));
+  EXPECT_EQ(printExpr(E), "let x = 1 in x + y");
+  ExprPtr F = substitute(parseE("fun x -> x"), "x", parseE("9"));
+  EXPECT_EQ(printExpr(F), "fun x -> x");
+}
+
+TEST(Subst, AvoidsCapture) {
+  // Substituting y := x under a binder for x must rename the binder.
+  ExprPtr E = substitute(parseE("fun x -> x + y"), "y", parseE("x"));
+  ASSERT_EQ(E->Kind, ExprKind::Fun);
+  EXPECT_NE(E->Name, "x") << printExpr(E);
+  // The body adds the (renamed) parameter and the free x.
+  EXPECT_EQ(E->Args[0]->Args[0]->Name, E->Name);
+  EXPECT_EQ(E->Args[0]->Args[1]->Name, "x");
+}
+
+TEST(Subst, AvoidsCaptureInMatch) {
+  ExprPtr E = substitute(parseE("match o with | Some v -> v + y | None -> y"),
+                         "y", parseE("v"));
+  // Pattern binder v must have been freshened.
+  ASSERT_EQ(E->Kind, ExprKind::Match);
+  const MatchCase &C = E->Cases[0];
+  ASSERT_EQ(C.Pat->Elems[0]->Kind, PatternKind::Var);
+  EXPECT_NE(C.Pat->Elems[0]->Name, "v");
+  EXPECT_EQ(C.Body->Args[1]->Name, "v"); // the substituted free v
+}
+
+//===----------------------------------------------------------------------===//
+// Alpha renaming
+//===----------------------------------------------------------------------===//
+
+TEST(Alpha, MakesBindersUnique) {
+  uint64_t Counter = 0;
+  ExprPtr E = alphaRename(
+      parseE("let x = 1 in (let x = 2 in x) + x"), Counter);
+  ASSERT_EQ(E->Kind, ExprKind::Let);
+  std::string Outer = E->Name;
+  const ExprPtr &InnerLet = E->Args[1]->Args[0];
+  ASSERT_EQ(InnerLet->Kind, ExprKind::Let);
+  EXPECT_NE(Outer, InnerLet->Name);
+  // Inner use refers to the inner binder, outer use to the outer.
+  EXPECT_EQ(InnerLet->Args[1]->Name, InnerLet->Name);
+  EXPECT_EQ(E->Args[1]->Args[1]->Name, Outer);
+}
+
+TEST(Alpha, PreservesSemantics) {
+  NvContext Ctx(4);
+  for (const char *Src :
+       {"let x = 2 in let x = x + 1 in x + x",
+        "match Some 3 with | Some v -> (match Some 4 with | Some v -> v "
+        "| None -> 0) + v | None -> 0",
+        "let f (x : int) = x + 1 in f (let x = 2 in x)"}) {
+    ExprPtr E = parseE(Src);
+    uint64_t Counter = 0;
+    ExprPtr R = alphaRename(E, Counter);
+    DiagnosticEngine Diags;
+    ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+    ASSERT_TRUE(typeCheckExpr(R, Diags)) << printExpr(R) << Diags.str();
+    Interp I(Ctx);
+    EXPECT_EQ(I.eval(E.get(), nullptr), I.eval(R.get(), nullptr)) << Src;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Partial evaluation
+//===----------------------------------------------------------------------===//
+
+/// PE must preserve meaning: evaluate before and after.
+class PePreservesSemantics : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PePreservesSemantics, SameValue) {
+  NvContext Ctx(4);
+  ExprPtr E = parseE(GetParam());
+  uint64_t Counter = 0;
+  ExprPtr R = partialEval(alphaRename(E, Counter));
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(typeCheckExpr(E, Diags)) << Diags.str();
+  ASSERT_TRUE(typeCheckExpr(R, Diags))
+      << GetParam() << " PE'd to ill-typed " << printExpr(R) << "\n"
+      << Diags.str();
+  Interp I(Ctx);
+  EXPECT_EQ(I.eval(E.get(), nullptr), I.eval(R.get(), nullptr))
+      << GetParam() << "  ==>  " << printExpr(R);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PePreservesSemantics,
+    ::testing::Values(
+        "1 + 2 - 4",
+        "(fun (x : int) -> x + x) 21",
+        "let x = 3 + 4 in x + x",
+        "if 1 < 2 then 10 else 20",
+        "if (fun (b : bool) -> b) true then 1 else 0",
+        "match Some (1 + 1) with | Some v -> v + 1 | None -> 0",
+        "match (1, (2, 3)) with | (a, (b, c)) -> a + b + c",
+        "{lp = 1 + 1; med = 0}.lp",
+        "let r = {lp = 5; med = 7} in {r with med = r.lp}.med",
+        "(fun (x : int) -> fun (y : int) -> x - y) 10 4",
+        "let dead = 1 + 2 in 5",
+        "(1, 2) = (1, 2)",
+        "Some 1 = None",
+        "let f (o : option[int]) = match o with | Some v -> v | None -> 0 "
+        "in f (Some 3) + f None",
+        "255u8 + 1u8",
+        "!(3 < 2) && (2 <= 2 || false)"));
+
+TEST(PartialEval, FoldsSelfEquality) {
+  // Pure and total: e = e folds to true even for unknown e.
+  ExprPtr E = parseE("fun (x : int) -> x = x");
+  uint64_t C = 0;
+  ExprPtr R = partialEval(alphaRename(E, C));
+  ASSERT_EQ(R->Kind, ExprKind::Fun);
+  EXPECT_EQ(printExpr(R->Args[0]), "true");
+}
+
+TEST(PartialEval, ReducesSize) {
+  ExprPtr E = parseE(
+      "let add (x : int) (y : int) = x + y in "
+      "let inc (x : int) = add x 1 in inc (inc (inc 0))");
+  uint64_t C = 0;
+  ExprPtr R = partialEval(alphaRename(E, C));
+  EXPECT_EQ(printExpr(R), "3");
+}
+
+TEST(PartialEval, ResidualMatchKept) {
+  // Unknown scrutinee: the match survives, bodies still simplified.
+  ExprPtr E = parseE(
+      "fun (o : option[int]) -> match o with | Some v -> v + (1 + 1) "
+      "| None -> 1 + 1");
+  uint64_t C = 0;
+  ExprPtr R = partialEval(alphaRename(E, C));
+  ASSERT_EQ(R->Args[0]->Kind, ExprKind::Match);
+  EXPECT_EQ(printExpr(R->Args[0]->Cases[1].Body), "2");
+}
+
+TEST(PartialEval, PrunesImpossibleCases) {
+  ExprPtr E = parseE("fun (x : int) -> match Some x with "
+                     "| None -> 0 | Some v -> v");
+  uint64_t C = 0;
+  ExprPtr R = partialEval(alphaRename(E, C));
+  // Scrutinee is Some x: the None case dies, Some binds directly.
+  EXPECT_EQ(R->Args[0]->Kind, ExprKind::Var) << printExpr(R);
+}
+
+TEST(PartialEval, SpecializesTransferOverConcreteEdge) {
+  // The shape the SMT pipeline relies on: trans applied to a literal edge
+  // and a Some route collapses to the updated record.
+  const char *Src = R"nv(
+include bgp
+let nodes = 2
+let edges = {0n=1n}
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+let init (u : node) =
+  match u with
+  | 0n -> Some {length = 0; lp = 100; med = 80; comms = {}; origin = 0n}
+  | _ -> None
+)nv";
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  // Partial evaluation preserves the types recorded on the input nodes;
+  // the residual program is evaluated without re-checking (beta reduction
+  // erases parameter annotations).
+  Program R = partialEvalProgram(*P);
+  ASSERT_NE(R.findLet("trans"), nullptr);
+  ASSERT_NE(R.findLet("init"), nullptr);
+  ASSERT_NE(R.findLet("merge"), nullptr);
+
+  NvContext Ctx(2);
+  InterpProgramEvaluator E1(Ctx, *P), E2(Ctx, R);
+  const Value *Route = E1.init(0);
+  ASSERT_TRUE(Route->isSome());
+  EXPECT_EQ(E1.trans(0, 1, Route), E2.trans(0, 1, Route));
+  EXPECT_EQ(E1.merge(1, Route, Ctx.noneV()), E2.merge(1, Route, Ctx.noneV()));
+}
+
+TEST(PartialEval, ProgramSemanticsPreserved) {
+  const char *Src = R"nv(
+let nodes = 3
+let edges = {0n=1n;1n=2n}
+let two = 1 + 1
+let init (u : node) = match u with | 0n -> Some 0 | _ -> None
+let trans (e : edge) (x : option[int]) =
+  match x with | None -> None | Some d -> Some (d + two)
+let merge (u : node) (x : option[int]) (y : option[int]) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some a, Some b -> if a <= b then x else y
+)nv";
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  Program R = partialEvalProgram(*P);
+
+  // The helper `two` must have been inlined away.
+  EXPECT_EQ(R.findLet("two"), nullptr);
+
+  NvContext Ctx(3);
+  InterpProgramEvaluator E1(Ctx, *P), E2(Ctx, R);
+  for (uint32_t U = 0; U < 3; ++U)
+    EXPECT_EQ(E1.init(U), E2.init(U)) << U;
+  const Value *Route = Ctx.someV(Ctx.intV(5));
+  EXPECT_EQ(E1.trans(0, 1, Route), E2.trans(0, 1, Route));
+  EXPECT_EQ(E1.merge(1, Route, Ctx.noneV()), E2.merge(1, Route, Ctx.noneV()));
+}
+
+TEST(Transforms, RenameSemanticDecls) {
+  const char *Src = R"nv(
+let nodes = 2
+let edges = {0n=1n}
+let init (u : node) = 0
+let trans (e : edge) (x : int) = x
+let merge (u : node) (x : int) (y : int) = x
+let assert (u : node) (x : int) = x = init u
+)nv";
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.str();
+  Program R = renameSemanticDecls(*P);
+  EXPECT_EQ(R.findLet("init"), nullptr);
+  EXPECT_NE(R.findLet("__base_init"), nullptr);
+  // The reference to init inside assert was retargeted.
+  const Decl *A = R.findLet("__base_assert");
+  ASSERT_NE(A, nullptr);
+  bool FoundRef = false;
+  forEachExpr(A->Body, [&](const ExprPtr &E) {
+    if (E->Kind == ExprKind::Var && E->Name == "__base_init")
+      FoundRef = true;
+  });
+  EXPECT_TRUE(FoundRef);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- nv.cpp - The nv command-line driver ------------------------------------===//
+//
+// Part of nv-cpp. A command-line front end over the library:
+//
+//   nv check  FILE.nv                 parse + type check, print summary
+//   nv print  FILE.nv                 pretty-print the parsed program
+//   nv sim    FILE.nv [opts]          simulate to a stable state (Alg. 1)
+//   nv verify FILE.nv [opts]          SMT-verify the assert over all
+//                                     stable states / symbolic values
+//   nv ft     FILE.nv [opts]          fault-tolerance meta-analysis (Fig. 5)
+//
+// Common options:
+//   --native            use the closure-compiled evaluator (sim/ft)
+//   --sym NAME=EXPR     bind a symbolic to a concrete NV expression (sim/ft)
+//   --timeout SECS      SMT timeout (verify)
+//   --baseline          MineSweeper-style encoder options (verify)
+//   --links K           number of simultaneous link failures (ft, default 1)
+//   --node              also fail one node per scenario (ft)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FaultTolerance.h"
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace nv;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nv <check|print|sim|verify|ft> FILE.nv [options]\n"
+               "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
+               "  --links K  --node\n");
+  return 2;
+}
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  bool Native = false;
+  bool Baseline = false;
+  bool NodeFailure = false;
+  unsigned Links = 1;
+  unsigned TimeoutSec = 0;
+  std::vector<std::pair<std::string, std::string>> Syms;
+};
+
+std::optional<CliOptions> parseCli(int argc, char **argv) {
+  if (argc < 3)
+    return std::nullopt;
+  CliOptions O;
+  O.Command = argv[1];
+  O.File = argv[2];
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--native")) {
+      O.Native = true;
+    } else if (!std::strcmp(argv[I], "--baseline")) {
+      O.Baseline = true;
+    } else if (!std::strcmp(argv[I], "--node")) {
+      O.NodeFailure = true;
+    } else if (!std::strcmp(argv[I], "--links") && I + 1 < argc) {
+      O.Links = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
+      O.TimeoutSec = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--sym") && I + 1 < argc) {
+      std::string Arg = argv[++I];
+      size_t Eq = Arg.find('=');
+      if (Eq == std::string::npos)
+        return std::nullopt;
+      O.Syms.emplace_back(Arg.substr(0, Eq), Arg.substr(Eq + 1));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return O;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Resolves includes relative to the program's directory before falling
+/// back to the built-in registry.
+ParseOptions fileParseOptions(const std::string &Path) {
+  std::string Dir = ".";
+  size_t Slash = Path.rfind('/');
+  if (Slash != std::string::npos)
+    Dir = Path.substr(0, Slash);
+  ParseOptions Opts;
+  Opts.Resolver = [Dir](const std::string &Name) -> std::optional<std::string> {
+    if (auto Src = readFile(Dir + "/" + Name + ".nv"))
+      return Src;
+    return std::nullopt;
+  };
+  return Opts;
+}
+
+SymbolicAssignment resolveSyms(NvContext &Ctx, const Program &P,
+                               const CliOptions &O, bool &Ok) {
+  SymbolicAssignment Out;
+  Ok = true;
+  InterpProgramEvaluator Boot(Ctx, P);
+  for (const auto &[Name, Src] : O.Syms) {
+    DiagnosticEngine Diags;
+    ExprPtr E = parseExprString(Src, Diags);
+    if (!E || !typeCheckExpr(E, Diags)) {
+      std::fprintf(stderr, "bad --sym %s=%s:\n%s", Name.c_str(), Src.c_str(),
+                   Diags.str().c_str());
+      Ok = false;
+      continue;
+    }
+    Out[Name] = Boot.evalUnderGlobals(E);
+  }
+  return Out;
+}
+
+int cmdSim(const Program &P, const CliOptions &O) {
+  NvContext Ctx(P.numNodes());
+  bool Ok = true;
+  SymbolicAssignment Syms = resolveSyms(Ctx, P, O, Ok);
+  if (!Ok)
+    return 1;
+  std::unique_ptr<ProtocolEvaluator> Eval;
+  if (O.Native)
+    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, P, Syms);
+  else
+    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, P, Syms);
+  if (!Eval->requiresHold())
+    std::printf("warning: a require clause fails under this symbolic "
+                "assignment\n");
+  SimResult R = simulate(P, *Eval);
+  if (!R.Converged) {
+    std::printf("simulation did not converge (%llu steps)\n",
+                static_cast<unsigned long long>(R.Stats.Pops));
+    return 1;
+  }
+  for (uint32_t U = 0; U < P.numNodes(); ++U)
+    std::printf("node %u: %s\n", U, Ctx.printValue(R.Labels[U]).c_str());
+  if (P.assertDecl()) {
+    auto Failed = checkAsserts(*Eval, R);
+    if (Failed.empty()) {
+      std::printf("assertion holds at every node\n");
+    } else {
+      std::printf("assertion FAILS at %zu node(s):", Failed.size());
+      for (uint32_t U : Failed)
+        std::printf(" %u", U);
+      std::printf("\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmdVerify(const Program &P, const CliOptions &O) {
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  Opts.TimeoutMs = O.TimeoutSec * 1000;
+  if (O.Baseline) {
+    Opts.Smt.ConstantFold = false;
+    Opts.Smt.NameIntermediates = true;
+    Opts.UseTacticPipeline = false;
+  }
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  Diags.printToStderr();
+  switch (R.Status) {
+  case VerifyStatus::Verified:
+    std::printf("verified (encode %.1fms, solve %.1fms, %llu assertions)\n",
+                R.EncodeMs, R.SolveMs,
+                static_cast<unsigned long long>(R.NumAssertions));
+    return 0;
+  case VerifyStatus::Falsified:
+    std::printf("FALSIFIED (solve %.1fms); counterexample:\n%s", R.SolveMs,
+                R.Counterexample.c_str());
+    return 1;
+  case VerifyStatus::Unknown:
+    std::printf("unknown (timeout?)\n");
+    return 2;
+  case VerifyStatus::EncodingError:
+    return 2;
+  }
+  return 2;
+}
+
+int cmdFt(const Program &P, const CliOptions &O) {
+  DiagnosticEngine Diags;
+  FtOptions Opts;
+  Opts.LinkFailures = O.Links;
+  Opts.NodeFailure = O.NodeFailure;
+  FtRunResult R = runFaultTolerance(P, Opts, O.Native, Diags);
+  Diags.printToStderr();
+  if (!R.Converged) {
+    std::printf("meta-simulation did not converge\n");
+    return 1;
+  }
+  std::printf("transform %.1fms, simulate %.1fms, check %.1fms\n",
+              R.TransformMs, R.SimulateMs, R.CheckMs);
+  std::printf("%llu scenarios checked: ",
+              static_cast<unsigned long long>(R.Check.ScenariosChecked));
+  if (R.Check.holds()) {
+    std::printf("property holds under every failure scenario\n");
+    return 0;
+  }
+  std::printf("%zu violations; first few:\n", R.Check.Violations.size());
+  for (size_t I = 0; I < std::min<size_t>(5, R.Check.Violations.size()); ++I) {
+    const FtViolation &V = R.Check.Violations[I];
+    std::printf("  %s: node %u selects %s\n", V.Scenario.str().c_str(),
+                V.Node, V.Route->str().c_str());
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto O = parseCli(argc, argv);
+  if (!O)
+    return usage();
+
+  auto Src = readFile(O->File);
+  if (!Src) {
+    std::fprintf(stderr, "cannot read %s\n", O->File.c_str());
+    return 2;
+  }
+  DiagnosticEngine Diags;
+  auto P = parseProgram(*Src, Diags, fileParseOptions(O->File));
+  if (!P) {
+    Diags.printToStderr();
+    return 2;
+  }
+  if (!typeCheck(*P, Diags)) {
+    Diags.printToStderr();
+    return 2;
+  }
+
+  if (O->Command == "check") {
+    std::printf("%s: %zu declarations, %u nodes, %zu links\n",
+                O->File.c_str(), P->Decls.size(), P->numNodes(),
+                P->links().size());
+    if (P->AttrType)
+      std::printf("attribute type: %s\n", typeToString(P->AttrType).c_str());
+    return 0;
+  }
+  if (O->Command == "print") {
+    std::printf("%s", printProgram(*P).c_str());
+    return 0;
+  }
+  if (O->Command == "sim")
+    return cmdSim(*P, *O);
+  if (O->Command == "verify")
+    return cmdVerify(*P, *O);
+  if (O->Command == "ft")
+    return cmdFt(*P, *O);
+  return usage();
+}
