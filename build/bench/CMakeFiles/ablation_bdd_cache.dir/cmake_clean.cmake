@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bdd_cache.dir/ablation_bdd_cache.cpp.o"
+  "CMakeFiles/ablation_bdd_cache.dir/ablation_bdd_cache.cpp.o.d"
+  "ablation_bdd_cache"
+  "ablation_bdd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bdd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

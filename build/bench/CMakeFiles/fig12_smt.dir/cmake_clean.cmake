@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_smt.dir/fig12_smt.cpp.o"
+  "CMakeFiles/fig12_smt.dir/fig12_smt.cpp.o.d"
+  "fig12_smt"
+  "fig12_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_fault_tolerance.dir/fig13a_fault_tolerance.cpp.o"
+  "CMakeFiles/fig13a_fault_tolerance.dir/fig13a_fault_tolerance.cpp.o.d"
+  "fig13a_fault_tolerance"
+  "fig13a_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

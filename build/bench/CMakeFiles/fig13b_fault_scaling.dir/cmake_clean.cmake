@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_fault_scaling.dir/fig13b_fault_scaling.cpp.o"
+  "CMakeFiles/fig13b_fault_scaling.dir/fig13b_fault_scaling.cpp.o.d"
+  "fig13b_fault_scaling"
+  "fig13b_fault_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_fault_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_single_vs_all.dir/fig13c_single_vs_all.cpp.o"
+  "CMakeFiles/fig13c_single_vs_all.dir/fig13c_single_vs_all.cpp.o.d"
+  "fig13c_single_vs_all"
+  "fig13c_single_vs_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_single_vs_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_simulation.dir/fig14_simulation.cpp.o"
+  "CMakeFiles/fig14_simulation.dir/fig14_simulation.cpp.o.d"
+  "fig14_simulation"
+  "fig14_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

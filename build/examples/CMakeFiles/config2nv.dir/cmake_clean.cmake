@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config2nv.dir/config2nv.cpp.o"
+  "CMakeFiles/config2nv.dir/config2nv.cpp.o.d"
+  "config2nv"
+  "config2nv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config2nv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

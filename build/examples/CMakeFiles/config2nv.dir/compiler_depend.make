@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for config2nv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waypoint.dir/waypoint.cpp.o"
+  "CMakeFiles/waypoint.dir/waypoint.cpp.o.d"
+  "waypoint"
+  "waypoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waypoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_analysis.dir/FaultTolerance.cpp.o"
+  "CMakeFiles/nv_analysis.dir/FaultTolerance.cpp.o.d"
+  "CMakeFiles/nv_analysis.dir/SymbolicFailures.cpp.o"
+  "CMakeFiles/nv_analysis.dir/SymbolicFailures.cpp.o.d"
+  "libnv_analysis.a"
+  "libnv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

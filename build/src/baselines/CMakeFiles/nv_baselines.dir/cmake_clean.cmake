@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_baselines.dir/BatfishSim.cpp.o"
+  "CMakeFiles/nv_baselines.dir/BatfishSim.cpp.o.d"
+  "CMakeFiles/nv_baselines.dir/NaiveFailures.cpp.o"
+  "CMakeFiles/nv_baselines.dir/NaiveFailures.cpp.o.d"
+  "libnv_baselines.a"
+  "libnv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_bdd.dir/Mtbdd.cpp.o"
+  "CMakeFiles/nv_bdd.dir/Mtbdd.cpp.o.d"
+  "libnv_bdd.a"
+  "libnv_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

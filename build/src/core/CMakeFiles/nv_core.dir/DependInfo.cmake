@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Ast.cpp" "src/core/CMakeFiles/nv_core.dir/Ast.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Ast.cpp.o.d"
+  "/root/repo/src/core/Lexer.cpp" "src/core/CMakeFiles/nv_core.dir/Lexer.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Lexer.cpp.o.d"
+  "/root/repo/src/core/Parser.cpp" "src/core/CMakeFiles/nv_core.dir/Parser.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Parser.cpp.o.d"
+  "/root/repo/src/core/Printer.cpp" "src/core/CMakeFiles/nv_core.dir/Printer.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Printer.cpp.o.d"
+  "/root/repo/src/core/Stdlib.cpp" "src/core/CMakeFiles/nv_core.dir/Stdlib.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Stdlib.cpp.o.d"
+  "/root/repo/src/core/Type.cpp" "src/core/CMakeFiles/nv_core.dir/Type.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/Type.cpp.o.d"
+  "/root/repo/src/core/TypeChecker.cpp" "src/core/CMakeFiles/nv_core.dir/TypeChecker.cpp.o" "gcc" "src/core/CMakeFiles/nv_core.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/nv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

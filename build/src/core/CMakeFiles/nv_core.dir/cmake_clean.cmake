@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_core.dir/Ast.cpp.o"
+  "CMakeFiles/nv_core.dir/Ast.cpp.o.d"
+  "CMakeFiles/nv_core.dir/Lexer.cpp.o"
+  "CMakeFiles/nv_core.dir/Lexer.cpp.o.d"
+  "CMakeFiles/nv_core.dir/Parser.cpp.o"
+  "CMakeFiles/nv_core.dir/Parser.cpp.o.d"
+  "CMakeFiles/nv_core.dir/Printer.cpp.o"
+  "CMakeFiles/nv_core.dir/Printer.cpp.o.d"
+  "CMakeFiles/nv_core.dir/Stdlib.cpp.o"
+  "CMakeFiles/nv_core.dir/Stdlib.cpp.o.d"
+  "CMakeFiles/nv_core.dir/Type.cpp.o"
+  "CMakeFiles/nv_core.dir/Type.cpp.o.d"
+  "CMakeFiles/nv_core.dir/TypeChecker.cpp.o"
+  "CMakeFiles/nv_core.dir/TypeChecker.cpp.o.d"
+  "libnv_core.a"
+  "libnv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/Compile.cpp" "src/eval/CMakeFiles/nv_eval.dir/Compile.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/Compile.cpp.o.d"
+  "/root/repo/src/eval/Interp.cpp" "src/eval/CMakeFiles/nv_eval.dir/Interp.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/Interp.cpp.o.d"
+  "/root/repo/src/eval/NvContext.cpp" "src/eval/CMakeFiles/nv_eval.dir/NvContext.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/NvContext.cpp.o.d"
+  "/root/repo/src/eval/ProgramEvaluator.cpp" "src/eval/CMakeFiles/nv_eval.dir/ProgramEvaluator.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/ProgramEvaluator.cpp.o.d"
+  "/root/repo/src/eval/SymBdd.cpp" "src/eval/CMakeFiles/nv_eval.dir/SymBdd.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/SymBdd.cpp.o.d"
+  "/root/repo/src/eval/Value.cpp" "src/eval/CMakeFiles/nv_eval.dir/Value.cpp.o" "gcc" "src/eval/CMakeFiles/nv_eval.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/nv_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

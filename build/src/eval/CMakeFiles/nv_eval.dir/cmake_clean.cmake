@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_eval.dir/Compile.cpp.o"
+  "CMakeFiles/nv_eval.dir/Compile.cpp.o.d"
+  "CMakeFiles/nv_eval.dir/Interp.cpp.o"
+  "CMakeFiles/nv_eval.dir/Interp.cpp.o.d"
+  "CMakeFiles/nv_eval.dir/NvContext.cpp.o"
+  "CMakeFiles/nv_eval.dir/NvContext.cpp.o.d"
+  "CMakeFiles/nv_eval.dir/ProgramEvaluator.cpp.o"
+  "CMakeFiles/nv_eval.dir/ProgramEvaluator.cpp.o.d"
+  "CMakeFiles/nv_eval.dir/SymBdd.cpp.o"
+  "CMakeFiles/nv_eval.dir/SymBdd.cpp.o.d"
+  "CMakeFiles/nv_eval.dir/Value.cpp.o"
+  "CMakeFiles/nv_eval.dir/Value.cpp.o.d"
+  "libnv_eval.a"
+  "libnv_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_frontend.dir/Config.cpp.o"
+  "CMakeFiles/nv_frontend.dir/Config.cpp.o.d"
+  "CMakeFiles/nv_frontend.dir/RouteMapDag.cpp.o"
+  "CMakeFiles/nv_frontend.dir/RouteMapDag.cpp.o.d"
+  "CMakeFiles/nv_frontend.dir/Translate.cpp.o"
+  "CMakeFiles/nv_frontend.dir/Translate.cpp.o.d"
+  "libnv_frontend.a"
+  "libnv_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_net.dir/Generators.cpp.o"
+  "CMakeFiles/nv_net.dir/Generators.cpp.o.d"
+  "CMakeFiles/nv_net.dir/Topology.cpp.o"
+  "CMakeFiles/nv_net.dir/Topology.cpp.o.d"
+  "libnv_net.a"
+  "libnv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

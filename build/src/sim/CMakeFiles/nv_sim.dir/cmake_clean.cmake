@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/nv_sim.dir/Simulator.cpp.o.d"
+  "libnv_sim.a"
+  "libnv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_smt.dir/SmtEncoder.cpp.o"
+  "CMakeFiles/nv_smt.dir/SmtEncoder.cpp.o.d"
+  "CMakeFiles/nv_smt.dir/SmtEval.cpp.o"
+  "CMakeFiles/nv_smt.dir/SmtEval.cpp.o.d"
+  "CMakeFiles/nv_smt.dir/Verifier.cpp.o"
+  "CMakeFiles/nv_smt.dir/Verifier.cpp.o.d"
+  "libnv_smt.a"
+  "libnv_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/nv_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/nv_support.dir/Fatal.cpp.o"
+  "CMakeFiles/nv_support.dir/Fatal.cpp.o.d"
+  "libnv_support.a"
+  "libnv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_transform.dir/Transforms.cpp.o"
+  "CMakeFiles/nv_transform.dir/Transforms.cpp.o.d"
+  "libnv_transform.a"
+  "libnv_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_tests.dir/BddTests.cpp.o"
+  "CMakeFiles/bdd_tests.dir/BddTests.cpp.o.d"
+  "bdd_tests"
+  "bdd_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_tests.dir/CompileTests.cpp.o"
+  "CMakeFiles/compile_tests.dir/CompileTests.cpp.o.d"
+  "compile_tests"
+  "compile_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/CoreTests.cpp.o"
+  "CMakeFiles/core_tests.dir/CoreTests.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

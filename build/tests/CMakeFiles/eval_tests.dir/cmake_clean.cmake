@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tests.dir/EvalTests.cpp.o"
+  "CMakeFiles/eval_tests.dir/EvalTests.cpp.o.d"
+  "eval_tests"
+  "eval_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_tests.dir/FaultToleranceTests.cpp.o"
+  "CMakeFiles/fault_tolerance_tests.dir/FaultToleranceTests.cpp.o.d"
+  "fault_tolerance_tests"
+  "fault_tolerance_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

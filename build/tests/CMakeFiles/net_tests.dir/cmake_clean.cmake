@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/NetTests.cpp.o"
+  "CMakeFiles/net_tests.dir/NetTests.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

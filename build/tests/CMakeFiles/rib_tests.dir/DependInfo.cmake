@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/RibTests.cpp" "tests/CMakeFiles/rib_tests.dir/RibTests.cpp.o" "gcc" "tests/CMakeFiles/rib_tests.dir/RibTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/nv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/nv_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/nv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/nv_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rib_tests.dir/RibTests.cpp.o"
+  "CMakeFiles/rib_tests.dir/RibTests.cpp.o.d"
+  "rib_tests"
+  "rib_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rib_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

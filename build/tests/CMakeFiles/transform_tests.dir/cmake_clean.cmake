@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_tests.dir/TransformTests.cpp.o"
+  "CMakeFiles/transform_tests.dir/TransformTests.cpp.o.d"
+  "transform_tests"
+  "transform_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

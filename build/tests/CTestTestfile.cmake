@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bdd_tests "/root/repo/build/tests/bdd_tests")
+set_tests_properties(bdd_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_tests "/root/repo/build/tests/eval_tests")
+set_tests_properties(eval_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compile_tests "/root/repo/build/tests/compile_tests")
+set_tests_properties(compile_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(transform_tests "/root/repo/build/tests/transform_tests")
+set_tests_properties(transform_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_tolerance_tests "/root/repo/build/tests/fault_tolerance_tests")
+set_tests_properties(fault_tolerance_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;23;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smt_tests "/root/repo/build/tests/smt_tests")
+set_tests_properties(smt_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_tests "/root/repo/build/tests/net_tests")
+set_tests_properties(net_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;29;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(frontend_tests "/root/repo/build/tests/frontend_tests")
+set_tests_properties(frontend_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;32;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_tests "/root/repo/build/tests/property_tests")
+set_tests_properties(property_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;36;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rib_tests "/root/repo/build/tests/rib_tests")
+set_tests_properties(rib_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;40;nv_add_test;/root/repo/tests/CMakeLists.txt;0;")

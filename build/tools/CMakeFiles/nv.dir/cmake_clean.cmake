@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv.dir/nv.cpp.o"
+  "CMakeFiles/nv.dir/nv.cpp.o.d"
+  "nv"
+  "nv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
