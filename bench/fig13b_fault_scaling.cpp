@@ -40,6 +40,7 @@ int main(int argc, char **argv) {
               "link failures\n(compilation excluded).\n\n");
   Table T({"network", "nodes/links", "1-link (s)", "2-links (s)",
            "3-links (s)"});
+  JsonReport J;
 
   for (const Net &N : Nets) {
     DiagnosticEngine Diags;
@@ -61,9 +62,22 @@ int main(int argc, char **argv) {
       FtRunResult R = runFaultTolerance(*P, Opts, /*Compiled=*/true, Diags,
                                         /*CheckAsserts=*/false);
       Cells.push_back(R.Converged ? sec(R.SimulateMs) : "diverged");
+
+      uint64_t Lookups = R.CacheHits + R.CacheMisses;
+      J.begin("fig13b")
+          .field("network", N.Name)
+          .field("nodes", static_cast<uint64_t>(P->numNodes()))
+          .field("links", static_cast<uint64_t>(P->links().size()))
+          .field("failures", static_cast<uint64_t>(F))
+          .field("simulate_ms", R.SimulateMs)
+          .field("pops", R.Stats.Pops)
+          .field("cache_hit_rate",
+                 Lookups ? static_cast<double>(R.CacheHits) / Lookups : 0.0);
     }
     T.row(Cells);
   }
   T.print();
+  if (!J.writeTo(A.JsonPath))
+    return 1;
   return 0;
 }

@@ -5,7 +5,8 @@
 // one prefix at a time (re-instantiating a `symbolic dest` program per
 // prefix) or all prefixes simultaneously (the attribute is lifted to
 // dict[edge, dict[prefix, route]]), with the interpreted and the
-// closure-compiled ("native") evaluators.
+// closure-compiled ("native") evaluators. The Single modes shard the
+// prefix list over --threads workers (per-prefix runs are independent).
 //
 // Expected shape: Single-Native fastest (uniform per-scenario routes,
 // amortized compilation), All-Interp slowest; single-prefix beats
@@ -15,25 +16,31 @@
 
 #include "analysis/FaultTolerance.h"
 #include "bench/BenchUtil.h"
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
 #include "eval/Compile.h"
 #include "net/Generators.h"
+#include "support/Fatal.h"
 #include "support/Timer.h"
+
+#include <atomic>
+#include <optional>
 
 using namespace nv;
 using namespace nvbench;
 
 namespace {
 
-/// FT over each prefix separately: one meta-program with a symbolic dest,
-/// instantiated per leaf.
-double singleMode(const Program &Meta, const std::vector<uint32_t> &Leaves,
-                  bool Native) {
-  Stopwatch W;
-  // Fresh context per destination: monotone MTBDD/arena tables would
-  // otherwise grow across the 32+ runs and slow everything down.
-  for (uint32_t Leaf : Leaves) {
+/// Runs the single-destination analysis for the leaves [Begin, End) of
+/// \p Meta, one fresh context per destination. Returns false on divergence.
+bool runLeafRange(const Program &Meta, const std::vector<uint32_t> &Leaves,
+                  size_t Begin, size_t End, bool Native) {
+  for (size_t I = Begin; I < End; ++I) {
+    // Fresh context per destination: monotone MTBDD/arena tables would
+    // otherwise grow across the 32+ runs and slow everything down.
     NvContext Ctx(Meta.numNodes());
-    SymbolicAssignment Sym{{"dest", Ctx.nodeV(Leaf)}};
+    SymbolicAssignment Sym{{"dest", Ctx.nodeV(Leaves[I])}};
     std::unique_ptr<ProtocolEvaluator> Eval;
     if (Native)
       Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, Meta, Sym);
@@ -41,9 +48,41 @@ double singleMode(const Program &Meta, const std::vector<uint32_t> &Leaves,
       Eval = std::make_unique<InterpProgramEvaluator>(Ctx, Meta, Sym);
     SimResult R = simulate(Meta, *Eval);
     if (!R.Converged)
-      return -1;
+      return false;
   }
-  return W.elapsedMs();
+  return true;
+}
+
+/// FT over each prefix separately: one meta-program with a symbolic dest,
+/// instantiated per leaf. With a pool, the leaf list is sharded into
+/// contiguous chunks, each running on its own re-parsed program copy (AST
+/// free-variable caches fill lazily, so programs are not shared across
+/// threads).
+double singleMode(const Program &Meta, const std::vector<uint32_t> &Leaves,
+                  bool Native, ThreadPool *Pool) {
+  Stopwatch W;
+  if (!Pool || Pool->numThreads() <= 1 || Leaves.size() <= 1) {
+    if (!runLeafRange(Meta, Leaves, 0, Leaves.size(), Native))
+      return -1;
+    return W.elapsedMs();
+  }
+  std::string Src = printProgram(Meta);
+  size_t Chunks =
+      std::min(Leaves.size(), static_cast<size_t>(Pool->numThreads()) * 4);
+  std::atomic<bool> Ok{true};
+  Pool->parallelFor(Chunks, [&](size_t C) {
+    size_t Begin = C * Leaves.size() / Chunks;
+    size_t End = (C + 1) * Leaves.size() / Chunks;
+    DiagnosticEngine Diags;
+    auto Local = parseProgram(Src, Diags);
+    if (!Local || !typeCheck(*Local, Diags))
+      fatalError("internal: fig13c worker failed to re-parse the "
+                 "program:\n" +
+                 Diags.str());
+    if (!runLeafRange(*Local, Leaves, Begin, End, Native))
+      Ok.store(false);
+  });
+  return Ok.load() ? W.elapsedMs() : -1;
 }
 
 double allMode(const Program &Meta, bool Native) {
@@ -66,12 +105,18 @@ int main(int argc, char **argv) {
   FatTree FT(K);
   auto Leaves = FT.leaves();
 
+  std::optional<ThreadPool> Pool;
+  if (A.Threads > 1)
+    Pool.emplace(A.Threads);
+  ThreadPool *PoolPtr = Pool ? &*Pool : nullptr;
+
   std::printf("Fig. 13c — fault tolerance over all %zu prefixes of SP%u/"
-              "FAT%u:\nper-prefix (Single) vs simultaneous (All), "
-              "interpreted vs native. Total time (s).\n\n",
-              Leaves.size(), K, K);
+              "FAT%u:\nper-prefix (Single, %u thread(s)) vs simultaneous "
+              "(All), interpreted vs native. Total time (s).\n\n",
+              Leaves.size(), K, K, A.Threads);
   Table T({"network", "Single-Native", "Single-Interp", "All-Native",
            "All-Interp"});
+  JsonReport J;
 
   for (bool Fat : {false, true}) {
     DiagnosticEngine Diags;
@@ -93,15 +138,30 @@ int main(int argc, char **argv) {
       return 1;
     }
 
-    double SN = singleMode(*MetaSingle, Leaves, true);
-    double SI = singleMode(*MetaSingle, Leaves, false);
+    double SN = singleMode(*MetaSingle, Leaves, true, PoolPtr);
+    double SI = singleMode(*MetaSingle, Leaves, false, PoolPtr);
     double AN = allMode(*MetaAll, true);
     double AI = allMode(*MetaAll, false);
     auto Cell = [](double V) { return V < 0 ? std::string("diverged")
                                             : sec(V); };
-    T.row({Fat ? "FAT" + std::to_string(K) : "SP" + std::to_string(K),
-           Cell(SN), Cell(SI), Cell(AN), Cell(AI)});
+    std::string Name = Fat ? "FAT" + std::to_string(K)
+                           : "SP" + std::to_string(K);
+    T.row({Name, Cell(SN), Cell(SI), Cell(AN), Cell(AI)});
+
+    J.begin("fig13c")
+        .field("network", Name)
+        .field("nodes", static_cast<uint64_t>(Param->numNodes()))
+        .field("prefixes", static_cast<uint64_t>(Leaves.size()))
+        .field("threads", A.Threads)
+        .field("single_native_ms", SN)
+        .field("single_interp_ms", SI)
+        .field("all_native_ms", AN)
+        .field("all_interp_ms", AI);
   }
   T.print();
+  if (Pool)
+    printPoolStats(*Pool);
+  if (!J.writeTo(A.JsonPath))
+    return 1;
   return 0;
 }

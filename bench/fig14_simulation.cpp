@@ -20,6 +20,8 @@
 #include "net/Generators.h"
 #include "support/Timer.h"
 
+#include <optional>
+
 using namespace nv;
 using namespace nvbench;
 
@@ -28,11 +30,18 @@ int main(int argc, char **argv) {
   std::vector<unsigned> Ks = A.Paper ? std::vector<unsigned>{20, 24, 28, 32}
                                      : std::vector<unsigned>{4, 8, 12, 16};
 
+  std::optional<ThreadPool> Pool;
+  if (A.Threads > 1)
+    Pool.emplace(A.Threads);
+
   std::printf("Fig. 14 — all-prefixes simulation time (s) and memory "
-              "(interned values).\n\n");
+              "(interned values); Batfish baseline sharded over %u "
+              "thread(s).\n\n",
+              A.Threads);
   Table T({"network", "nodes", "prefixes", "NV (s)", "NV-native (s)",
            "NV-native-total (s)", "Batfish (s)", "NV values",
            "Batfish values"});
+  JsonReport J;
 
   for (unsigned K : Ks) {
     DiagnosticEngine Diags;
@@ -61,9 +70,10 @@ int main(int argc, char **argv) {
     SimResult RC = simulate(*All, EC);
     double NativeMs = W.elapsedMs();
 
-    // Batfish-style per-prefix baseline.
+    // Batfish-style per-prefix baseline, sharded over the pool.
     W.restart();
-    BatfishResult BF = batfishAllPrefixes(*Param, Leaves);
+    BatfishResult BF =
+        batfishAllPrefixes(*Param, Leaves, nullptr, Pool ? &*Pool : nullptr);
     double BatfishMs = W.elapsedMs();
 
     if (!RI.Converged || !RC.Converged || !BF.Converged) {
@@ -75,7 +85,25 @@ int main(int argc, char **argv) {
            sec(NativeMs + CompileMs), sec(BatfishMs),
            std::to_string(CtxC.Arena.size()),
            std::to_string(BF.TotalValuesAllocated)});
+
+    uint64_t Lookups = CtxC.Mgr.cacheHits() + CtxC.Mgr.cacheMisses();
+    J.begin("fig14")
+        .field("network", "Fat" + std::to_string(K))
+        .field("nodes", static_cast<uint64_t>(All->numNodes()))
+        .field("prefixes", static_cast<uint64_t>(Leaves.size()))
+        .field("threads", A.Threads)
+        .field("nv_ms", NvMs)
+        .field("nv_native_ms", NativeMs)
+        .field("batfish_ms", BatfishMs)
+        .field("pops", BF.TotalPops)
+        .field("cache_hit_rate",
+               Lookups ? static_cast<double>(CtxC.Mgr.cacheHits()) / Lookups
+                       : 0.0);
   }
   T.print();
+  if (Pool)
+    printPoolStats(*Pool);
+  if (!J.writeTo(A.JsonPath))
+    return 1;
   return 0;
 }

@@ -10,6 +10,9 @@
 #include "support/Timer.h"
 #include "transform/Transforms.h"
 
+#include <cassert>
+#include <unordered_set>
+
 using namespace nv;
 
 namespace {
@@ -223,21 +226,66 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
                                       const Program &BaseProgram,
                                       ProtocolEvaluator &BaseEval,
                                       const SimResult &MetaResult,
-                                      const FtOptions &Opts) {
+                                      const FtOptions &Opts,
+                                      ThreadPool *Pool) {
   FtCheckResult R;
   auto Scenarios = enumerateScenarios(BaseProgram, Opts);
   uint32_t N = BaseProgram.numNodes();
-  for (const FtScenario &S : Scenarios) {
-    ++R.ScenariosChecked;
-    const Value *Key = scenarioKey(Ctx, S, Opts);
+  R.ScenariosChecked = Scenarios.size();
+  if (Scenarios.empty() || N == 0)
+    return R;
+
+  // Serial pre-pass: evaluate the assert once per (node, distinct leaf)
+  // by walking each label diagram's cubes — far fewer evaluations than
+  // once per (node, scenario), since MTBDD sharing keeps the number of
+  // distinct routes per node tiny (Fig. 4). This is also what makes the
+  // parallel phase safe: the interpreter and the value arena are only
+  // touched here.
+  std::vector<std::unordered_set<const void *>> FailingLeaves(N);
+  for (uint32_t U = 0; U < N; ++U) {
+    const Value *L = MetaResult.Labels[U];
+    assert(L->K == Value::Kind::Map && "meta-labels must be dicts");
+    std::unordered_set<const void *> Seen;
+    Ctx.Mgr.forEachCube(L->MapRoot, L->KeyBits,
+                        [&](const std::vector<int8_t> &, const void *Leaf) {
+                          if (!Seen.insert(Leaf).second)
+                            return;
+                          if (!BaseEval.assertAt(
+                                  U, static_cast<const Value *>(Leaf)))
+                            FailingLeaves[U].insert(Leaf);
+                        });
+  }
+
+  // Serial: scenario keys intern values, so encode them before fanning
+  // out. The parallel phase below only reads the MTBDD node array.
+  std::vector<std::vector<bool>> KeyBits(Scenarios.size());
+  const TypePtr &KeyTy = MetaResult.Labels[0]->KeyType;
+  for (size_t I = 0; I < Scenarios.size(); ++I)
+    Ctx.encodeValue(scenarioKey(Ctx, Scenarios[I], Opts), KeyTy, KeyBits[I]);
+
+  // Index every (scenario, node) pair; embarrassingly parallel and
+  // read-only. Violations are collected per scenario and concatenated in
+  // scenario order, so the result is identical for any pool size.
+  std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
+  auto CheckOne = [&](size_t I) {
+    const FtScenario &S = Scenarios[I];
     for (uint32_t U = 0; U < N; ++U) {
       if (S.Node && *S.Node == U)
         continue; // a failed node asserts nothing
-      const Value *Route = Ctx.mapGet(MetaResult.Labels[U], Key);
-      if (!BaseEval.assertAt(U, Route))
-        R.Violations.push_back({S, U, Route});
+      const Value *Route = static_cast<const Value *>(
+          Ctx.Mgr.get(MetaResult.Labels[U]->MapRoot, KeyBits[I]));
+      if (FailingLeaves[U].count(Route))
+        PerScenario[I].push_back({S, U, Route});
     }
+  };
+  if (Pool && Pool->numThreads() > 1) {
+    Pool->parallelFor(Scenarios.size(), CheckOne);
+  } else {
+    for (size_t I = 0; I < Scenarios.size(); ++I)
+      CheckOne(I);
   }
+  for (auto &Part : PerScenario)
+    R.Violations.insert(R.Violations.end(), Part.begin(), Part.end());
   return R;
 }
 
@@ -263,12 +311,18 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
   Out.SimulateMs = W.elapsedMs();
   Out.Converged = R.Converged;
   Out.Stats = R.Stats;
+  Out.CacheHits = Ctx.Mgr.cacheHits();
+  Out.CacheMisses = Ctx.Mgr.cacheMisses();
   if (!R.Converged || !CheckAsserts)
     return Out;
 
   W.restart();
   InterpProgramEvaluator BaseEval(Ctx, P);
-  Out.Check = checkFaultTolerance(Ctx, P, BaseEval, R, Opts);
+  std::optional<ThreadPool> Pool;
+  if (Opts.Threads != 1)
+    Pool.emplace(Opts.Threads);
+  Out.Check = checkFaultTolerance(Ctx, P, BaseEval, R, Opts,
+                                  Pool ? &*Pool : nullptr);
   Out.CheckMs = W.elapsedMs();
   return Out;
 }

@@ -33,7 +33,9 @@
 #include "eval/ProgramEvaluator.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
+#include <memory>
 #include <optional>
 
 namespace nv {
@@ -44,6 +46,10 @@ struct FtOptions {
   /// NV source of the "dropped route" value (Fig. 5 uses None; override
   /// for protocols whose attribute is not an option).
   std::string DropValueSource = "None";
+  /// Worker threads for the per-scenario assert check (1 = serial; 0 =
+  /// NV_THREADS / hardware concurrency). The meta-simulation itself is one
+  /// fixpoint and stays single-threaded.
+  unsigned Threads = 1;
 };
 
 /// Builds the fault-tolerant meta-program: the input's init/trans/merge
@@ -80,16 +86,27 @@ struct FtViolation {
 struct FtCheckResult {
   uint64_t ScenariosChecked = 0;
   std::vector<FtViolation> Violations;
+  /// Keeps per-worker evaluation contexts alive so Violation::Route
+  /// pointers interned in worker arenas stay valid (parallel naive
+  /// baseline only; empty otherwise).
+  std::vector<std::shared_ptr<NvContext>> RetainedContexts;
   bool holds() const { return Violations.empty(); }
 };
 
 /// Checks the base program's assert under every scenario, by indexing the
 /// converged dict labels of the meta-program with each scenario key. The
 /// failed node (if any) is exempt from its own assertion.
+///
+/// The assert is evaluated once per (node, distinct leaf) by walking each
+/// label diagram's cubes up front — not once per (node, scenario) — and
+/// the scenario indexing loop is sharded over \p Pool when given (the
+/// shards only read the already-built MTBDD, so no locking is needed).
+/// Output is identical for any pool size, including the violation order.
 FtCheckResult checkFaultTolerance(NvContext &Ctx, const Program &BaseProgram,
                                   ProtocolEvaluator &BaseEval,
                                   const SimResult &MetaResult,
-                                  const FtOptions &Opts);
+                                  const FtOptions &Opts,
+                                  ThreadPool *Pool = nullptr);
 
 /// Convenience driver: transform, simulate (interpreted or compiled), and
 /// check. Null base assert means only convergence is checked.
@@ -98,6 +115,8 @@ struct FtRunResult {
   FtCheckResult Check;
   SimStats Stats;
   double TransformMs = 0, SimulateMs = 0, CheckMs = 0;
+  /// MTBDD operation-cache statistics of the meta-simulation's manager.
+  uint64_t CacheHits = 0, CacheMisses = 0;
 };
 FtRunResult runFaultTolerance(const Program &P, const FtOptions &Opts,
                               bool UseCompiledEvaluator,

@@ -2,34 +2,85 @@
 
 #include "baselines/BatfishSim.h"
 
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
 #include "eval/ProgramEvaluator.h"
 #include "sim/Simulator.h"
+#include "support/Fatal.h"
 
 using namespace nv;
 
+namespace {
+
+/// Result of one per-prefix run, stored in a destination-indexed slot so
+/// aggregation order (and thus the result) is identical for any pool size.
+struct PerPrefix {
+  bool Converged = false;
+  uint64_t Pops = 0;
+  uint64_t ValuesAllocated = 0;
+  std::vector<int64_t> Row;
+};
+
+void runOnePrefix(const Program &Prog, uint32_t Dest,
+                  const std::function<int64_t(const Value *)> &Extract,
+                  PerPrefix &Out) {
+  // Fresh context per prefix: no value sharing across destinations.
+  NvContext Ctx(Prog.numNodes());
+  InterpProgramEvaluator Eval(Ctx, Prog, {{"dest", Ctx.nodeV(Dest)}});
+  SimOptions Opts;
+  Opts.IncrementalMerge = false; // full re-merge, Batfish-style
+  SimResult Sim = simulate(Prog, Eval, Opts);
+  Out.Converged = Sim.Converged;
+  Out.Pops = Sim.Stats.Pops;
+  Out.ValuesAllocated = Ctx.Arena.size();
+  if (Extract) {
+    Out.Row.reserve(Sim.Labels.size());
+    for (const Value *L : Sim.Labels)
+      Out.Row.push_back(Extract(L));
+  }
+}
+
+} // namespace
+
 BatfishResult nv::batfishAllPrefixes(
     const Program &ParamProgram, const std::vector<uint32_t> &Destinations,
-    const std::function<int64_t(const Value *)> &Extract) {
+    const std::function<int64_t(const Value *)> &Extract, ThreadPool *Pool) {
+  std::vector<PerPrefix> Per(Destinations.size());
+
+  if (!Pool || Pool->numThreads() <= 1 || Destinations.size() <= 1) {
+    for (size_t I = 0; I < Destinations.size(); ++I)
+      runOnePrefix(ParamProgram, Destinations[I], Extract, Per[I]);
+  } else {
+    // Shard the destination list into contiguous chunks. Each chunk
+    // re-parses the program so no AST node (lazily-cached free variables)
+    // is shared across threads; per-prefix contexts stay as in the serial
+    // path, preserving Batfish's no-sharing cost model.
+    std::string Src = printProgram(ParamProgram);
+    size_t Chunks = std::min(Destinations.size(),
+                             static_cast<size_t>(Pool->numThreads()) * 4);
+    Pool->parallelFor(Chunks, [&](size_t C) {
+      size_t Begin = C * Destinations.size() / Chunks;
+      size_t End = (C + 1) * Destinations.size() / Chunks;
+      DiagnosticEngine Diags;
+      auto Local = parseProgram(Src, Diags);
+      if (!Local || !typeCheck(*Local, Diags))
+        fatalError("internal: Batfish-baseline worker failed to re-parse "
+                   "the program:\n" +
+                   Diags.str());
+      for (size_t I = Begin; I < End; ++I)
+        runOnePrefix(*Local, Destinations[I], Extract, Per[I]);
+    });
+  }
+
   BatfishResult R;
-  for (uint32_t Dest : Destinations) {
-    // Fresh context per prefix: no value sharing across destinations.
-    NvContext Ctx(ParamProgram.numNodes());
-    InterpProgramEvaluator Eval(Ctx, ParamProgram,
-                                {{"dest", Ctx.nodeV(Dest)}});
-    SimOptions Opts;
-    Opts.IncrementalMerge = false; // full re-merge, Batfish-style
-    SimResult Sim = simulate(ParamProgram, Eval, Opts);
-    R.Converged &= Sim.Converged;
+  for (PerPrefix &P : Per) {
+    R.Converged &= P.Converged;
     ++R.PrefixesSimulated;
-    R.TotalPops += Sim.Stats.Pops;
-    R.TotalValuesAllocated += Ctx.Arena.size();
-    if (Extract) {
-      std::vector<int64_t> Row;
-      Row.reserve(Sim.Labels.size());
-      for (const Value *L : Sim.Labels)
-        Row.push_back(Extract(L));
-      R.Labels.push_back(std::move(Row));
-    }
+    R.TotalPops += P.Pops;
+    R.TotalValuesAllocated += P.ValuesAllocated;
+    if (Extract)
+      R.Labels.push_back(std::move(P.Row));
   }
   return R;
 }

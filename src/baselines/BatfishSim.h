@@ -16,6 +16,7 @@
 #include "core/Ast.h"
 #include "eval/Value.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
 #include <functional>
@@ -43,10 +44,16 @@ struct BatfishResult {
 /// state.
 /// \p Extract (optional) maps each converged label to a number recorded in
 /// BatfishResult::Labels (e.g. a hop count); labels themselves die with the
-/// per-prefix context.
+/// per-prefix context. It may run concurrently and must be a pure function
+/// of its argument.
+/// \p Pool (optional) shards the destination list; per-prefix state stays
+/// isolated exactly as in the serial run, and the per-destination results
+/// are aggregated in destination order, so output is identical for any
+/// pool size.
 BatfishResult batfishAllPrefixes(
     const Program &ParamProgram, const std::vector<uint32_t> &Destinations,
-    const std::function<int64_t(const Value *)> &Extract = nullptr);
+    const std::function<int64_t(const Value *)> &Extract = nullptr,
+    ThreadPool *Pool = nullptr);
 
 } // namespace nv
 

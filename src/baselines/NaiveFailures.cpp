@@ -2,6 +2,11 @@
 
 #include "baselines/NaiveFailures.h"
 
+#include "core/Parser.h"
+#include "core/Printer.h"
+#include "core/TypeChecker.h"
+#include "support/Fatal.h"
+
 using namespace nv;
 
 SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
@@ -10,12 +15,14 @@ SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
   return simulate(P, Eval);
 }
 
-FtCheckResult nv::naiveFaultTolerance(const Program &P,
-                                      ProtocolEvaluator &BaseEval,
-                                      const FtOptions &Opts,
-                                      const Value *DropValue) {
-  FtCheckResult R;
-  for (const FtScenario &S : enumerateScenarios(P, Opts)) {
+namespace {
+
+/// Checks the scenarios [Begin, End) with \p BaseEval, appending to \p R.
+void checkScenarioRange(const Program &P, ProtocolEvaluator &BaseEval,
+                        const std::vector<FtScenario> &Scenarios, size_t Begin,
+                        size_t End, const Value *DropValue, FtCheckResult &R) {
+  for (size_t I = Begin; I < End; ++I) {
+    const FtScenario &S = Scenarios[I];
     ++R.ScenariosChecked;
     SimResult Sim = simulateScenario(P, BaseEval, S, DropValue);
     if (!Sim.Converged)
@@ -26,6 +33,66 @@ FtCheckResult nv::naiveFaultTolerance(const Program &P,
       if (!BaseEval.assertAt(U, Sim.Labels[U]))
         R.Violations.push_back({S, U, Sim.Labels[U]});
     }
+  }
+}
+
+} // namespace
+
+FtCheckResult nv::naiveFaultTolerance(const Program &P,
+                                      ProtocolEvaluator &BaseEval,
+                                      const FtOptions &Opts,
+                                      const Value *DropValue) {
+  FtCheckResult R;
+  auto Scenarios = enumerateScenarios(P, Opts);
+  checkScenarioRange(P, BaseEval, Scenarios, 0, Scenarios.size(), DropValue,
+                     R);
+  return R;
+}
+
+FtCheckResult nv::naiveFaultToleranceParallel(
+    const Program &P, const FtOptions &Opts, ThreadPool &Pool,
+    const std::function<const Value *(NvContext &)> &MakeDrop) {
+  FtCheckResult R;
+  auto Scenarios = enumerateScenarios(P, Opts);
+  if (Scenarios.empty())
+    return R;
+
+  // Each chunk re-parses the program from source: AST nodes carry a
+  // lazily-filled free-variable cache, so sharing them across threads
+  // would race. Parsing once per chunk (not per scenario) amortizes to
+  // noise against the per-scenario fixpoints.
+  std::string Src = printProgram(P);
+  size_t Chunks =
+      std::min(Scenarios.size(), static_cast<size_t>(Pool.numThreads()) * 4);
+
+  struct Shard {
+    FtCheckResult Part;
+    std::shared_ptr<NvContext> Ctx;
+  };
+  std::vector<Shard> Shards(Chunks);
+
+  Pool.parallelFor(Chunks, [&](size_t C) {
+    size_t Begin = C * Scenarios.size() / Chunks;
+    size_t End = (C + 1) * Scenarios.size() / Chunks;
+    DiagnosticEngine Diags;
+    auto Local = parseProgram(Src, Diags);
+    if (!Local || !typeCheck(*Local, Diags))
+      fatalError("internal: naive-baseline worker failed to re-parse the "
+                 "program:\n" +
+                 Diags.str());
+    auto Ctx = std::make_shared<NvContext>(Local->numNodes());
+    InterpProgramEvaluator BaseEval(*Ctx, *Local);
+    const Value *Drop = MakeDrop ? MakeDrop(*Ctx) : Ctx->noneV();
+    checkScenarioRange(*Local, BaseEval, Scenarios, Begin, End, Drop,
+                       Shards[C].Part);
+    Shards[C].Ctx = std::move(Ctx);
+  });
+
+  for (Shard &S : Shards) {
+    R.ScenariosChecked += S.Part.ScenariosChecked;
+    R.Violations.insert(R.Violations.end(), S.Part.Violations.begin(),
+                        S.Part.Violations.end());
+    R.RetainedContexts.push_back(std::move(S.Ctx));
   }
   return R;
 }

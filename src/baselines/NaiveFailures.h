@@ -72,6 +72,20 @@ FtCheckResult naiveFaultTolerance(const Program &P,
                                   const FtOptions &Opts,
                                   const Value *DropValue);
 
+/// Thread-sharded naive analysis: the scenario list is partitioned into
+/// contiguous chunks and each chunk runs on its own re-parsed copy of the
+/// program with its own NvContext/BddManager arena, so hash-consing stays
+/// lock-free and no AST node (whose free-variable cache is lazily filled)
+/// is shared across threads. Violations are concatenated in scenario
+/// order, so the logical result is identical for any pool size (route
+/// pointers live in per-chunk arenas retained by the result).
+///
+/// \p MakeDrop builds the injected "dropped route" value in a worker's
+/// context (defaults to None); it must be a pure function of the context.
+FtCheckResult naiveFaultToleranceParallel(
+    const Program &P, const FtOptions &Opts, ThreadPool &Pool,
+    const std::function<const Value *(NvContext &)> &MakeDrop = {});
+
 } // namespace nv
 
 #endif // NV_BASELINES_NAIVEFAILURES_H

@@ -5,11 +5,19 @@
 
 #include "support/Fatal.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace nv;
 
-BddManager::BddManager() { Nodes.reserve(1 << 12); }
+BddManager::BddManager(size_t OpCacheSlots) {
+  Nodes.reserve(1 << 12);
+  size_t Slots = 16;
+  while (Slots < OpCacheSlots)
+    Slots <<= 1;
+  OpCache.assign(Slots, OpEntry{});
+  OpCacheMask = Slots - 1;
+}
 
 BddManager::Ref BddManager::leaf(const void *Payload) {
   auto It = LeafTable.find(Payload);
@@ -35,73 +43,6 @@ BddManager::Ref BddManager::mkNode(uint32_t Var, Ref Lo, Ref Hi) {
   Nodes.push_back(Node{Var, Lo, Hi, nullptr});
   Unique.emplace(Key, R);
   return R;
-}
-
-bool BddManager::cacheLookup(uint64_t Tag, Ref A, Ref B, Ref &Out) {
-  if (!CachingEnabled) {
-    ++CacheMisses;
-    return false;
-  }
-  auto It = OpCache.find(OpKey{Tag, A, B});
-  if (It == OpCache.end()) {
-    ++CacheMisses;
-    return false;
-  }
-  ++CacheHits;
-  Out = It->second;
-  return true;
-}
-
-void BddManager::cacheInsert(uint64_t Tag, Ref A, Ref B, Ref Result) {
-  if (CachingEnabled)
-    OpCache.emplace(OpKey{Tag, A, B}, Result);
-}
-
-BddManager::Ref BddManager::map1(Ref A, const UnaryFn &Fn, uint64_t Tag) {
-  Ref Cached;
-  if (cacheLookup(Tag, A, LeafVar, Cached))
-    return Cached;
-  Ref Result;
-  if (isLeaf(A)) {
-    Result = leaf(Fn(leafPayload(A)));
-  } else {
-    const Node N = Nodes[A];
-    Ref Lo = map1(N.Lo, Fn, Tag);
-    Ref Hi = map1(N.Hi, Fn, Tag);
-    Result = mkNode(N.Var, Lo, Hi);
-  }
-  cacheInsert(Tag, A, LeafVar, Result);
-  return Result;
-}
-
-BddManager::Ref BddManager::apply2(Ref A, Ref B, const BinaryFn &Fn,
-                                   uint64_t Tag) {
-  Ref Cached;
-  if (cacheLookup(Tag, A, B, Cached))
-    return Cached;
-  Ref Result;
-  if (isLeaf(A) && isLeaf(B)) {
-    Result = leaf(Fn(leafPayload(A), leafPayload(B)));
-  } else {
-    // Recurse on the topmost variable of either operand.
-    uint32_t VarA = Nodes[A].Var; // LeafVar sorts below every real var
-    uint32_t VarB = Nodes[B].Var;
-    uint32_t Var = VarA < VarB ? VarA : VarB;
-    Ref ALo = A, AHi = A, BLo = B, BHi = B;
-    if (VarA == Var) {
-      ALo = Nodes[A].Lo;
-      AHi = Nodes[A].Hi;
-    }
-    if (VarB == Var) {
-      BLo = Nodes[B].Lo;
-      BHi = Nodes[B].Hi;
-    }
-    Ref Lo = apply2(ALo, BLo, Fn, Tag);
-    Ref Hi = apply2(AHi, BHi, Fn, Tag);
-    Result = mkNode(Var, Lo, Hi);
-  }
-  cacheInsert(Tag, A, B, Result);
-  return Result;
 }
 
 const void *BddManager::get(Ref M, const std::vector<bool> &KeyBits) const {
@@ -329,11 +270,13 @@ void BddManager::forEachCube(
   Rec(R);
 }
 
-void BddManager::clearCaches() { OpCache.clear(); }
+void BddManager::clearCaches() {
+  std::fill(OpCache.begin(), OpCache.end(), OpEntry{});
+}
 
 size_t BddManager::memoryBytes() const {
   return Nodes.capacity() * sizeof(Node) +
          Unique.size() * (sizeof(NodeKey) + sizeof(Ref) + 16) +
          LeafTable.size() * (sizeof(void *) + sizeof(Ref) + 16) +
-         OpCache.size() * (sizeof(OpKey) + sizeof(Ref) + 16);
+         OpCache.size() * sizeof(OpEntry);
 }

@@ -16,6 +16,20 @@
 /// Variable order: bit 0 is the most significant key bit and sits at the
 /// top of the diagram, matching Fig. 11.
 ///
+/// Hot-path representation choices (this file is the kernel every analysis
+/// shard runs):
+///  - map1/apply2 are templates dispatched on the callback's static type,
+///    so per-node visits cost a direct (usually inlined) call instead of a
+///    std::function virtual dispatch;
+///  - the operation cache is a CUDD-style fixed-size direct-mapped array:
+///    lookups are one probe, inserts overwrite (lossy). Losing an entry
+///    only costs a recomputation, never correctness.
+///
+/// A BddManager is single-threaded by design: parallel analyses give each
+/// worker its own manager arena (see support/ThreadPool.h) so hash-consing
+/// needs no locks. Concurrent *reads* (get, forEachCube) of a manager that
+/// no thread is mutating are safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NV_BDD_MTBDD_H
@@ -39,6 +53,10 @@ public:
   using Ref = uint32_t;
   static constexpr uint32_t LeafVar = 0xFFFFFFFFu;
 
+  /// Default number of direct-mapped operation-cache slots (rounded up to
+  /// a power of two). 2^17 entries * 24 bytes = 3 MiB per manager arena.
+  static constexpr size_t DefaultOpCacheSlots = size_t(1) << 17;
+
   struct Node {
     uint32_t Var;          ///< Bit index tested, or LeafVar for leaves.
     Ref Lo = 0;            ///< Subtree when the bit is 0 (dashed edge).
@@ -46,7 +64,10 @@ public:
     const void *Leaf = nullptr; ///< Leaf payload (LeafVar nodes only).
   };
 
-  BddManager();
+  /// \p OpCacheSlots sizes the direct-mapped operation cache (rounded up
+  /// to a power of two; tiny values are useful to stress eviction in
+  /// tests).
+  explicit BddManager(size_t OpCacheSlots = DefaultOpCacheSlots);
 
   /// Returns the canonical leaf holding \p Payload.
   Ref leaf(const void *Payload);
@@ -66,18 +87,24 @@ public:
   /// keyed by the same tag must be the same mathematical function.
   uint64_t freshOpTag() { return NextOpTag++; }
 
-  using UnaryFn = std::function<const void *(const void *)>;
-  using BinaryFn = std::function<const void *(const void *, const void *)>;
-
-  /// Applies \p Fn to every leaf. \p Tag memoizes across calls (pass the
-  /// same tag for the same Fn to share work between invocations).
-  Ref map1(Ref A, const UnaryFn &Fn, uint64_t Tag);
+  /// Applies \p Fn (any callable `const void *(const void *)`) to every
+  /// leaf. \p Tag memoizes across calls (pass the same tag for the same
+  /// Fn to share work between invocations). Template dispatch: the
+  /// callback is invoked directly per distinct node, with no
+  /// std::function indirection.
+  template <typename UnaryFn> Ref map1(Ref A, UnaryFn &&Fn, uint64_t Tag) {
+    return map1Rec(A, Fn, Tag);
+  }
 
   /// Shannon-aligned binary apply: recurses over both diagrams and calls
-  /// \p Fn once per distinct pair of leaves. This single primitive
-  /// implements NV's combine (Fn = merge) and mapIte (A = predicate
-  /// diagram with boolean payloads, Fn dispatches on the predicate leaf).
-  Ref apply2(Ref A, Ref B, const BinaryFn &Fn, uint64_t Tag);
+  /// \p Fn (any callable `const void *(const void *, const void *)`) once
+  /// per distinct pair of leaves. This single primitive implements NV's
+  /// combine (Fn = merge) and mapIte (A = predicate diagram with boolean
+  /// payloads, Fn dispatches on the predicate leaf).
+  template <typename BinaryFn>
+  Ref apply2(Ref A, Ref B, BinaryFn &&Fn, uint64_t Tag) {
+    return apply2Rec(A, B, Fn, Tag);
+  }
 
   /// Follows the path \p KeyBits (KeyBits[i] = value of bit i) to a leaf.
   /// Bits beyond the diagram's depth are ignored (the diagram is total).
@@ -157,6 +184,9 @@ public:
   uint64_t cacheHits() const { return CacheHits; }
   uint64_t cacheMisses() const { return CacheMisses; }
 
+  /// Number of direct-mapped operation-cache slots.
+  size_t opCacheSlots() const { return OpCache.size(); }
+
   /// Disables operation caching (for the cache ablation bench).
   void setCachingEnabled(bool On) { CachingEnabled = On; }
 
@@ -176,26 +206,20 @@ private:
       return static_cast<size_t>(H ^ (H >> 32));
     }
   };
-  struct OpKey {
-    uint64_t Tag;
-    Ref A, B;
-    bool operator==(const OpKey &O) const {
-      return Tag == O.Tag && A == O.A && B == O.B;
-    }
-  };
-  struct OpKeyHash {
-    size_t operator()(const OpKey &K) const {
-      uint64_t H = K.Tag;
-      H = H * 0x9E3779B97F4A7C15ull + K.A;
-      H = H * 0x9E3779B97F4A7C15ull + K.B;
-      return static_cast<size_t>(H ^ (H >> 32));
-    }
+
+  /// One direct-mapped operation-cache slot. Tag == 0 marks an empty slot
+  /// (real tags start at 1; the reserved boolean tags are huge).
+  struct OpEntry {
+    uint64_t Tag = 0;
+    Ref A = 0, B = 0;
+    Ref Result = 0;
   };
 
   std::vector<Node> Nodes;
   std::unordered_map<NodeKey, Ref, NodeKeyHash> Unique;
   std::unordered_map<const void *, Ref> LeafTable;
-  std::unordered_map<OpKey, Ref, OpKeyHash> OpCache;
+  std::vector<OpEntry> OpCache; ///< Power-of-two sized, lossy.
+  size_t OpCacheMask = 0;
 
   const void *TruePayload = nullptr;
   const void *FalsePayload = nullptr;
@@ -216,8 +240,79 @@ private:
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
 
-  bool cacheLookup(uint64_t Tag, Ref A, Ref B, Ref &Out);
-  void cacheInsert(uint64_t Tag, Ref A, Ref B, Ref Result);
+  static size_t opHash(uint64_t Tag, Ref A, Ref B) {
+    uint64_t H = Tag;
+    H = H * 0x9E3779B97F4A7C15ull + A;
+    H = H * 0x9E3779B97F4A7C15ull + B;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+
+  bool cacheLookup(uint64_t Tag, Ref A, Ref B, Ref &Out) {
+    if (!CachingEnabled) {
+      ++CacheMisses;
+      return false;
+    }
+    const OpEntry &E = OpCache[opHash(Tag, A, B) & OpCacheMask];
+    if (E.Tag == Tag && E.A == A && E.B == B) {
+      ++CacheHits;
+      Out = E.Result;
+      return true;
+    }
+    ++CacheMisses;
+    return false;
+  }
+
+  void cacheInsert(uint64_t Tag, Ref A, Ref B, Ref Result) {
+    if (CachingEnabled)
+      OpCache[opHash(Tag, A, B) & OpCacheMask] = OpEntry{Tag, A, B, Result};
+  }
+
+  template <typename UnaryFn> Ref map1Rec(Ref A, UnaryFn &Fn, uint64_t Tag) {
+    Ref Cached;
+    if (cacheLookup(Tag, A, LeafVar, Cached))
+      return Cached;
+    Ref Result;
+    if (isLeaf(A)) {
+      Result = leaf(Fn(leafPayload(A)));
+    } else {
+      const Node N = Nodes[A];
+      Ref Lo = map1Rec(N.Lo, Fn, Tag);
+      Ref Hi = map1Rec(N.Hi, Fn, Tag);
+      Result = mkNode(N.Var, Lo, Hi);
+    }
+    cacheInsert(Tag, A, LeafVar, Result);
+    return Result;
+  }
+
+  template <typename BinaryFn>
+  Ref apply2Rec(Ref A, Ref B, BinaryFn &Fn, uint64_t Tag) {
+    Ref Cached;
+    if (cacheLookup(Tag, A, B, Cached))
+      return Cached;
+    Ref Result;
+    if (isLeaf(A) && isLeaf(B)) {
+      Result = leaf(Fn(leafPayload(A), leafPayload(B)));
+    } else {
+      // Recurse on the topmost variable of either operand.
+      uint32_t VarA = Nodes[A].Var; // LeafVar sorts below every real var
+      uint32_t VarB = Nodes[B].Var;
+      uint32_t Var = VarA < VarB ? VarA : VarB;
+      Ref ALo = A, AHi = A, BLo = B, BHi = B;
+      if (VarA == Var) {
+        ALo = Nodes[A].Lo;
+        AHi = Nodes[A].Hi;
+      }
+      if (VarB == Var) {
+        BLo = Nodes[B].Lo;
+        BHi = Nodes[B].Hi;
+      }
+      Ref Lo = apply2Rec(ALo, BLo, Fn, Tag);
+      Ref Hi = apply2Rec(AHi, BHi, Fn, Tag);
+      Result = mkNode(Var, Lo, Hi);
+    }
+    cacheInsert(Tag, A, B, Result);
+    return Result;
+  }
 
   Ref setRec(Ref M, const std::vector<bool> &KeyBits, unsigned Depth,
              const void *Payload);

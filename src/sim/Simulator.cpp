@@ -4,8 +4,8 @@
 
 #include "support/Fatal.h"
 
+#include <algorithm>
 #include <deque>
-#include <map>
 
 using namespace nv;
 
@@ -15,18 +15,45 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
   if (N == 0)
     fatalError("cannot simulate a program without a topology");
 
-  // Out-neighbors per node over directed edges.
-  std::vector<std::vector<uint32_t>> Neighbors(N);
-  for (const auto &[U, V] : P.directedEdges())
-    Neighbors[U].push_back(V);
-
-  SimResult R;
-  R.Labels.assign(N, nullptr);
-
   // received(v): routes most recently heard from each in-neighbor, plus
   // the node's own initial route stored under its own id (Algorithm 1,
   // line 8) so a full re-merge is just a fold over this table.
-  std::vector<std::map<uint32_t, const Value *>> Received(N);
+  //
+  // Representation: one flat array of slots, built once from the topology.
+  // For each node v, slots [RecvOffset[v], RecvOffset[v+1]) correspond to
+  // the sorted sender list RecvFrom (v's in-neighbors plus v itself), so a
+  // full re-merge is a linear scan in ascending sender order — the same
+  // fold order a std::map<sender, route> table gives, with no per-lookup
+  // tree walk and no per-edge allocation. A null slot means "nothing
+  // received from this sender yet".
+  std::vector<std::vector<uint32_t>> Senders(N);
+  for (uint32_t U = 0; U < N; ++U)
+    Senders[U].push_back(U);
+  // Out-neighbors per node over directed edges; slot indices filled below.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> Out(N);
+  for (const auto &[U, V] : P.directedEdges()) {
+    Out[U].push_back({V, 0});
+    Senders[V].push_back(U);
+  }
+  std::vector<uint32_t> RecvOffset(N + 1, 0);
+  for (uint32_t V = 0; V < N; ++V) {
+    auto &S = Senders[V];
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+    RecvOffset[V + 1] = RecvOffset[V] + static_cast<uint32_t>(S.size());
+  }
+  auto SlotOf = [&](uint32_t V, uint32_t Sender) {
+    const auto &S = Senders[V];
+    auto It = std::lower_bound(S.begin(), S.end(), Sender);
+    return RecvOffset[V] + static_cast<uint32_t>(It - S.begin());
+  };
+  for (uint32_t U = 0; U < N; ++U)
+    for (auto &[V, Slot] : Out[U])
+      Slot = SlotOf(V, U);
+  std::vector<const Value *> Received(RecvOffset[N], nullptr);
+
+  SimResult R;
+  R.Labels.assign(N, nullptr);
 
   std::deque<uint32_t> Queue;
   std::vector<bool> InQueue(N, false);
@@ -46,7 +73,7 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
 
   for (uint32_t U = 0; U < N; ++U) {
     R.Labels[U] = Eval.init(U);
-    Received[U][U] = R.Labels[U];
+    Received[SlotOf(U, U)] = R.Labels[U];
     Push(U);
   }
 
@@ -58,14 +85,13 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
     InQueue[U] = false;
 
     // Propagate u's current route to all of its neighbors.
-    for (uint32_t V : Neighbors[U]) {
+    for (const auto &[V, Slot] : Out[U]) {
       const Value *New = Eval.trans(U, V, R.Labels[U]);
       ++R.Stats.TransCalls;
 
-      auto It = Received[V].find(U);
-      if (It != Received[V].end()) {
-        const Value *Old = It->second;
-        It->second = New;
+      const Value *Old = Received[Slot];
+      if (Old) {
+        Received[Slot] = New;
         if (Old == New)
           continue; // Nothing changed on this edge.
         ++R.Stats.MergeCalls;
@@ -79,7 +105,10 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
           // node's init is in the table under its own id.
           ++R.Stats.FullMerges;
           const Value *Acc = nullptr;
-          for (const auto &[From, Route] : Received[V]) {
+          for (uint32_t S = RecvOffset[V]; S < RecvOffset[V + 1]; ++S) {
+            const Value *Route = Received[S];
+            if (!Route)
+              continue;
             if (!Acc) {
               Acc = Route;
               continue;
@@ -90,7 +119,7 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
           Update(V, Acc);
         }
       } else {
-        Received[V][U] = New;
+        Received[Slot] = New;
         ++R.Stats.MergeCalls;
         Update(V, Eval.merge(V, R.Labels[V], New));
       }

@@ -1,0 +1,120 @@
+//===- ThreadPool.cpp - Fixed-size worker pool --------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdlib>
+
+using namespace nv;
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char *Env = std::getenv("NV_THREADS")) {
+    int N = std::atoi(Env);
+    if (N >= 1)
+      return static_cast<unsigned>(N);
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw ? Hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreadsIn)
+    : NumThreads(NumThreadsIn ? NumThreadsIn : defaultThreadCount()) {
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::drain(const std::shared_ptr<Job> &J) {
+  size_t I;
+  while ((I = J->Next.fetch_add(1, std::memory_order_relaxed)) < J->N) {
+    try {
+      (*J->Fn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(J->ErrorM);
+      if (!J->FirstError)
+        J->FirstError = std::current_exception();
+    }
+    TasksRun.fetch_add(1, std::memory_order_relaxed);
+    if (J->Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> L(M);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> L(M);
+      auto IdleStart = std::chrono::steady_clock::now();
+      WorkCv.wait(L, [&] { return Stopping || Generation != SeenGeneration; });
+      IdleMicros.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - IdleStart)
+              .count(),
+          std::memory_order_relaxed);
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      J = Current;
+    }
+    if (J)
+      drain(J);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  ParallelForCalls.fetch_add(1, std::memory_order_relaxed);
+  if (N == 0)
+    return;
+  if (NumThreads == 1 || N == 1) {
+    // Inline: no handoff overhead, trivially deterministic.
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    TasksRun.fetch_add(N, std::memory_order_relaxed);
+    return;
+  }
+  // Each job gets its own counters so a worker that raced past the end of
+  // an old job can never claim indices of a new one.
+  auto J = std::make_shared<Job>();
+  J->Fn = &Fn;
+  J->N = N;
+  J->Pending.store(N, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(M);
+    Current = J;
+    ++Generation;
+  }
+  WorkCv.notify_all();
+  drain(J); // The calling thread works too.
+  {
+    std::unique_lock<std::mutex> L(M);
+    DoneCv.wait(L,
+                [&] { return J->Pending.load(std::memory_order_acquire) == 0; });
+    if (Current == J)
+      Current.reset();
+  }
+  if (J->FirstError)
+    std::rethrow_exception(J->FirstError);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats S;
+  S.TasksRun = TasksRun.load(std::memory_order_relaxed);
+  S.ParallelForCalls = ParallelForCalls.load(std::memory_order_relaxed);
+  S.WorkerIdleMs =
+      static_cast<double>(IdleMicros.load(std::memory_order_relaxed)) / 1000.0;
+  return S;
+}

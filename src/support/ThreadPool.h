@@ -1,0 +1,101 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a blocking `parallelFor(N, Fn)` primitive.
+/// The analyses this repo reproduces decompose into embarrassingly parallel
+/// shards (one fixpoint per failure scenario, per destination prefix, per
+/// assert index); each shard owns its NvContext/BddManager arena so
+/// hash-consing stays lock-free and the pool only has to hand out indices.
+///
+/// Determinism: parallelFor assigns each index exactly once and callers
+/// collect results into index-addressed slots, so output is independent of
+/// the worker interleaving and of the pool size. A pool of one thread (or
+/// N <= 1) runs everything inline on the calling thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_THREADPOOL_H
+#define NV_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nv {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads - 1 workers (the calling thread participates in
+  /// every parallelFor). NumThreads == 0 means defaultThreadCount().
+  explicit ThreadPool(unsigned NumThreadsIn = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Runs Fn(0) ... Fn(N-1), distributing indices over the pool, and
+  /// blocks until all have finished. Indices are claimed atomically, so
+  /// each runs exactly once; the order across workers is unspecified.
+  /// The first exception thrown by any task is rethrown here after all
+  /// claimed tasks finish. Not reentrant: do not call parallelFor from
+  /// inside a task of the same pool.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  struct Stats {
+    uint64_t TasksRun = 0;         ///< Total indices executed.
+    uint64_t ParallelForCalls = 0; ///< parallelFor invocations.
+    double WorkerIdleMs = 0;       ///< Worker time spent waiting for work.
+  };
+  Stats stats() const;
+
+  /// The NV_THREADS environment variable if set (clamped to >= 1), else
+  /// std::thread::hardware_concurrency(), else 1.
+  static unsigned defaultThreadCount();
+
+private:
+  /// One parallelFor invocation. Heap-allocated and shared with workers so
+  /// a worker that races past the end of an old job can never claim
+  /// indices of a newer one (each job has its own counters).
+  struct Job {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0};    ///< Next unclaimed index.
+    std::atomic<size_t> Pending{0}; ///< Tasks not yet finished.
+    std::mutex ErrorM;
+    std::exception_ptr FirstError;
+  };
+
+  void workerLoop();
+  void drain(const std::shared_ptr<Job> &J);
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WorkCv; ///< Signals a new job (or shutdown).
+  std::condition_variable DoneCv; ///< Signals a job's Pending reached zero.
+  uint64_t Generation = 0;        ///< Bumped once per parallelFor.
+  bool Stopping = false;
+  std::shared_ptr<Job> Current;   ///< Guarded by M.
+
+  std::atomic<uint64_t> TasksRun{0};
+  std::atomic<uint64_t> ParallelForCalls{0};
+  std::atomic<uint64_t> IdleMicros{0};
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_THREADPOOL_H

@@ -1,0 +1,98 @@
+//===- ThreadPoolTests.cpp - worker-pool unit tests --------------------------===//
+//
+// The pool underlies every sharded analysis, so its contract is pinned
+// here: every index runs exactly once, exceptions propagate, repeated
+// parallelFor calls do not leak work between jobs, and the stats counters
+// add up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+using namespace nv;
+
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ThreadPool Pool(Threads);
+    std::vector<std::atomic<int>> Hits(1000);
+    Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I < Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << " threads " << Threads;
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneTasks) {
+  ThreadPool Pool(4);
+  int Ran = 0;
+  Pool.parallelFor(0, [&](size_t) { ++Ran; });
+  EXPECT_EQ(Ran, 0);
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Ran;
+  });
+  EXPECT_EQ(Ran, 1);
+}
+
+TEST(ThreadPool, RepeatedCallsDoNotMixJobs) {
+  // A stale worker from job N must never execute job N+1's function with a
+  // recycled index (the ABA hazard of pool-level counters).
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(64, [&, Round](size_t I) {
+      Sum.fetch_add(static_cast<uint64_t>(Round) * 1000 + I);
+    });
+    uint64_t Expected = static_cast<uint64_t>(Round) * 1000 * 64 +
+                        (64 * 63) / 2;
+    EXPECT_EQ(Sum.load(), Expected) << "round " << Round;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(Pool.parallelFor(16,
+                                [&](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool stays usable after an exceptional job.
+  std::atomic<int> Ran{0};
+  Pool.parallelFor(8, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(ThreadPool, StatsCountTasksAndCalls) {
+  ThreadPool Pool(2);
+  Pool.parallelFor(10, [](size_t) {});
+  Pool.parallelFor(5, [](size_t) {});
+  ThreadPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.TasksRun, 15u);
+  EXPECT_EQ(S.ParallelForCalls, 2u);
+  EXPECT_GE(S.WorkerIdleMs, 0.0);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  setenv("NV_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+  unsetenv("NV_THREADS");
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansDefault) {
+  setenv("NV_THREADS", "2", 1);
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numThreads(), 2u);
+  unsetenv("NV_THREADS");
+}
+
+} // namespace

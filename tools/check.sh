@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh — full pre-merge verification:
+#   1. tier-1: configure, build, and run the complete ctest suite;
+#   2. a ThreadSanitizer build of the parallel determinism + thread-pool
+#      tests, to catch data races the functional tests cannot see.
+#
+# Usage: tools/check.sh   (from the repository root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+echo
+echo "== TSan: parallel determinism tests =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build build-tsan -j"$JOBS" --target parallel_tests threadpool_tests
+./build-tsan/tests/threadpool_tests
+./build-tsan/tests/parallel_tests
+
+echo
+echo "All checks passed."
