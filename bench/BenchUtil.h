@@ -7,6 +7,9 @@
 //   --threads N  worker threads for the sharded analyses (default: the
 //                NV_THREADS environment variable if set, else 1)
 //   --json PATH  also write machine-readable results (one JSON array)
+//   --gc-watermark N  MTBDD garbage-collection watermark in nodes for all
+//                contexts the run creates (exported as NV_GC_WATERMARK;
+//                0 disables collection, 1 collects at every safe point)
 // and prints one aligned table matching the figure's rows/series.
 //
 //===----------------------------------------------------------------------===//
@@ -46,6 +49,11 @@ struct Args {
         A.Threads = static_cast<unsigned>(atoi(argv[++I]));
       else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
         A.JsonPath = argv[++I];
+      else if (!std::strcmp(argv[I], "--gc-watermark") && I + 1 < argc)
+        // Managers read NV_GC_WATERMARK at construction, so exporting it
+        // reaches every context the benchmark creates (including the ones
+        // built internally by the analyses).
+        setenv("NV_GC_WATERMARK", argv[++I], /*overwrite=*/1);
     }
     if (A.Threads == 0)
       A.Threads = nv::ThreadPool::defaultThreadCount();

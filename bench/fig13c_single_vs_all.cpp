@@ -32,55 +32,55 @@ using namespace nvbench;
 
 namespace {
 
-/// Runs the single-destination analysis for the leaves [Begin, End) of
-/// \p Meta, one fresh context per destination. Returns false on divergence.
-bool runLeafRange(const Program &Meta, const std::vector<uint32_t> &Leaves,
-                  size_t Begin, size_t End, bool Native) {
-  for (size_t I = Begin; I < End; ++I) {
-    // Fresh context per destination: monotone MTBDD/arena tables would
-    // otherwise grow across the 32+ runs and slow everything down.
-    NvContext Ctx(Meta.numNodes());
-    SymbolicAssignment Sym{{"dest", Ctx.nodeV(Leaves[I])}};
-    std::unique_ptr<ProtocolEvaluator> Eval;
-    if (Native)
-      Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, Meta, Sym);
-    else
-      Eval = std::make_unique<InterpProgramEvaluator>(Ctx, Meta, Sym);
-    SimResult R = simulate(Meta, *Eval);
-    if (!R.Converged)
-      return false;
-  }
-  return true;
+/// Runs the single-destination analysis for one leaf in a shard-persistent
+/// context: the arena is garbage-collected back to its pinned baseline
+/// first, so MTBDD/arena tables no longer grow monotonically across the
+/// 32+ per-destination runs. Returns false on divergence.
+bool runOneLeaf(const Program &Meta, NvContext &Ctx, uint32_t Dest,
+                bool Native) {
+  Ctx.resetBetweenRuns();
+  SymbolicAssignment Sym{{"dest", Ctx.nodeV(Dest)}};
+  std::unique_ptr<ProtocolEvaluator> Eval;
+  if (Native)
+    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, Meta, Sym);
+  else
+    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, Meta, Sym);
+  SimResult R = simulate(Meta, *Eval);
+  return R.Converged;
 }
 
 /// FT over each prefix separately: one meta-program with a symbolic dest,
-/// instantiated per leaf. With a pool, the leaf list is sharded into
-/// contiguous chunks, each running on its own re-parsed program copy (AST
-/// free-variable caches fill lazily, so programs are not shared across
-/// threads).
+/// instantiated per leaf. With a pool, one persistent worker per thread
+/// re-parses the program once (AST free-variable caches fill lazily, so
+/// programs are not shared across threads), then claims leaves dynamically
+/// and reuses its context across them.
 double singleMode(const Program &Meta, const std::vector<uint32_t> &Leaves,
                   bool Native, ThreadPool *Pool) {
   Stopwatch W;
   if (!Pool || Pool->numThreads() <= 1 || Leaves.size() <= 1) {
-    if (!runLeafRange(Meta, Leaves, 0, Leaves.size(), Native))
-      return -1;
+    NvContext Ctx(Meta.numNodes());
+    for (uint32_t Dest : Leaves)
+      if (!runOneLeaf(Meta, Ctx, Dest, Native))
+        return -1;
     return W.elapsedMs();
   }
   std::string Src = printProgram(Meta);
-  size_t Chunks =
-      std::min(Leaves.size(), static_cast<size_t>(Pool->numThreads()) * 4);
+  size_t Workers =
+      std::min(Leaves.size(), static_cast<size_t>(Pool->numThreads()));
+  std::atomic<size_t> Next{0};
   std::atomic<bool> Ok{true};
-  Pool->parallelFor(Chunks, [&](size_t C) {
-    size_t Begin = C * Leaves.size() / Chunks;
-    size_t End = (C + 1) * Leaves.size() / Chunks;
+  Pool->parallelFor(Workers, [&](size_t) {
     DiagnosticEngine Diags;
     auto Local = parseProgram(Src, Diags);
     if (!Local || !typeCheck(*Local, Diags))
       fatalError("internal: fig13c worker failed to re-parse the "
                  "program:\n" +
                  Diags.str());
-    if (!runLeafRange(*Local, Leaves, Begin, End, Native))
-      Ok.store(false);
+    NvContext Ctx(Local->numNodes());
+    for (size_t I = Next.fetch_add(1); I < Leaves.size();
+         I = Next.fetch_add(1))
+      if (!runOneLeaf(*Local, Ctx, Leaves[I], Native))
+        Ok.store(false);
   });
   return Ok.load() ? W.elapsedMs() : -1;
 }

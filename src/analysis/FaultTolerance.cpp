@@ -11,6 +11,7 @@
 #include "transform/Transforms.h"
 
 #include <cassert>
+#include <memory>
 #include <unordered_set>
 
 using namespace nv;
@@ -235,6 +236,16 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
   if (Scenarios.empty() || N == 0)
     return R;
 
+  // Root the meta labels' diagrams for the duration of the check: the
+  // assert pre-pass and key encoding intern fresh values, and if a
+  // collection fires the label roots must survive it. (No safe point runs
+  // inside this function today; the RootSet makes the contract explicit
+  // and keeps it correct if one is ever added.)
+  BddManager::RootSet MetaRoots(Ctx.Mgr);
+  for (uint32_t U = 0; U < N; ++U)
+    if (MetaResult.Labels[U]->K == Value::Kind::Map)
+      MetaRoots.add(MetaResult.Labels[U]->MapRoot);
+
   // Serial pre-pass: evaluate the assert once per (node, distinct leaf)
   // by walking each label diagram's cubes — far fewer evaluations than
   // once per (node, scenario), since MTBDD sharing keeps the number of
@@ -291,8 +302,8 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
 
 FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
                                   bool UseCompiledEvaluator,
-                                  DiagnosticEngine &Diags,
-                                  bool CheckAsserts) {
+                                  DiagnosticEngine &Diags, bool CheckAsserts,
+                                  NvContext *ReuseCtx) {
   FtRunResult Out;
   Stopwatch W;
   auto Meta = makeFaultTolerantProgram(P, Opts, Diags);
@@ -300,29 +311,45 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
   if (!Meta)
     return Out;
 
-  NvContext Ctx(P.numNodes());
-  std::unique_ptr<ProtocolEvaluator> Eval;
-  W.restart();
-  if (UseCompiledEvaluator)
-    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, *Meta);
+  // Reuse mode collects the PREVIOUS run's garbage down to the caller's
+  // pinned baseline now, at the start — so the previous FtRunResult's
+  // route pointers stay valid until the next call on the same context.
+  std::shared_ptr<NvContext> OwnCtx;
+  if (ReuseCtx)
+    ReuseCtx->resetBetweenRuns();
   else
-    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, *Meta);
-  SimResult R = simulate(*Meta, *Eval);
-  Out.SimulateMs = W.elapsedMs();
-  Out.Converged = R.Converged;
-  Out.Stats = R.Stats;
-  Out.CacheHits = Ctx.Mgr.cacheHits();
-  Out.CacheMisses = Ctx.Mgr.cacheMisses();
-  if (!R.Converged || !CheckAsserts)
-    return Out;
+    OwnCtx = std::make_shared<NvContext>(P.numNodes());
+  NvContext &Ctx = ReuseCtx ? *ReuseCtx : *OwnCtx;
+  // Deltas, not totals: a reused manager's counters span earlier runs.
+  uint64_t Hits0 = Ctx.Mgr.cacheHits(), Misses0 = Ctx.Mgr.cacheMisses();
 
-  W.restart();
-  InterpProgramEvaluator BaseEval(Ctx, P);
-  std::optional<ThreadPool> Pool;
-  if (Opts.Threads != 1)
-    Pool.emplace(Opts.Threads);
-  Out.Check = checkFaultTolerance(Ctx, P, BaseEval, R, Opts,
-                                  Pool ? &*Pool : nullptr);
-  Out.CheckMs = W.elapsedMs();
+  {
+    std::unique_ptr<ProtocolEvaluator> Eval;
+    W.restart();
+    if (UseCompiledEvaluator)
+      Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, *Meta);
+    else
+      Eval = std::make_unique<InterpProgramEvaluator>(Ctx, *Meta);
+    SimResult R = simulate(*Meta, *Eval);
+    Out.SimulateMs = W.elapsedMs();
+    Out.Converged = R.Converged;
+    Out.Stats = R.Stats;
+    Out.CacheHits = Ctx.Mgr.cacheHits() - Hits0;
+    Out.CacheMisses = Ctx.Mgr.cacheMisses() - Misses0;
+    if (R.Converged && CheckAsserts) {
+      W.restart();
+      InterpProgramEvaluator BaseEval(Ctx, P);
+      std::optional<ThreadPool> Pool;
+      if (Opts.Threads != 1)
+        Pool.emplace(Opts.Threads);
+      Out.Check = checkFaultTolerance(Ctx, P, BaseEval, R, Opts,
+                                      Pool ? &*Pool : nullptr);
+      Out.CheckMs = W.elapsedMs();
+    }
+  }
+  // Keep an owned context alive so Violation::Route pointers in the
+  // returned result do not dangle.
+  if (OwnCtx)
+    Out.Check.RetainedContexts.push_back(std::move(OwnCtx));
   return Out;
 }

@@ -86,9 +86,10 @@ struct FtViolation {
 struct FtCheckResult {
   uint64_t ScenariosChecked = 0;
   std::vector<FtViolation> Violations;
-  /// Keeps per-worker evaluation contexts alive so Violation::Route
-  /// pointers interned in worker arenas stay valid (parallel naive
-  /// baseline only; empty otherwise).
+  /// Keeps evaluation contexts alive so Violation::Route pointers interned
+  /// in them stay valid: per-worker arenas for the parallel naive baseline,
+  /// and the internally-owned context for runFaultTolerance (empty when a
+  /// caller-provided context already owns the values).
   std::vector<std::shared_ptr<NvContext>> RetainedContexts;
   bool holds() const { return Violations.empty(); }
 };
@@ -110,6 +111,14 @@ FtCheckResult checkFaultTolerance(NvContext &Ctx, const Program &BaseProgram,
 
 /// Convenience driver: transform, simulate (interpreted or compiled), and
 /// check. Null base assert means only convergence is checked.
+///
+/// \p ReuseCtx (optional) runs the analysis in a caller-owned context
+/// instead of a fresh one — e.g. one context per network reused across
+/// failure budgets. The context is garbage-collected down to its pinned
+/// baseline at the START of each run, so one run's result (violation
+/// routes, cache stats) stays valid until the next call with the same
+/// context. Cache hit/miss counts are reported as per-run deltas either
+/// way.
 struct FtRunResult {
   bool Converged = false;
   FtCheckResult Check;
@@ -121,7 +130,8 @@ struct FtRunResult {
 FtRunResult runFaultTolerance(const Program &P, const FtOptions &Opts,
                               bool UseCompiledEvaluator,
                               DiagnosticEngine &Diags,
-                              bool CheckAsserts = true);
+                              bool CheckAsserts = true,
+                              NvContext *ReuseCtx = nullptr);
 
 } // namespace nv
 

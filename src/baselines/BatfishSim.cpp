@@ -9,6 +9,8 @@
 #include "sim/Simulator.h"
 #include "support/Fatal.h"
 
+#include <atomic>
+
 using namespace nv;
 
 namespace {
@@ -52,23 +54,25 @@ BatfishResult nv::batfishAllPrefixes(
     for (size_t I = 0; I < Destinations.size(); ++I)
       runOnePrefix(ParamProgram, Destinations[I], Extract, Per[I]);
   } else {
-    // Shard the destination list into contiguous chunks. Each chunk
-    // re-parses the program so no AST node (lazily-cached free variables)
-    // is shared across threads; per-prefix contexts stay as in the serial
-    // path, preserving Batfish's no-sharing cost model.
+    // One persistent worker per pool thread: each re-parses the program
+    // ONCE (no AST node, whose free-variable cache is lazily filled, is
+    // shared across threads) and claims destinations dynamically off a
+    // shared counter. Per-prefix contexts stay as in the serial path,
+    // preserving Batfish's no-sharing cost model — and keeping per-prefix
+    // allocation counts independent of the pool size.
     std::string Src = printProgram(ParamProgram);
-    size_t Chunks = std::min(Destinations.size(),
-                             static_cast<size_t>(Pool->numThreads()) * 4);
-    Pool->parallelFor(Chunks, [&](size_t C) {
-      size_t Begin = C * Destinations.size() / Chunks;
-      size_t End = (C + 1) * Destinations.size() / Chunks;
+    size_t Workers = std::min(Destinations.size(),
+                              static_cast<size_t>(Pool->numThreads()));
+    std::atomic<size_t> NextDest{0};
+    Pool->parallelFor(Workers, [&](size_t) {
       DiagnosticEngine Diags;
       auto Local = parseProgram(Src, Diags);
       if (!Local || !typeCheck(*Local, Diags))
         fatalError("internal: Batfish-baseline worker failed to re-parse "
                    "the program:\n" +
                    Diags.str());
-      for (size_t I = Begin; I < End; ++I)
+      for (size_t I = NextDest.fetch_add(1); I < Destinations.size();
+           I = NextDest.fetch_add(1))
         runOnePrefix(*Local, Destinations[I], Extract, Per[I]);
     });
   }

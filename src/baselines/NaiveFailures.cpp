@@ -7,6 +7,8 @@
 #include "core/TypeChecker.h"
 #include "support/Fatal.h"
 
+#include <atomic>
+
 using namespace nv;
 
 SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
@@ -17,23 +19,31 @@ SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
 
 namespace {
 
-/// Checks the scenarios [Begin, End) with \p BaseEval, appending to \p R.
-void checkScenarioRange(const Program &P, ProtocolEvaluator &BaseEval,
-                        const std::vector<FtScenario> &Scenarios, size_t Begin,
-                        size_t End, const Value *DropValue, FtCheckResult &R) {
-  for (size_t I = Begin; I < End; ++I) {
-    const FtScenario &S = Scenarios[I];
-    ++R.ScenariosChecked;
-    SimResult Sim = simulateScenario(P, BaseEval, S, DropValue);
-    if (!Sim.Converged)
+/// Simulates one scenario and appends its assertion violations to \p Out.
+/// Returns false when the scenario's fixpoint did not converge.
+bool checkOneScenario(const Program &P, ProtocolEvaluator &BaseEval,
+                      const FtScenario &S, const Value *DropValue,
+                      std::vector<FtViolation> &Out) {
+  SimResult Sim = simulateScenario(P, BaseEval, S, DropValue);
+  if (!Sim.Converged)
+    return false;
+  for (uint32_t U = 0; U < Sim.Labels.size(); ++U) {
+    if (S.Node && *S.Node == U)
       continue;
-    for (uint32_t U = 0; U < Sim.Labels.size(); ++U) {
-      if (S.Node && *S.Node == U)
-        continue;
-      if (!BaseEval.assertAt(U, Sim.Labels[U]))
-        R.Violations.push_back({S, U, Sim.Labels[U]});
-    }
+    if (!BaseEval.assertAt(U, Sim.Labels[U]))
+      Out.push_back({S, U, Sim.Labels[U]});
   }
+  return true;
+}
+
+/// Pins the routes of violations [From, Out.size()) so they outlive the
+/// between-scenario collections. The pins are intentionally never released:
+/// the routes are reachable from the returned FtCheckResult, so they are
+/// roots of the context for as long as the result is consulted.
+void pinNewViolations(NvContext &Ctx, std::vector<FtViolation> &Out,
+                      size_t From) {
+  for (size_t I = From; I < Out.size(); ++I)
+    Ctx.pinValue(Out[I].Route);
 }
 
 } // namespace
@@ -44,8 +54,20 @@ FtCheckResult nv::naiveFaultTolerance(const Program &P,
                                       const Value *DropValue) {
   FtCheckResult R;
   auto Scenarios = enumerateScenarios(P, Opts);
-  checkScenarioRange(P, BaseEval, Scenarios, 0, Scenarios.size(), DropValue,
-                     R);
+  NvContext &Ctx = BaseEval.ctx();
+  if (DropValue)
+    Ctx.pinValue(DropValue);
+  for (const FtScenario &S : Scenarios) {
+    ++R.ScenariosChecked;
+    size_t From = R.Violations.size();
+    checkOneScenario(P, BaseEval, S, DropValue, R.Violations);
+    pinNewViolations(Ctx, R.Violations, From);
+    // Collect the scenario's fixpoint garbage back down to the pinned
+    // baseline (evaluator globals + partials, drop value, violations).
+    Ctx.resetBetweenRuns();
+  }
+  if (DropValue)
+    Ctx.unpinValue(DropValue);
   return R;
 }
 
@@ -57,23 +79,25 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   if (Scenarios.empty())
     return R;
 
-  // Each chunk re-parses the program from source: AST nodes carry a
-  // lazily-filled free-variable cache, so sharing them across threads
-  // would race. Parsing once per chunk (not per scenario) amortizes to
-  // noise against the per-scenario fixpoints.
+  // One persistent worker per pool thread. Each worker re-parses the
+  // program ONCE (AST nodes carry a lazily-filled free-variable cache, so
+  // sharing them across threads would race), builds one evaluator over its
+  // own NvContext/BddManager arena, then claims scenarios dynamically off
+  // a shared counter and garbage-collects its arena back to the pinned
+  // baseline between scenarios — instead of the old scheme of building
+  // (and throwing away) a fresh parse + arena per contiguous chunk.
   std::string Src = printProgram(P);
-  size_t Chunks =
-      std::min(Scenarios.size(), static_cast<size_t>(Pool.numThreads()) * 4);
+  size_t Workers = std::min(Scenarios.size(), (size_t)Pool.numThreads());
 
-  struct Shard {
-    FtCheckResult Part;
-    std::shared_ptr<NvContext> Ctx;
-  };
-  std::vector<Shard> Shards(Chunks);
+  // Violations land in per-scenario slots and are concatenated in scenario
+  // order below, so the logical result is identical for any pool size and
+  // any dynamic interleaving (route pointers live in the per-worker arenas
+  // retained by the result).
+  std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
+  std::vector<std::shared_ptr<NvContext>> Ctxs(Workers);
+  std::atomic<size_t> NextScenario{0};
 
-  Pool.parallelFor(Chunks, [&](size_t C) {
-    size_t Begin = C * Scenarios.size() / Chunks;
-    size_t End = (C + 1) * Scenarios.size() / Chunks;
+  Pool.parallelFor(Workers, [&](size_t W) {
     DiagnosticEngine Diags;
     auto Local = parseProgram(Src, Diags);
     if (!Local || !typeCheck(*Local, Diags))
@@ -83,16 +107,20 @@ FtCheckResult nv::naiveFaultToleranceParallel(
     auto Ctx = std::make_shared<NvContext>(Local->numNodes());
     InterpProgramEvaluator BaseEval(*Ctx, *Local);
     const Value *Drop = MakeDrop ? MakeDrop(*Ctx) : Ctx->noneV();
-    checkScenarioRange(*Local, BaseEval, Scenarios, Begin, End, Drop,
-                       Shards[C].Part);
-    Shards[C].Ctx = std::move(Ctx);
+    Ctx->pinValue(Drop);
+    for (size_t I = NextScenario.fetch_add(1); I < Scenarios.size();
+         I = NextScenario.fetch_add(1)) {
+      checkOneScenario(*Local, BaseEval, Scenarios[I], Drop, PerScenario[I]);
+      pinNewViolations(*Ctx, PerScenario[I], 0);
+      Ctx->resetBetweenRuns();
+    }
+    Ctxs[W] = std::move(Ctx);
   });
 
-  for (Shard &S : Shards) {
-    R.ScenariosChecked += S.Part.ScenariosChecked;
-    R.Violations.insert(R.Violations.end(), S.Part.Violations.begin(),
-                        S.Part.Violations.end());
-    R.RetainedContexts.push_back(std::move(S.Ctx));
-  }
+  R.ScenariosChecked = Scenarios.size();
+  for (auto &Part : PerScenario)
+    R.Violations.insert(R.Violations.end(), Part.begin(), Part.end());
+  for (auto &C : Ctxs)
+    R.RetainedContexts.push_back(std::move(C));
   return R;
 }

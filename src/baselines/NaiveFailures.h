@@ -67,18 +67,26 @@ SimResult simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
 /// The naive exhaustive analysis: one simulation per scenario. Returns the
 /// violations found plus the number of scenarios simulated (for the
 /// Fig. 13a baseline timing).
+///
+/// Garbage-collects BaseEval's arena back to its pinned baseline after
+/// each scenario (violation routes are pinned first, so the result stays
+/// valid). Unpinned values the caller holds across this call do not
+/// survive those collections — re-derive them afterwards if needed.
 FtCheckResult naiveFaultTolerance(const Program &P,
                                   ProtocolEvaluator &BaseEval,
                                   const FtOptions &Opts,
                                   const Value *DropValue);
 
-/// Thread-sharded naive analysis: the scenario list is partitioned into
-/// contiguous chunks and each chunk runs on its own re-parsed copy of the
-/// program with its own NvContext/BddManager arena, so hash-consing stays
-/// lock-free and no AST node (whose free-variable cache is lazily filled)
-/// is shared across threads. Violations are concatenated in scenario
-/// order, so the logical result is identical for any pool size (route
-/// pointers live in per-chunk arenas retained by the result).
+/// Thread-sharded naive analysis: one persistent worker per pool thread.
+/// Each worker re-parses the program once into its own NvContext/
+/// BddManager arena (hash-consing stays lock-free and no AST node, whose
+/// free-variable cache is lazily filled, is shared across threads), claims
+/// scenarios dynamically off a shared counter, and garbage-collects its
+/// arena back to the pinned evaluator baseline between scenarios instead
+/// of rebuilding parse + arena per chunk. Violations land in per-scenario
+/// slots and are concatenated in scenario order, so the logical result is
+/// identical for any pool size (route pointers live in per-worker arenas
+/// retained by the result).
 ///
 /// \p MakeDrop builds the injected "dropped route" value in a worker's
 /// context (defaults to None); it must be a pure function of the context.

@@ -6,9 +6,16 @@
 #include "support/Fatal.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 
 using namespace nv;
+
+static size_t watermarkFromEnv() {
+  if (const char *E = std::getenv("NV_GC_WATERMARK"))
+    return static_cast<size_t>(std::strtoull(E, nullptr, 10));
+  return BddManager::DefaultGcWatermark;
+}
 
 BddManager::BddManager(size_t OpCacheSlots) {
   Nodes.reserve(1 << 12);
@@ -17,15 +24,95 @@ BddManager::BddManager(size_t OpCacheSlots) {
     Slots <<= 1;
   OpCache.assign(Slots, OpEntry{});
   OpCacheMask = Slots - 1;
+  UniqueSlots.assign(size_t(1) << 13, InvalidRef);
+  UniqueMask = UniqueSlots.size() - 1;
+  LeafSlots.assign(size_t(1) << 10, InvalidRef);
+  LeafMask = LeafSlots.size() - 1;
+  GcWatermark = watermarkFromEnv();
+}
+
+//===----------------------------------------------------------------------===//
+// Open-addressed hash-consing tables
+//===----------------------------------------------------------------------===//
+
+void BddManager::growUnique() {
+  std::vector<Ref> Old = std::move(UniqueSlots);
+  UniqueSlots.assign(Old.size() * 2, InvalidRef);
+  UniqueMask = UniqueSlots.size() - 1;
+  for (Ref S : Old) {
+    if (S == InvalidRef)
+      continue;
+    const Node &N = Nodes[S];
+    size_t H = hashTriple(N.Var, N.Lo, N.Hi) & UniqueMask;
+    while (UniqueSlots[H] != InvalidRef)
+      H = (H + 1) & UniqueMask;
+    UniqueSlots[H] = S;
+  }
+}
+
+void BddManager::growLeaf() {
+  std::vector<Ref> Old = std::move(LeafSlots);
+  LeafSlots.assign(Old.size() * 2, InvalidRef);
+  LeafMask = LeafSlots.size() - 1;
+  for (Ref S : Old) {
+    if (S == InvalidRef)
+      continue;
+    size_t H = hashPayload(Nodes[S].Leaf) & LeafMask;
+    while (LeafSlots[H] != InvalidRef)
+      H = (H + 1) & LeafMask;
+    LeafSlots[H] = S;
+  }
+}
+
+void BddManager::rebuildTables() {
+  size_t UniqueCap = UniqueSlots.size();
+  while (UniqueCap > (size_t(1) << 13) && UniqueCount * 4 < UniqueCap)
+    UniqueCap >>= 1; // shrink after big sweeps, keeping load under 1/2
+  size_t LeafCap = LeafSlots.size();
+  while (LeafCap > (size_t(1) << 10) && LeafCount * 4 < LeafCap)
+    LeafCap >>= 1;
+  UniqueSlots.assign(UniqueCap, InvalidRef);
+  UniqueMask = UniqueCap - 1;
+  LeafSlots.assign(LeafCap, InvalidRef);
+  LeafMask = LeafCap - 1;
+  for (Ref R = 0; R < Nodes.size(); ++R) {
+    const Node &N = Nodes[R];
+    if (N.Var == LeafVar) {
+      size_t H = hashPayload(N.Leaf) & LeafMask;
+      while (LeafSlots[H] != InvalidRef)
+        H = (H + 1) & LeafMask;
+      LeafSlots[H] = R;
+    } else {
+      size_t H = hashTriple(N.Var, N.Lo, N.Hi) & UniqueMask;
+      while (UniqueSlots[H] != InvalidRef)
+        H = (H + 1) & UniqueMask;
+      UniqueSlots[H] = R;
+    }
+  }
 }
 
 BddManager::Ref BddManager::leaf(const void *Payload) {
-  auto It = LeafTable.find(Payload);
-  if (It != LeafTable.end())
-    return It->second;
+  if ((LeafCount + 1) * 4 > LeafSlots.size() * 3)
+    growLeaf();
+  ++UniqueLookups;
+  size_t H = hashPayload(Payload) & LeafMask;
+  while (true) {
+    Ref S = LeafSlots[H];
+    if (S == InvalidRef)
+      break;
+    if (Nodes[S].Leaf == Payload) {
+      ++UniqueHits;
+      return S;
+    }
+    ++UniqueProbes;
+    H = (H + 1) & LeafMask;
+  }
   Ref R = static_cast<Ref>(Nodes.size());
   Nodes.push_back(Node{LeafVar, 0, 0, Payload});
-  LeafTable.emplace(Payload, R);
+  LeafSlots[H] = R;
+  ++LeafCount;
+  if (Nodes.size() > Gc.PeakNodes)
+    Gc.PeakNodes = Nodes.size();
   return R;
 }
 
@@ -35,13 +122,28 @@ BddManager::Ref BddManager::mkNode(uint32_t Var, Ref Lo, Ref Hi) {
   assert(Var < LeafVar && "internal nodes must test a real bit");
   assert((isLeaf(Lo) || Nodes[Lo].Var > Var) && "variable order violated");
   assert((isLeaf(Hi) || Nodes[Hi].Var > Var) && "variable order violated");
-  NodeKey Key{Var, Lo, Hi};
-  auto It = Unique.find(Key);
-  if (It != Unique.end())
-    return It->second;
+  if ((UniqueCount + 1) * 4 > UniqueSlots.size() * 3)
+    growUnique();
+  ++UniqueLookups;
+  size_t H = hashTriple(Var, Lo, Hi) & UniqueMask;
+  while (true) {
+    Ref S = UniqueSlots[H];
+    if (S == InvalidRef)
+      break;
+    const Node &N = Nodes[S];
+    if (N.Var == Var && N.Lo == Lo && N.Hi == Hi) {
+      ++UniqueHits;
+      return S;
+    }
+    ++UniqueProbes;
+    H = (H + 1) & UniqueMask;
+  }
   Ref R = static_cast<Ref>(Nodes.size());
   Nodes.push_back(Node{Var, Lo, Hi, nullptr});
-  Unique.emplace(Key, R);
+  UniqueSlots[H] = R;
+  ++UniqueCount;
+  if (Nodes.size() > Gc.PeakNodes)
+    Gc.PeakNodes = Nodes.size();
   return R;
 }
 
@@ -75,6 +177,144 @@ BddManager::Ref BddManager::setRec(Ref M, const std::vector<bool> &KeyBits,
 BddManager::Ref BddManager::set(Ref M, const std::vector<bool> &KeyBits,
                                 const void *Payload) {
   return setRec(M, KeyBits, 0, Payload);
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection
+//===----------------------------------------------------------------------===//
+
+BddManager::RootSet::RootSet(BddManager &M) : Mgr(M) {
+  Mgr.RootSets.push_back(this);
+}
+
+BddManager::RootSet::~RootSet() {
+  auto &RS = Mgr.RootSets;
+  RS.erase(std::find(RS.begin(), RS.end(), this));
+}
+
+void BddManager::unpin(Ref R) {
+  auto It = Pins.find(R);
+  assert(It != Pins.end() && "unpin without a matching pin");
+  if (--It->second == 0)
+    Pins.erase(It);
+}
+
+void BddManager::removeRootProvider(GcRootProvider *P) {
+  auto It = std::find(Providers.begin(), Providers.end(), P);
+  if (It != Providers.end())
+    Providers.erase(It);
+}
+
+size_t BddManager::collectGarbage() {
+  const size_t Before = Nodes.size();
+
+  // Gather roots. Providers run in registration order; the evaluation
+  // context (registered first) resets its per-GC visited set in gcBegin.
+  for (GcRootProvider *P : Providers)
+    P->gcBegin();
+  std::vector<Ref> Work;
+  if (TruePayload) {
+    Work.push_back(TrueRef);
+    Work.push_back(FalseRef);
+  }
+  for (const auto &[R, Count] : Pins)
+    Work.push_back(R);
+  for (const RootSet *RS : RootSets)
+    Work.insert(Work.end(), RS->Refs.begin(), RS->Refs.end());
+  for (GcRootProvider *P : Providers)
+    P->appendRoots(Work);
+
+  // Mark. Leaf payloads may reference further diagrams (dict-of-dict):
+  // the tracer surfaces those inner roots, which join the work stack.
+  std::vector<uint8_t> Marked(Before, 0);
+  std::vector<Ref> TracerOut;
+  while (!Work.empty()) {
+    Ref R = Work.back();
+    Work.pop_back();
+    assert(R < Before && "root past the node store");
+    if (Marked[R])
+      continue;
+    Marked[R] = 1;
+    const Node &N = Nodes[R];
+    if (N.Var == LeafVar) {
+      if (Tracer) {
+        TracerOut.clear();
+        Tracer(TracerCookie, N.Leaf, TracerOut);
+        Work.insert(Work.end(), TracerOut.begin(), TracerOut.end());
+      }
+    } else {
+      Work.push_back(N.Lo);
+      Work.push_back(N.Hi);
+    }
+  }
+
+  // Sweep: in-place order-preserving compaction. Children always precede
+  // parents in the store (hash-consing creates bottom-up), so a forward
+  // scan can rewrite Lo/Hi through the remap as it goes. Preserving
+  // relative Ref order keeps Ref-comparison canonicalization (bddAnd's
+  // operand swap) deterministic across collections.
+  std::vector<Ref> Remap(Before, InvalidRef);
+  size_t Next = 0;
+  UniqueCount = 0;
+  LeafCount = 0;
+  for (size_t I = 0; I < Before; ++I) {
+    if (!Marked[I])
+      continue;
+    Remap[I] = static_cast<Ref>(Next);
+    Node N = Nodes[I];
+    if (N.Var != LeafVar) {
+      N.Lo = Remap[N.Lo];
+      N.Hi = Remap[N.Hi];
+      assert(N.Lo != InvalidRef && N.Hi != InvalidRef &&
+             "marked node with unmarked child");
+      ++UniqueCount;
+    } else {
+      ++LeafCount;
+    }
+    Nodes[Next++] = N;
+  }
+  size_t Reclaimed = Before - Next;
+  Nodes.resize(Next);
+
+  rebuildTables();
+
+  // Remap every internal Ref holder.
+  if (TruePayload) {
+    TrueRef = Remap[TrueRef];
+    FalseRef = Remap[FalseRef];
+  }
+  if (!Pins.empty()) {
+    std::unordered_map<Ref, uint32_t> NewPins;
+    NewPins.reserve(Pins.size());
+    for (const auto &[R, Count] : Pins)
+      NewPins.emplace(Remap[R], Count);
+    Pins = std::move(NewPins);
+  }
+  for (RootSet *RS : RootSets)
+    for (Ref &R : RS->Refs)
+      R = Remap[R];
+
+  // The operation cache holds stale Refs on both sides; drop it.
+  clearCaches();
+
+  for (GcRootProvider *P : Providers)
+    P->notifyRemap(Remap);
+
+  ++Gc.Collections;
+  Gc.NodesReclaimed += Reclaimed;
+  Gc.FloorAfterLastGc = Nodes.size();
+  return Reclaimed;
+}
+
+bool BddManager::maybeCollectAtSafePoint() {
+  if (GcWatermark == 0 || Nodes.size() < Gc.FloorAfterLastGc + GcWatermark)
+    return false;
+  collectGarbage();
+  return true;
+}
+
+void BddManager::reset() {
+  collectGarbage();
 }
 
 //===----------------------------------------------------------------------===//
@@ -276,7 +516,7 @@ void BddManager::clearCaches() {
 
 size_t BddManager::memoryBytes() const {
   return Nodes.capacity() * sizeof(Node) +
-         Unique.size() * (sizeof(NodeKey) + sizeof(Ref) + 16) +
-         LeafTable.size() * (sizeof(void *) + sizeof(Ref) + 16) +
-         OpCache.size() * sizeof(OpEntry);
+         UniqueSlots.size() * sizeof(Ref) + LeafSlots.size() * sizeof(Ref) +
+         OpCache.size() * sizeof(OpEntry) +
+         Pins.size() * (sizeof(Ref) + sizeof(uint32_t) + 16);
 }

@@ -23,7 +23,30 @@
 ///    std::function virtual dispatch;
 ///  - the operation cache is a CUDD-style fixed-size direct-mapped array:
 ///    lookups are one probe, inserts overwrite (lossy). Losing an entry
-///    only costs a recomputation, never correctness.
+///    only costs a recomputation, never correctness;
+///  - the unique (hash-consing) tables are open-addressed, power-of-two
+///    sized, linear-probe arrays of Refs: the key (Var, Lo, Hi) or leaf
+///    payload is read back from the node store, so a probe touches one
+///    cache line of slots plus the candidate node — no bucket chains. The
+///    tables never hold tombstones: growth and garbage collection rebuild
+///    them wholesale.
+///
+/// Memory management: nodes are reclaimed by an explicit mark-and-sweep
+/// collector. Roots are (a) pinned Refs (`pin`/`unpin`, or a scoped
+/// `RootSet`), (b) the canonical true/false leaves, and (c) whatever
+/// registered `GcRootProvider`s report (the evaluation context reports its
+/// predicate cache and pinned values; the simulator reports its label and
+/// received-route tables). Leaf payloads may themselves reference diagrams
+/// (dict-of-dict values); a registered payload tracer surfaces those inner
+/// roots during marking. The sweep compacts the node store in place
+/// preserving relative Ref order, rebuilds the unique tables, and hands
+/// every provider the old-Ref -> new-Ref remap table.
+///
+/// Collections run only at explicit safe points — `collectGarbage()`,
+/// `reset()`, or `maybeCollectAtSafePoint()` (which triggers once node
+/// growth since the last collection exceeds the watermark). map1/apply2
+/// never collect internally, so callers may hold raw Refs across any
+/// sequence of operations between safe points.
 ///
 /// A BddManager is single-threaded by design: parallel analyses give each
 /// worker its own manager arena (see support/ThreadPool.h) so hash-consing
@@ -45,17 +68,24 @@ namespace nv {
 /// Owns all MTBDD nodes, the unique (hash-consing) tables and the
 /// operation caches. Leaves carry opaque `const void *` payloads; callers
 /// must intern payloads so that payload equality is pointer equality.
-///
-/// There is no garbage collection: nodes live as long as the manager. The
-/// simulator allocates one manager per analysis run.
 class BddManager {
 public:
   using Ref = uint32_t;
   static constexpr uint32_t LeafVar = 0xFFFFFFFFu;
+  /// Sentinel for "no node": empty unique-table slots, remap entries of
+  /// collected nodes. Never a valid node index.
+  static constexpr Ref InvalidRef = 0xFFFFFFFFu;
 
   /// Default number of direct-mapped operation-cache slots (rounded up to
   /// a power of two). 2^17 entries * 24 bytes = 3 MiB per manager arena.
   static constexpr size_t DefaultOpCacheSlots = size_t(1) << 17;
+
+  /// Default GC watermark: collect once this many nodes have been
+  /// allocated since the last collection. Sized so that the benchmark
+  /// networks never trigger it mid-run (GC cost there is paid only at the
+  /// explicit reset() between scenarios) while production-scale runs stay
+  /// bounded. Overridable via NV_GC_WATERMARK (0 disables the trigger).
+  static constexpr size_t DefaultGcWatermark = size_t(1) << 22;
 
   struct Node {
     uint32_t Var;          ///< Bit index tested, or LeafVar for leaves.
@@ -151,6 +181,94 @@ public:
   bool satisfiable(Ref A) const { return A != FalseRef; }
 
   //===--------------------------------------------------------------------===//
+  // Garbage collection
+  //===--------------------------------------------------------------------===//
+
+  /// Pins \p R as a GC root (reference-counted; unpin once per pin).
+  void pin(Ref R) { ++Pins[R]; }
+  void unpin(Ref R);
+
+  /// A scoped set of pinned roots. Refs added survive collection and are
+  /// rewritten in place when a collection remaps the node store, so the
+  /// set stays valid across GC; everything is released on destruction.
+  class RootSet {
+  public:
+    explicit RootSet(BddManager &M);
+    ~RootSet();
+    RootSet(const RootSet &) = delete;
+    RootSet &operator=(const RootSet &) = delete;
+
+    void add(Ref R) { Refs.push_back(R); }
+    void clear() { Refs.clear(); }
+    const std::vector<Ref> &refs() const { return Refs; }
+    Ref operator[](size_t I) const { return Refs[I]; }
+    size_t size() const { return Refs.size(); }
+
+  private:
+    friend class BddManager;
+    BddManager &Mgr;
+    std::vector<Ref> Refs;
+  };
+
+  /// External holders of Refs (caches, label tables) participate in GC
+  /// through this interface: they contribute roots before marking and are
+  /// told how Refs moved after the sweep.
+  class GcRootProvider {
+  public:
+    virtual ~GcRootProvider() = default;
+    /// Called once per collection before any marking (reset per-GC state).
+    virtual void gcBegin() {}
+    /// Appends every Ref the provider needs kept alive.
+    virtual void appendRoots(std::vector<Ref> &Out) = 0;
+    /// Called after the sweep: Remap[old] is the new Ref of a surviving
+    /// node, or InvalidRef for a collected one. Roots always survive.
+    virtual void notifyRemap(const std::vector<Ref> &Remap) { (void)Remap; }
+  };
+
+  void addRootProvider(GcRootProvider *P) { Providers.push_back(P); }
+  void removeRootProvider(GcRootProvider *P);
+
+  /// Leaf payloads may themselves reference diagrams in this manager
+  /// (dict-of-dict values). The tracer is invoked for every marked leaf
+  /// payload and appends any inner roots it finds.
+  using PayloadTracerFn = void (*)(void *Cookie, const void *Payload,
+                                   std::vector<Ref> &Out);
+  void setPayloadTracer(PayloadTracerFn Fn, void *Cookie) {
+    Tracer = Fn;
+    TracerCookie = Cookie;
+  }
+
+  /// Mark-and-sweep: keeps everything reachable from the roots, compacts
+  /// the node store (preserving relative Ref order), rebuilds the unique
+  /// tables, drops the operation cache, and notifies every provider of the
+  /// remap. Returns the number of nodes reclaimed. Callers must not hold
+  /// un-rooted Refs across this call.
+  size_t collectGarbage();
+
+  /// Collects iff the watermark is enabled and node growth since the last
+  /// collection exceeds it. Call only at safe points (no un-rooted Refs
+  /// live). Returns true when a collection ran.
+  bool maybeCollectAtSafePoint();
+
+  /// Safe point between scenarios: drops the operation cache and collects
+  /// back down to the pinned/provider roots.
+  void reset();
+
+  /// Allocation budget between collections; 0 disables the watermark
+  /// trigger (explicit collectGarbage/reset still work). 1 collects at
+  /// every safe point (stress mode).
+  void setGcWatermark(size_t W) { GcWatermark = W; }
+  size_t gcWatermark() const { return GcWatermark; }
+
+  struct GcStats {
+    uint64_t Collections = 0;    ///< collectGarbage runs.
+    uint64_t NodesReclaimed = 0; ///< Total nodes swept across all runs.
+    size_t PeakNodes = 0;        ///< High-watermark of numNodes().
+    size_t FloorAfterLastGc = 0; ///< numNodes() after the last collection.
+  };
+  const GcStats &gcStats() const { return Gc; }
+
+  //===--------------------------------------------------------------------===//
   // Inspection
   //===--------------------------------------------------------------------===//
 
@@ -190,23 +308,15 @@ public:
   /// Disables operation caching (for the cache ablation bench).
   void setCachingEnabled(bool On) { CachingEnabled = On; }
 
-private:
-  struct NodeKey {
-    uint32_t Var;
-    Ref Lo, Hi;
-    bool operator==(const NodeKey &O) const {
-      return Var == O.Var && Lo == O.Lo && Hi == O.Hi;
-    }
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey &K) const {
-      uint64_t H = K.Var;
-      H = H * 0x9E3779B97F4A7C15ull + K.Lo;
-      H = H * 0x9E3779B97F4A7C15ull + K.Hi;
-      return static_cast<size_t>(H ^ (H >> 32));
-    }
-  };
+  /// Unique/leaf-table statistics: lookups, hits (existing node returned),
+  /// and collision probe steps beyond the home slot.
+  uint64_t uniqueLookups() const { return UniqueLookups; }
+  uint64_t uniqueHits() const { return UniqueHits; }
+  uint64_t uniqueProbes() const { return UniqueProbes; }
+  size_t uniqueCapacity() const { return UniqueSlots.size(); }
+  size_t leafCapacity() const { return LeafSlots.size(); }
 
+private:
   /// One direct-mapped operation-cache slot. Tag == 0 marks an empty slot
   /// (real tags start at 1; the reserved boolean tags are huge).
   struct OpEntry {
@@ -216,8 +326,17 @@ private:
   };
 
   std::vector<Node> Nodes;
-  std::unordered_map<NodeKey, Ref, NodeKeyHash> Unique;
-  std::unordered_map<const void *, Ref> LeafTable;
+  /// Open-addressed hash-consing tables: slots hold Refs into Nodes (the
+  /// key — (Var, Lo, Hi) or leaf payload — is read back from the node).
+  /// InvalidRef marks an empty slot. Power-of-two sized, linear probing,
+  /// grown by wholesale rebuild at 3/4 load; no tombstones ever.
+  std::vector<Ref> UniqueSlots;
+  size_t UniqueMask = 0;
+  size_t UniqueCount = 0; ///< Internal nodes in UniqueSlots.
+  std::vector<Ref> LeafSlots;
+  size_t LeafMask = 0;
+  size_t LeafCount = 0; ///< Leaves in LeafSlots.
+
   std::vector<OpEntry> OpCache; ///< Power-of-two sized, lossy.
   size_t OpCacheMask = 0;
 
@@ -226,6 +345,15 @@ private:
   Ref TrueRef = 0;
   Ref FalseRef = 0;
   uint64_t NextOpTag = 1;
+
+  // GC state.
+  std::unordered_map<Ref, uint32_t> Pins; ///< Ref -> pin count.
+  std::vector<RootSet *> RootSets;
+  std::vector<GcRootProvider *> Providers;
+  PayloadTracerFn Tracer = nullptr;
+  void *TracerCookie = nullptr;
+  size_t GcWatermark = DefaultGcWatermark;
+  GcStats Gc;
 
   // Reserved internal tags for boolean operations.
   enum : uint64_t {
@@ -239,6 +367,25 @@ private:
   bool CachingEnabled = true;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t UniqueLookups = 0;
+  uint64_t UniqueHits = 0;
+  uint64_t UniqueProbes = 0;
+
+  static size_t hashTriple(uint32_t Var, Ref Lo, Ref Hi) {
+    uint64_t H = Var;
+    H = H * 0x9E3779B97F4A7C15ull + Lo;
+    H = H * 0x9E3779B97F4A7C15ull + Hi;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+  static size_t hashPayload(const void *P) {
+    uint64_t H = reinterpret_cast<uint64_t>(P) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+
+  void growUnique();
+  void growLeaf();
+  /// Rebuilds both tables from the node store (after a sweep).
+  void rebuildTables();
 
   static size_t opHash(uint64_t Tag, Ref A, Ref B) {
     uint64_t H = Tag;

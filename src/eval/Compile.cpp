@@ -404,6 +404,16 @@ CompiledProgramEvaluator::CompiledProgramEvaluator(NvContext &Ctx,
   AssertClo = Find("assert");
   if (!InitClo || !TransClo || !MergeClo)
     fatalError("program is missing init/trans/merge declarations");
+  // Root the globals frame: compiled closures capture interned constants
+  // only through these slots (scalar literals aside), so pinning the frame
+  // keeps every diagram a scenario can reach alive across collections.
+  for (const Value *V : Globals)
+    pinned(V);
+}
+
+CompiledProgramEvaluator::~CompiledProgramEvaluator() {
+  for (const Value *V : Pinned)
+    Ctx.unpinValue(V);
 }
 
 const Value *CompiledProgramEvaluator::init(uint32_t U) {
@@ -418,7 +428,7 @@ const Value *CompiledProgramEvaluator::trans(uint32_t U, uint32_t V,
   if (It != TransPartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(TransClo, Ctx.edgeV(U, V));
+    Partial = pinned(Ctx.applyClosure(TransClo, Ctx.edgeV(U, V)));
     TransPartial.emplace(Key, Partial);
   }
   return Ctx.applyClosure(Partial, A);
@@ -431,7 +441,7 @@ const Value *CompiledProgramEvaluator::merge(uint32_t U, const Value *A,
   if (It != MergePartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(MergeClo, Ctx.nodeV(U));
+    Partial = pinned(Ctx.applyClosure(MergeClo, Ctx.nodeV(U)));
     MergePartial.emplace(U, Partial);
   }
   return Ctx.applyClosure(Ctx.applyClosure(Partial, A), B);
@@ -445,7 +455,7 @@ bool CompiledProgramEvaluator::assertAt(uint32_t U, const Value *A) {
   if (It != AssertPartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(AssertClo, Ctx.nodeV(U));
+    Partial = pinned(Ctx.applyClosure(AssertClo, Ctx.nodeV(U)));
     AssertPartial.emplace(U, Partial);
   }
   return Ctx.applyClosure(Partial, A)->isTrue();

@@ -67,6 +67,7 @@ class CompiledProgramEvaluator : public ProtocolEvaluator {
 public:
   CompiledProgramEvaluator(NvContext &Ctx, const Program &P,
                            const SymbolicAssignment &Sym = {});
+  ~CompiledProgramEvaluator() override;
 
   NvContext &ctx() override { return Ctx; }
   const Value *init(uint32_t U) override;
@@ -88,6 +89,16 @@ private:
   std::map<std::pair<uint32_t, uint32_t>, const Value *> TransPartial;
   std::map<uint32_t, const Value *> MergePartial;
   std::map<uint32_t, const Value *> AssertPartial;
+
+  // GC root discipline: the globals frame and cached partial applications
+  // are pinned for the evaluator's lifetime (compiled closures capture
+  // interned constants only through these).
+  std::vector<const Value *> Pinned;
+  const Value *pinned(const Value *V) {
+    Ctx.pinValue(V);
+    Pinned.push_back(V);
+    return V;
+  }
 };
 
 } // namespace nv

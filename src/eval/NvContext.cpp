@@ -32,7 +32,87 @@ NvContext::NvContext(uint32_t NumNodes) : Layout(NumNodes) {
   N.Inner = nullptr;
   NoneV = Arena.intern(std::move(N));
   Mgr.setBoolPayloads(TrueV, FalseV);
+  // Registered first so gcBegin clears the shared visited set before any
+  // other provider (e.g. the simulator's label roots) walks values.
+  Mgr.addRootProvider(this);
+  Mgr.setPayloadTracer(&NvContext::tracePayload, this);
 }
+
+NvContext::~NvContext() { Mgr.removeRootProvider(this); }
+
+//===----------------------------------------------------------------------===//
+// Memory management
+//===----------------------------------------------------------------------===//
+
+void NvContext::pinValue(const Value *V) { ++PinnedValues[V]; }
+
+void NvContext::unpinValue(const Value *V) {
+  auto It = PinnedValues.find(V);
+  assert(It != PinnedValues.end() && "unpinValue without a matching pin");
+  if (--It->second == 0)
+    PinnedValues.erase(It);
+}
+
+void NvContext::collectValueRoots(const Value *V,
+                                  std::vector<BddManager::Ref> &Out) {
+  if (!V || !GcSeen.insert(V).second)
+    return;
+  switch (V->K) {
+  case Value::Kind::Map:
+    // Inner diagrams buried in this map's *leaves* (dict-of-dict) are
+    // surfaced by the payload tracer while the marker walks the diagram.
+    if (V->MapRoot != BddManager::InvalidRef)
+      Out.push_back(V->MapRoot);
+    return;
+  case Value::Kind::Tuple:
+    for (const Value *E : V->Elems)
+      collectValueRoots(E, Out);
+    return;
+  case Value::Kind::Option:
+    collectValueRoots(V->Inner, Out);
+    return;
+  case Value::Kind::Closure: {
+    // A closure keeps alive whatever it captured: walk the free variables
+    // of its source expression through the capture environment.
+    const Expr *Src = V->Closure->sourceExpr();
+    if (!Src)
+      return;
+    for (const std::string &Name : freeVarsOf(Src))
+      collectValueRoots(V->Closure->lookupFree(Name), Out);
+    return;
+  }
+  case Value::Kind::Bool:
+  case Value::Kind::Int:
+  case Value::Kind::Node:
+  case Value::Kind::Edge:
+    return;
+  }
+}
+
+void NvContext::gcBegin() { GcSeen.clear(); }
+
+void NvContext::appendRoots(std::vector<BddManager::Ref> &Out) {
+  for (const auto &[Key, R] : PredCache)
+    Out.push_back(R);
+  for (const auto &[V, Count] : PinnedValues)
+    collectValueRoots(V, Out);
+}
+
+void NvContext::notifyRemap(const std::vector<BddManager::Ref> &Remap) {
+  for (auto &[Key, R] : PredCache) {
+    R = Remap[R];
+    assert(R != BddManager::InvalidRef && "predicate cache entry collected");
+  }
+  Arena.remapMapRoots(Remap);
+}
+
+void NvContext::tracePayload(void *Cookie, const void *Payload,
+                             std::vector<BddManager::Ref> &Out) {
+  static_cast<NvContext *>(Cookie)->collectValueRoots(
+      static_cast<const Value *>(Payload), Out);
+}
+
+void NvContext::resetBetweenRuns() { Mgr.reset(); }
 
 //===----------------------------------------------------------------------===//
 // Factories

@@ -23,14 +23,26 @@
 #include "eval/Value.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 namespace nv {
 
-/// Shared evaluation state. One NvContext per analysis; values and MTBDD
-/// nodes live as long as the context.
-class NvContext {
+/// Shared evaluation state. One NvContext per analysis — or, since the
+/// MTBDD memory overhaul, one per analysis *shard*, reused across
+/// scenarios: resetBetweenRuns() garbage-collects the diagram store back
+/// to the pinned baseline (predicate cache, pinned globals) instead of
+/// forcing callers to re-parse the program to get a fresh arena.
+///
+/// The context is the manager's primary GcRootProvider: it reports the
+/// predicate-BDD cache and every pinned value (pinValue/unpinValue walk
+/// tuples, options, closures' captured environments, and map roots), and
+/// it serves as the payload tracer that surfaces diagram roots buried in
+/// dict-of-dict leaf values during marking. After a sweep it remaps the
+/// predicate cache and the value arena's map roots.
+class NvContext : public BddManager::GcRootProvider {
 public:
   explicit NvContext(uint32_t NumNodes);
+  ~NvContext() override;
 
   BddManager Mgr;
   BitLayout Layout;
@@ -110,6 +122,32 @@ public:
   /// closure body (implemented in SymBdd.cpp).
   BddManager::Ref predToBdd(const Value *Pred, const TypePtr &KeyTy);
 
+  //===--------------------------------------------------------------------===//
+  // Memory management (GC roots and scenario reuse)
+  //===--------------------------------------------------------------------===//
+
+  /// Pins \p V (reference-counted): every diagram reachable from it —
+  /// through tuples, options, closure captures, and map roots — survives
+  /// garbage collection. Evaluators pin their globals and partial
+  /// applications; analyses pin values they retain across scenarios.
+  void pinValue(const Value *V);
+  void unpinValue(const Value *V);
+
+  /// Appends the diagram roots reachable from \p V to \p Out, deduplicated
+  /// against the per-collection visited set (cleared in gcBegin).
+  void collectValueRoots(const Value *V, std::vector<BddManager::Ref> &Out);
+
+  /// Safe point between scenarios: garbage-collects the diagram store back
+  /// to the pinned baseline (predicate cache, pinned values). The program,
+  /// layout, interned scalars, closure ids and op tags all persist, so the
+  /// next scenario skips parsing/typechecking/compilation entirely.
+  void resetBetweenRuns();
+
+  // BddManager::GcRootProvider:
+  void gcBegin() override;
+  void appendRoots(std::vector<BddManager::Ref> &Out) override;
+  void notifyRemap(const std::vector<BddManager::Ref> &Remap) override;
+
 private:
   struct ClosureKey {
     const Expr *Src;
@@ -145,6 +183,14 @@ private:
   std::unordered_map<OpTagKey, uint64_t, OpTagKeyHash> OpTags;
   std::unordered_map<uint64_t, BddManager::Ref> PredCache;
   uint64_t NextClosureId = 1;
+
+  std::unordered_map<const Value *, uint32_t> PinnedValues;
+  /// Values already walked during the current collection (root gathering
+  /// and leaf-payload tracing share it; cleared in gcBegin).
+  std::unordered_set<const Value *> GcSeen;
+
+  static void tracePayload(void *Cookie, const void *Payload,
+                           std::vector<BddManager::Ref> &Out);
 };
 
 /// Free variables of an expression (memoized per Expr node identity),

@@ -46,6 +46,15 @@ InterpProgramEvaluator::InterpProgramEvaluator(NvContext &Ctx,
   AssertClo = envLookup(Globals.get(), "assert");
   if (!InitClo || !TransClo || !MergeClo)
     fatalError("program is missing init/trans/merge declarations");
+  // Root the whole global environment: anything a later scenario can
+  // reach through init/trans/merge/assert must survive collections.
+  for (const EnvNode *N = Globals.get(); N; N = N->Parent.get())
+    pinned(N->V);
+}
+
+InterpProgramEvaluator::~InterpProgramEvaluator() {
+  for (const Value *V : Pinned)
+    Ctx.unpinValue(V);
 }
 
 const Value *InterpProgramEvaluator::init(uint32_t U) {
@@ -60,7 +69,7 @@ const Value *InterpProgramEvaluator::trans(uint32_t U, uint32_t V,
   if (It != TransPartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(TransClo, Ctx.edgeV(U, V));
+    Partial = pinned(Ctx.applyClosure(TransClo, Ctx.edgeV(U, V)));
     TransPartial.emplace(Key, Partial);
   }
   return Ctx.applyClosure(Partial, A);
@@ -73,7 +82,7 @@ const Value *InterpProgramEvaluator::merge(uint32_t U, const Value *A,
   if (It != MergePartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(MergeClo, Ctx.nodeV(U));
+    Partial = pinned(Ctx.applyClosure(MergeClo, Ctx.nodeV(U)));
     MergePartial.emplace(U, Partial);
   }
   return Ctx.applyClosure(Ctx.applyClosure(Partial, A), B);
@@ -87,7 +96,7 @@ bool InterpProgramEvaluator::assertAt(uint32_t U, const Value *A) {
   if (It != AssertPartial.end()) {
     Partial = It->second;
   } else {
-    Partial = Ctx.applyClosure(AssertClo, Ctx.nodeV(U));
+    Partial = pinned(Ctx.applyClosure(AssertClo, Ctx.nodeV(U)));
     AssertPartial.emplace(U, Partial);
   }
   return Ctx.applyClosure(Partial, A)->isTrue();

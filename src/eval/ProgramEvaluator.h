@@ -48,6 +48,7 @@ public:
   /// declaration's default expression, then to the type's default value).
   InterpProgramEvaluator(NvContext &Ctx, const Program &P,
                          const SymbolicAssignment &Sym = {});
+  ~InterpProgramEvaluator() override;
 
   NvContext &ctx() override { return Ctx; }
   const Value *init(uint32_t U) override;
@@ -77,6 +78,16 @@ private:
   std::map<std::pair<uint32_t, uint32_t>, const Value *> TransPartial;
   std::map<uint32_t, const Value *> MergePartial;
   std::map<uint32_t, const Value *> AssertPartial;
+
+  // GC root discipline: globals and cached partial applications outlive
+  // any single safe point, so they are pinned for the evaluator's
+  // lifetime and released in the destructor.
+  std::vector<const Value *> Pinned;
+  const Value *pinned(const Value *V) {
+    Ctx.pinValue(V);
+    Pinned.push_back(V);
+    return V;
+  }
 };
 
 } // namespace nv

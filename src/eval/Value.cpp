@@ -4,6 +4,8 @@
 
 #include "support/Fatal.h"
 
+#include <cassert>
+
 using namespace nv;
 
 ClosureData::~ClosureData() = default;
@@ -91,6 +93,26 @@ std::string Value::str() const {
     return "<closure>";
   }
   nv_unreachable("covered switch");
+}
+
+void ValueArena::remapMapRoots(const std::vector<BddManager::Ref> &Remap) {
+  // Map values hash by (MapRoot, KeyBits), so every affected entry must
+  // leave the table before any mutation and re-enter afterwards — doing it
+  // entry-by-entry could transiently alias a survivor with a dead value
+  // whose stale root happens to equal the survivor's new one.
+  std::vector<Value *> Maps;
+  for (Value &V : Storage) {
+    if (V.K != Value::Kind::Map || V.MapRoot == BddManager::InvalidRef)
+      continue;
+    Table.erase(&V);
+    Maps.push_back(&V);
+  }
+  for (Value *V : Maps) {
+    assert(V->MapRoot < Remap.size() && "map root past the remap table");
+    V->MapRoot = Remap[V->MapRoot];
+    if (V->MapRoot != BddManager::InvalidRef)
+      Table.insert(V);
+  }
 }
 
 const Value *ValueArena::intern(Value &&V) {

@@ -107,6 +107,15 @@ public:
   const Value *intern(Value &&V);
   size_t size() const { return Storage.size(); }
 
+  /// GC support: rewrites every map value's MapRoot through \p Remap
+  /// (Remap[old] == BddManager::InvalidRef marks a collected root). Live
+  /// map values are re-hashed under their new root; dead ones are evicted
+  /// from the intern table and marked with an InvalidRef root. Evicted
+  /// values keep their storage (outstanding pointers stay valid) but are
+  /// never returned by intern() again, so a later map that reuses the same
+  /// Ref index gets a fresh canonical value instead of aliasing a corpse.
+  void remapMapRoots(const std::vector<BddManager::Ref> &Remap);
+
 private:
   struct PtrHash {
     size_t operator()(const Value *V) const {

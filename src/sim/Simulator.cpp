@@ -5,9 +5,39 @@
 #include "support/Fatal.h"
 
 #include <algorithm>
-#include <deque>
 
 using namespace nv;
+
+namespace {
+
+/// The simulator's contribution to the GC root set: every label and every
+/// route in the receive table must survive a collection triggered at the
+/// pop-loop safe point. Registered for the duration of one simulate()
+/// call; Ref remapping is handled arena-side (values are remapped in
+/// place), so notifyRemap needs no work here.
+class SimRoots final : public BddManager::GcRootProvider {
+public:
+  SimRoots(NvContext &Ctx, const std::vector<const Value *> &Labels,
+           const std::vector<const Value *> &Received)
+      : Ctx(Ctx), Labels(Labels), Received(Received) {
+    Ctx.Mgr.addRootProvider(this);
+  }
+  ~SimRoots() override { Ctx.Mgr.removeRootProvider(this); }
+
+  void appendRoots(std::vector<BddManager::Ref> &Out) override {
+    for (const Value *V : Labels)
+      Ctx.collectValueRoots(V, Out);
+    for (const Value *V : Received)
+      Ctx.collectValueRoots(V, Out);
+  }
+
+private:
+  NvContext &Ctx;
+  const std::vector<const Value *> &Labels;
+  const std::vector<const Value *> &Received;
+};
+
+} // namespace
 
 SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
                        const SimOptions &Opts) {
@@ -55,13 +85,19 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
   SimResult R;
   R.Labels.assign(N, nullptr);
 
-  std::deque<uint32_t> Queue;
+  // Worklist: a fixed-capacity ring buffer of node indices. The InQueue
+  // guard caps occupancy at one entry per node, so N slots always suffice
+  // and pushes/pops never allocate.
+  std::vector<uint32_t> Ring(N);
+  uint32_t QHead = 0, QTail = 0, QCount = 0;
   std::vector<bool> InQueue(N, false);
 
   auto Push = [&](uint32_t U) {
     if (!InQueue[U]) {
       InQueue[U] = true;
-      Queue.push_back(U);
+      Ring[QTail] = U;
+      QTail = QTail + 1 == N ? 0 : QTail + 1;
+      ++QCount;
     }
   };
   auto Update = [&](uint32_t V, const Value *Route) {
@@ -71,17 +107,37 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
     }
   };
 
+  // Keep the label and receive tables rooted across the GC safe points
+  // below: everything else live at a safe point is pinned (evaluator
+  // globals and partial applications) or cached as a root (predicates).
+  NvContext &Ctx = Eval.ctx();
+  SimRoots Roots(Ctx, R.Labels, Received);
+
   for (uint32_t U = 0; U < N; ++U) {
     R.Labels[U] = Eval.init(U);
     Received[SlotOf(U, U)] = R.Labels[U];
     Push(U);
   }
 
-  while (!Queue.empty()) {
-    if (++R.Stats.Pops > Opts.MaxSteps)
+  while (QCount != 0) {
+    if (++R.Stats.Pops > Opts.MaxSteps) {
+      if (Opts.Diags)
+        Opts.Diags->error(
+            SourceLoc{},
+            "simulation did not converge within " +
+                std::to_string(Opts.MaxSteps) +
+                " steps; the policy may have no stable state (paper "
+                "footnote 2) — raise SimOptions::MaxSteps if it is just "
+                "slow");
       return R; // Converged stays false.
-    uint32_t U = Queue.front();
-    Queue.pop_front();
+    }
+
+    // Safe point: no un-rooted diagram Refs are live between pops.
+    Ctx.Mgr.maybeCollectAtSafePoint();
+
+    uint32_t U = Ring[QHead];
+    QHead = QHead + 1 == N ? 0 : QHead + 1;
+    --QCount;
     InQueue[U] = false;
 
     // Propagate u's current route to all of its neighbors.

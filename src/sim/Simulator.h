@@ -20,6 +20,7 @@
 
 #include "core/Ast.h"
 #include "eval/ProgramEvaluator.h"
+#include "support/Diagnostics.h"
 
 #include <cstdint>
 #include <vector>
@@ -37,6 +38,10 @@ struct SimOptions {
   /// is not guaranteed to terminate for non-monotone policies; see the
   /// paper's footnote 2).
   uint64_t MaxSteps = 100'000'000;
+
+  /// When set, exceeding MaxSteps reports an error here (in addition to
+  /// the result's Converged = false).
+  DiagnosticEngine *Diags = nullptr;
 };
 
 struct SimStats {

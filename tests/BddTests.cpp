@@ -280,6 +280,65 @@ TEST(Mtbdd, DistinctLeavesAndCubes) {
     EXPECT_EQ(FromCubes[K], payloadValue(M.get(Map, keyBits(K, 4))));
 }
 
+TEST(Mtbdd, OpenAddressedTablesGrowAndStayCanonical) {
+  // Push both hash-consing tables through several capacity doublings and
+  // check canonicity and lookups against a brute-force oracle throughout.
+  BddManager M;
+  size_t LeafCap0 = M.leafCapacity();
+  size_t UniqueCap0 = M.uniqueCapacity();
+
+  // Leaves: enough distinct payloads to force multiple leaf-table grows.
+  std::vector<BddManager::Ref> Leaves;
+  const int NumLeaves = 5000;
+  for (int I = 0; I < NumLeaves; ++I)
+    Leaves.push_back(M.leaf(payload(I)));
+  EXPECT_GT(M.leafCapacity(), LeafCap0);
+  for (int I = 0; I < NumLeaves; ++I) {
+    EXPECT_EQ(M.leaf(payload(I)), Leaves[I]);
+    EXPECT_EQ(payloadValue(M.leafPayload(Leaves[I])), I);
+  }
+
+  // Internal nodes: a 13-bit map with a near-unique payload per key builds
+  // ~2^14 internal nodes, several unique-table grows past the default
+  // 2^13 capacity. The std::map oracle checks every key after the dust
+  // settles.
+  const unsigned Bits = 13;
+  std::map<uint64_t, int> Oracle;
+  BddManager::Ref Map = M.leaf(payload(-1));
+  std::mt19937_64 Rng(7);
+  for (uint64_t K = 0; K < (1u << Bits); ++K) {
+    int V = static_cast<int>(Rng() % 4093);
+    Oracle[K] = V;
+    Map = M.set(Map, keyBits(K, Bits), payload(V));
+  }
+  EXPECT_GT(M.uniqueCapacity(), UniqueCap0);
+  for (uint64_t K = 0; K < (1u << Bits); ++K)
+    EXPECT_EQ(payloadValue(M.get(Map, keyBits(K, Bits))), Oracle[K]);
+
+  // Re-interning existing nodes is pure lookup: hits rise, no growth.
+  uint64_t Hits0 = M.uniqueHits();
+  size_t Nodes0 = M.numNodes();
+  BddManager::Ref Again = M.leaf(payload(3));
+  const BddManager::Node N = M.node(Map);
+  EXPECT_EQ(M.mkNode(N.Var, N.Lo, N.Hi), Map);
+  EXPECT_EQ(Again, Leaves[3]);
+  EXPECT_GT(M.uniqueHits(), Hits0);
+  EXPECT_EQ(M.numNodes(), Nodes0);
+  EXPECT_GE(M.uniqueLookups(), M.uniqueHits());
+}
+
+TEST(Mtbdd, UniqueTableCountersTrackLoad) {
+  BddManager M;
+  uint64_t Lookups0 = M.uniqueLookups();
+  BddManager::Ref A = M.mkNode(0, M.leaf(payload(1)), M.leaf(payload(2)));
+  uint64_t MissLookups = M.uniqueLookups();
+  EXPECT_GT(MissLookups, Lookups0);
+  uint64_t Hits1 = M.uniqueHits();
+  // Identical request: every probe is now a hit.
+  EXPECT_EQ(M.mkNode(0, M.leaf(payload(1)), M.leaf(payload(2))), A);
+  EXPECT_EQ(M.uniqueHits(), Hits1 + 3); // two leaves + one internal node
+}
+
 TEST(Mtbdd, SharingKeepsDiagramsSmall) {
   // The fault-tolerance insight (Sec. 2.7): many keys, few distinct
   // values => node count stays near the number of distinct values times

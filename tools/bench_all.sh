@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench_all.sh — runs the committed benchmark set (fig13b fault-tolerance
+# scaling and the fig14 simulator comparison) at the default sizes and
+# writes one merged JSON array, including each process's peak RSS, for
+# BENCH_*.json trajectory tracking.
+#
+# Usage: tools/bench_all.sh [OUT.json]   (from the repository root)
+#   OUT.json defaults to BENCH.json. Extra knobs pass through the
+#   environment: NV_THREADS, NV_GC_WATERMARK.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH.json}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target fig13b_fault_scaling fig14_simulation \
+  >/dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Runs "$@" (writing JSON to $TMP/$1.json) while sampling the process's
+# peak RSS from /proc (the container lacks /usr/bin/time -v).
+run_bench() {
+  local name=$1; shift
+  "$@" --json "$TMP/$name.json" &
+  local pid=$!
+  local peak=0
+  while kill -0 "$pid" 2>/dev/null; do
+    local rss
+    rss=$(awk '/VmRSS/{print $2}' "/proc/$pid/status" 2>/dev/null || echo 0)
+    [ "${rss:-0}" -gt "$peak" ] && peak=$rss
+    sleep 0.05
+  done
+  wait "$pid"
+  echo "$peak" > "$TMP/$name.rss"
+}
+
+echo "== fig13b: fault-tolerance scaling =="
+run_bench fig13b ./build/bench/fig13b_fault_scaling
+echo
+echo "== fig14: simulator comparison =="
+run_bench fig14 ./build/bench/fig14_simulation
+
+# Merge the arrays and append one peak-RSS record per benchmark.
+python3 - "$OUT" "$TMP" <<'EOF'
+import json, sys
+out, tmp = sys.argv[1], sys.argv[2]
+records = []
+for name in ("fig13b", "fig14"):
+    records += json.load(open(f"{tmp}/{name}.json"))
+    peak = int(open(f"{tmp}/{name}.rss").read().strip() or 0)
+    records.append({"bench": name, "peak_rss_kb": peak})
+json.dump(records, open(out, "w"), indent=1)
+open(out, "a").write("\n")
+EOF
+
+echo
+echo "Wrote $OUT"

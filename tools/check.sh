@@ -2,7 +2,10 @@
 # check.sh — full pre-merge verification:
 #   1. tier-1: configure, build, and run the complete ctest suite;
 #   2. a ThreadSanitizer build of the parallel determinism + thread-pool
-#      tests, to catch data races the functional tests cannot see.
+#      tests, to catch data races the functional tests cannot see;
+#   3. an ASan+UBSan build of the BDD, GC and parallel suites, to catch
+#      the memory errors a moving collector can introduce (stale Refs,
+#      table over-reads) that functional tests may survive by luck.
 #
 # Usage: tools/check.sh   (from the repository root)
 set -euo pipefail
@@ -24,6 +27,17 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j"$JOBS" --target parallel_tests threadpool_tests
 ./build-tsan/tests/threadpool_tests
 ./build-tsan/tests/parallel_tests
+
+echo
+echo "== ASan+UBSan: BDD + GC + parallel tests =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build build-asan -j"$JOBS" --target bdd_tests gc_tests parallel_tests
+./build-asan/tests/bdd_tests
+./build-asan/tests/gc_tests
+./build-asan/tests/parallel_tests
 
 echo
 echo "All checks passed."
