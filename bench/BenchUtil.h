@@ -3,6 +3,8 @@
 // Part of nv-cpp. Table formatting and argument handling shared by the
 // figure-reproduction benchmark drivers. Every driver accepts:
 //   --paper      run the paper's exact network sizes (hours on one core)
+//   --smoke      run the smallest configuration only (seconds; used by the
+//                CI bench-smoke regression gate)
 //   --timeout S  per-solve SMT timeout in seconds (default 60)
 //   --threads N  worker threads for the sharded analyses (default: the
 //                NV_THREADS environment variable if set, else 1)
@@ -29,6 +31,7 @@ namespace nvbench {
 
 struct Args {
   bool Paper = false;
+  bool Smoke = false;
   unsigned TimeoutSec = 60;
   unsigned Threads = 1;
   std::string JsonPath;
@@ -43,6 +46,8 @@ struct Args {
     for (int I = 1; I < argc; ++I) {
       if (!std::strcmp(argv[I], "--paper"))
         A.Paper = true;
+      else if (!std::strcmp(argv[I], "--smoke"))
+        A.Smoke = true;
       else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc)
         A.TimeoutSec = static_cast<unsigned>(atoi(argv[++I]));
       else if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)

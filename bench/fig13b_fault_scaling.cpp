@@ -26,15 +26,16 @@ int main(int argc, char **argv) {
     unsigned MaxFailures;
   };
   std::vector<Net> Nets;
-  std::vector<unsigned> Ks = A.Paper ? std::vector<unsigned>{12, 16, 20, 28}
-                                     : std::vector<unsigned>{4, 6, 8};
+  std::vector<unsigned> Ks = A.Paper   ? std::vector<unsigned>{12, 16, 20, 28}
+                             : A.Smoke ? std::vector<unsigned>{4}
+                                       : std::vector<unsigned>{4, 6, 8};
   for (unsigned K : Ks)
     Nets.push_back({"Fat" + std::to_string(K), generateSpSingle(K),
-                    3});
+                    A.Smoke ? 2u : 3u});
   // The WAN is asymmetric: multi-failure scenarios share little, so the
   // default stops at 2 failures (use --paper for 3, as in the figure).
   Nets.push_back({"USCarrier", generateUsCarrier(),
-                  A.Paper ? 3u : 2u});
+                  A.Paper ? 3u : A.Smoke ? 1u : 2u});
 
   std::printf("Fig. 13b — fault-tolerance simulation time (s) vs number of "
               "link failures\n(compilation excluded).\n\n");

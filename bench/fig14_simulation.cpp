@@ -27,8 +27,9 @@ using namespace nvbench;
 
 int main(int argc, char **argv) {
   Args A = Args::parse(argc, argv);
-  std::vector<unsigned> Ks = A.Paper ? std::vector<unsigned>{20, 24, 28, 32}
-                                     : std::vector<unsigned>{4, 8, 12, 16};
+  std::vector<unsigned> Ks = A.Paper   ? std::vector<unsigned>{20, 24, 28, 32}
+                             : A.Smoke ? std::vector<unsigned>{4, 8}
+                                       : std::vector<unsigned>{4, 8, 12, 16};
 
   std::optional<ThreadPool> Pool;
   if (A.Threads > 1)

@@ -330,7 +330,9 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
       Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, *Meta);
     else
       Eval = std::make_unique<InterpProgramEvaluator>(Ctx, *Meta);
-    SimResult R = simulate(*Meta, *Eval);
+    SimOptions SO;
+    SO.MaxSteps = Opts.MaxSteps;
+    SimResult R = simulate(*Meta, *Eval, SO);
     Out.SimulateMs = W.elapsedMs();
     Out.Converged = R.Converged;
     Out.Stats = R.Stats;

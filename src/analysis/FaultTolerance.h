@@ -50,6 +50,12 @@ struct FtOptions {
   /// NV_THREADS / hardware concurrency). The meta-simulation itself is one
   /// fixpoint and stays single-threaded.
   unsigned Threads = 1;
+  /// Pop budget for the meta-simulation. Non-monotone policies (e.g. BGP
+  /// community filters) can oscillate under some failure scenarios, and an
+  /// oscillating meta-sim grows fresh MTBDD leaves every round — bound it
+  /// and report Converged = false instead of diverging. The default keeps
+  /// the simulator's own (effectively unbounded) budget.
+  uint64_t MaxSteps = 100'000'000;
 };
 
 /// Builds the fault-tolerant meta-program: the input's init/trans/merge

@@ -1,0 +1,53 @@
+//===- Corpus.h - Regression corpus reader/writer ---------------*- C++ -*-===//
+//
+// Part of nv-cpp. Corpus files under tests/corpus/ are standalone .nv
+// programs (directly runnable with `nv sim`) whose leading NV comment
+// carries the fuzzing metadata the replayer needs:
+//
+//   (* nv-fuzz corpus v1
+//      seed: 0x0000000000000007
+//      family: sp-option
+//      topo: wan n=9 e=13
+//      oracle: sim ft naive smt
+//      note: generator-produced regression instance
+//   *)
+//   let nodes = 9
+//   ...
+//
+// The `oracle:` tokens select the engine legs the replayer compares
+// (`sim` is always on; `ft`/`naive`/`smt` map to the comparability flags
+// the generator derived from the policy family).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FUZZ_CORPUS_H
+#define NV_FUZZ_CORPUS_H
+
+#include "fuzz/Oracle.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+/// Renders a corpus file for an instance (with its oracle legs and an
+/// optional note, e.g. the divergence that produced a minimized repro).
+std::string corpusFileText(const FuzzInstance &Inst,
+                           const std::string &Note = {});
+
+/// Parses a corpus file's text back into a replayable instance. The whole
+/// text (header comment included) becomes NvSource — the NV lexer skips
+/// comments — and the oracle flags come from the `oracle:` line. Null
+/// when the header is missing or malformed.
+std::optional<FuzzInstance> parseCorpusText(const std::string &Text);
+
+/// Reads one corpus file; null with a message to stderr on failure.
+std::optional<FuzzInstance> loadCorpusFile(const std::string &Path);
+
+/// All .nv corpus files under \p Dir, sorted by path for determinism.
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+} // namespace nv
+
+#endif // NV_FUZZ_CORPUS_H

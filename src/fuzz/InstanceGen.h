@@ -1,0 +1,125 @@
+//===- InstanceGen.h - Random NV instance generator -------------*- C++ -*-===//
+//
+// Part of nv-cpp. The seed-driven instance generator of the differential
+// fuzzer: a 64-bit seed deterministically expands into a FuzzSpec — an
+// explicit topology (FatTree, random WAN, ring, chord) plus a well-typed
+// policy drawn from one of six families spanning the attribute grammar
+// (ints, options, tuples, records, dicts, and route-map DAG configs
+// through the Cisco frontend) — and the spec renders to NV source text.
+//
+// The spec is the unit of minimization: every parameter the renderer
+// consumes is stored explicitly (edge lists are materialized even for
+// structured topologies), so the shrinker can delete edges, nodes, and
+// policy features one at a time and re-render deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FUZZ_INSTANCEGEN_H
+#define NV_FUZZ_INSTANCEGEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nv {
+
+enum class TopoKind { FatTree, Wan, Ring, Chord };
+enum class PolicyKind {
+  SpOption,    ///< option[int] shortest path, optional hop cap + distance
+               ///< bound in the assert. Monotone: SMT/FT/naive comparable.
+  SpWeights,   ///< option[int] with per-edge costs (if-chain cost map).
+  TupleLex,    ///< option[(int, int)] lexicographic; strictly monotone.
+  RecordBgp,   ///< include bgp: hub tagging + per-node filters + meds.
+  DictReach,   ///< dict[int16, option[int16]] multi-announcer reachability.
+  RouteMapCfg, ///< Cisco config through the frontend (route-map DAGs).
+};
+
+const char *topoKindName(TopoKind K);
+const char *policyKindName(PolicyKind K);
+
+/// One generated route-map clause (RouteMapCfg family). Index fields are
+/// 0 = absent, else 1-based into the instance's list palette.
+struct RmClauseSpec {
+  bool Permit = true;
+  uint8_t MatchComm = 0;  ///< 1-based community-list index, 0 = none.
+  uint8_t MatchPfx = 0;   ///< 1-based prefix-list index, 0 = none.
+  uint8_t SetComm = 0;    ///< 1-based community value index, 0 = none.
+  uint8_t SetMetric = 0;  ///< Metric value (0 = none).
+
+  bool operator==(const RmClauseSpec &) const = default;
+};
+
+/// One generated route-map attachment: router R applies the clauses to
+/// the session with its NeighborIdx-th interface neighbor.
+struct RmSpec {
+  uint32_t Router = 0;
+  uint32_t NeighborIdx = 0;
+  bool In = true; ///< "in" vs "out" direction.
+  std::vector<RmClauseSpec> Clauses;
+
+  bool operator==(const RmSpec &) const = default;
+};
+
+/// The complete, explicit description of one fuzz instance.
+struct FuzzSpec {
+  uint64_t Seed = 0;
+  TopoKind Topo = TopoKind::Wan;
+  PolicyKind Policy = PolicyKind::SpOption;
+
+  uint32_t NumNodes = 0;
+  /// Undirected links, normalized A < B, sorted, deduplicated; never
+  /// empty (the NV grammar requires at least one edge).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  uint32_t Dest = 0; ///< Announcing / destination node.
+
+  // SpOption / SpWeights / TupleLex.
+  uint32_t HopCap = 0;      ///< Drop routes longer than this (0 = off).
+  uint32_t AssertBound = 0; ///< assert d <= bound (0 = reachability only).
+  std::vector<uint32_t> EdgeCosts; ///< SpWeights: per-Edges[] cost, >= 1.
+  uint32_t StrideA = 1, StrideB = 0; ///< TupleLex per-hop increments.
+
+  // RecordBgp.
+  std::vector<uint32_t> Meds;        ///< Per-node med (tie-break).
+  std::vector<uint8_t> Hubs;         ///< Per-node: tags community 7.
+  std::vector<uint8_t> FilterNodes;  ///< Per-node: drops tagged routes.
+
+  // DictReach.
+  std::vector<uint32_t> Announcers;  ///< Prefix i is announced by [i].
+
+  // RouteMapCfg.
+  std::vector<RmSpec> RouteMaps;
+  uint32_t ExtraOrigins = 0; ///< Additional routers with static routes.
+
+  bool operator==(const FuzzSpec &) const = default;
+};
+
+/// A rendered instance: the NV program (always) plus the vendor config it
+/// was translated from (RouteMapCfg only) and the oracle legs that apply.
+struct FuzzInstance {
+  FuzzSpec Spec;
+  std::string Name;       ///< e.g. "sp-option/wan n=9 e=13 seed=0x..".
+  std::string NvSource;
+  std::string ConfigText; ///< RouteMapCfg: the Cisco-style input blob.
+  bool SmtComparable = false;   ///< Unique stable state; SMT leg valid.
+  bool FtComparable = false;    ///< option attribute; FT/naive legs valid.
+};
+
+/// Expands a seed into a spec. Total: every 64-bit seed yields a valid
+/// spec, and equal seeds yield equal specs.
+FuzzSpec specFromSeed(uint64_t Seed);
+
+/// Renders a spec to NV source (through the Cisco frontend for
+/// RouteMapCfg). Rendering is a pure function of the spec. Renders that
+/// fail internal translation (a generator bug) report to \p Diags and
+/// return an instance with empty NvSource.
+FuzzInstance renderSpec(const FuzzSpec &Spec, DiagnosticEngine &Diags);
+
+/// specFromSeed + renderSpec.
+FuzzInstance instanceFromSeed(uint64_t Seed, DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_FUZZ_INSTANCEGEN_H

@@ -1,0 +1,147 @@
+//===- Minimize.cpp - Greedy divergence minimizer ------------------------------===//
+
+#include "fuzz/Minimize.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+namespace {
+
+/// Drops Edges[I] (and its parallel per-edge parameters).
+FuzzSpec withoutEdge(const FuzzSpec &S, size_t I) {
+  FuzzSpec C = S;
+  C.Edges.erase(C.Edges.begin() + I);
+  if (I < C.EdgeCosts.size())
+    C.EdgeCosts.erase(C.EdgeCosts.begin() + I);
+  return C;
+}
+
+/// Drops the highest-numbered node with its incident edges and per-node
+/// parameters; null move when the node is load-bearing (destination or
+/// sole announcer) or the graph would lose its last edge.
+bool dropLastNode(const FuzzSpec &S, FuzzSpec &Out) {
+  if (S.NumNodes <= 2)
+    return false;
+  uint32_t Last = S.NumNodes - 1;
+  if (S.Dest == Last)
+    return false;
+  FuzzSpec C = S;
+  C.NumNodes = Last;
+  for (size_t I = C.Edges.size(); I-- > 0;)
+    if (C.Edges[I].first == Last || C.Edges[I].second == Last) {
+      C.Edges.erase(C.Edges.begin() + I);
+      if (I < C.EdgeCosts.size())
+        C.EdgeCosts.erase(C.EdgeCosts.begin() + I);
+    }
+  if (C.Edges.empty())
+    return false;
+  if (C.Meds.size() > Last)
+    C.Meds.resize(Last);
+  if (C.Hubs.size() > Last)
+    C.Hubs.resize(Last);
+  if (C.FilterNodes.size() > Last)
+    C.FilterNodes.resize(Last);
+  C.Announcers.erase(
+      std::remove(C.Announcers.begin(), C.Announcers.end(), Last),
+      C.Announcers.end());
+  if (S.Policy == PolicyKind::DictReach && C.Announcers.empty())
+    return false;
+  C.RouteMaps.erase(std::remove_if(C.RouteMaps.begin(), C.RouteMaps.end(),
+                                   [&](const RmSpec &R) {
+                                     return R.Router >= Last;
+                                   }),
+                    C.RouteMaps.end());
+  Out = std::move(C);
+  return true;
+}
+
+} // namespace
+
+std::vector<FuzzSpec> nv::shrinkCandidates(const FuzzSpec &S) {
+  std::vector<FuzzSpec> Out;
+
+  // 1. Structural: single-edge deletions, then the top node.
+  if (S.Edges.size() > 1)
+    for (size_t I = 0; I < S.Edges.size(); ++I)
+      Out.push_back(withoutEdge(S, I));
+  FuzzSpec NodeDrop;
+  if (dropLastNode(S, NodeDrop))
+    Out.push_back(std::move(NodeDrop));
+
+  // 2. Policy features, one at a time.
+  auto Push = [&](auto Mutate) {
+    FuzzSpec C = S;
+    Mutate(C);
+    if (!(C == S))
+      Out.push_back(std::move(C));
+  };
+  Push([](FuzzSpec &C) { C.HopCap = 0; });
+  Push([](FuzzSpec &C) { C.AssertBound = 0; });
+  Push([](FuzzSpec &C) {
+    std::fill(C.EdgeCosts.begin(), C.EdgeCosts.end(), 1u);
+  });
+  Push([](FuzzSpec &C) { C.StrideA = 1; });
+  Push([](FuzzSpec &C) { C.StrideB = 0; });
+  Push([](FuzzSpec &C) { std::fill(C.Meds.begin(), C.Meds.end(), 0u); });
+  Push([](FuzzSpec &C) {
+    std::fill(C.Hubs.begin(), C.Hubs.end(), uint8_t(0));
+  });
+  Push([](FuzzSpec &C) {
+    std::fill(C.FilterNodes.begin(), C.FilterNodes.end(), uint8_t(0));
+  });
+  Push([](FuzzSpec &C) {
+    if (C.Announcers.size() > 1)
+      C.Announcers.resize(1);
+  });
+  Push([](FuzzSpec &C) { C.ExtraOrigins = 0; });
+  if (!S.RouteMaps.empty()) {
+    Push([](FuzzSpec &C) { C.RouteMaps.pop_back(); });
+    Push([](FuzzSpec &C) {
+      if (C.RouteMaps.back().Clauses.size() > 1)
+        C.RouteMaps.back().Clauses.pop_back();
+    });
+  }
+  return Out;
+}
+
+MinimizeResult nv::minimizeSpec(const FuzzSpec &Failing,
+                                const OracleOptions &Opts) {
+  MinimizeResult R;
+  auto Diverges = [&](const FuzzSpec &S, FuzzInstance &InstOut,
+                      OracleVerdict &VOut) {
+    DiagnosticEngine Diags;
+    InstOut = renderSpec(S, Diags);
+    ++R.OracleRuns;
+    if (InstOut.NvSource.empty())
+      return false; // A shrink that breaks rendering is not a repro.
+    DiagnosticEngine OracleDiags;
+    VOut = runOracle(InstOut, Opts, OracleDiags);
+    return !VOut.Ok;
+  };
+
+  FuzzSpec Cur = Failing;
+  if (!Diverges(Cur, R.Instance, R.Verdict)) {
+    R.Final = Cur;
+    return R;
+  }
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const FuzzSpec &Cand : shrinkCandidates(Cur)) {
+      FuzzInstance Inst;
+      OracleVerdict V;
+      if (Diverges(Cand, Inst, V)) {
+        Cur = Cand;
+        R.Instance = std::move(Inst);
+        R.Verdict = std::move(V);
+        ++R.MovesApplied;
+        Progress = true;
+        break; // Restart from the shrunk spec's candidate list.
+      }
+    }
+  }
+  R.Final = Cur;
+  return R;
+}

@@ -1,0 +1,38 @@
+//===- Minimize.h - Greedy divergence minimizer -----------------*- C++ -*-===//
+//
+// Part of nv-cpp. Shrinks a diverging fuzz instance to a minimal repro.
+// The shrinker works on the FuzzSpec, not the rendered text: candidate
+// moves delete one edge, drop the highest-numbered node, or switch off
+// one policy feature (hop caps, assert bounds, edge costs, hubs/filters,
+// route-map clauses), then re-render and re-run the oracle. A move is
+// kept iff the divergence persists; the loop runs to a fixed point, so
+// the result is 1-minimal with respect to the move set.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FUZZ_MINIMIZE_H
+#define NV_FUZZ_MINIMIZE_H
+
+#include "fuzz/Oracle.h"
+
+namespace nv {
+
+struct MinimizeResult {
+  FuzzSpec Final;            ///< The shrunk spec (== input if no move held).
+  FuzzInstance Instance;     ///< Rendered final instance.
+  OracleVerdict Verdict;     ///< Oracle verdict of the final instance.
+  unsigned OracleRuns = 0;   ///< Oracle invocations spent shrinking.
+  unsigned MovesApplied = 0; ///< Accepted shrink steps.
+};
+
+/// All single-step shrink candidates of \p S, in deterministic order.
+std::vector<FuzzSpec> shrinkCandidates(const FuzzSpec &S);
+
+/// Greedily minimizes a spec whose oracle verdict diverges under \p Opts.
+/// If the input does not diverge, returns it unchanged (OracleRuns = 1).
+MinimizeResult minimizeSpec(const FuzzSpec &Failing,
+                            const OracleOptions &Opts);
+
+} // namespace nv
+
+#endif // NV_FUZZ_MINIMIZE_H

@@ -1,0 +1,231 @@
+//===- Oracle.cpp - Cross-engine differential oracle ---------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "analysis/FaultTolerance.h"
+#include "baselines/NaiveFailures.h"
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "eval/Compile.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace nv;
+
+std::string OracleVerdict::divergingEngines() const {
+  size_t Bar = Mismatch.find(" vs ");
+  return Bar == std::string::npos ? "" : Mismatch;
+}
+
+namespace {
+
+/// One simulator run under a chosen evaluator and GC watermark, reduced
+/// to a canonical fingerprint: convergence, every node's label (printed
+/// from the canonical diagram), and the assert verdict.
+std::string simFingerprint(const Program &P, bool UseCompiled,
+                           size_t Watermark, const OracleOptions &Opts) {
+  NvContext Ctx(P.numNodes());
+  Ctx.Mgr.setGcWatermark(Watermark);
+  std::unique_ptr<ProtocolEvaluator> Eval;
+  if (UseCompiled)
+    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, P);
+  else
+    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, P);
+
+  SimOptions SO;
+  SO.MaxSteps = Opts.MaxSteps;
+  SimResult R = simulate(P, *Eval, SO);
+  if (!R.Converged)
+    return "conv=0";
+
+  std::string FP = "conv=1";
+  for (uint32_t U = 0; U < P.numNodes(); ++U)
+    FP += ";" + Ctx.printValue(R.Labels[U]);
+  if (Eval->hasAssert()) {
+    auto Failed = checkAsserts(*Eval, R);
+    FP += ";assert=";
+    if (Failed.empty())
+      FP += "ok";
+    else
+      for (size_t I = 0; I < Failed.size(); ++I)
+        FP += (I ? "," : "") + std::to_string(Failed[I]);
+  } else {
+    FP += ";assert=none";
+  }
+  return FP;
+}
+
+/// Canonical fingerprint of a fault-tolerance check result: scenario
+/// count plus the sorted violation set (scenario, node, selected route).
+std::string ftFingerprint(const FtCheckResult &Check, bool Converged) {
+  if (!Converged)
+    return "conv=0";
+  std::vector<std::string> Lines;
+  for (const FtViolation &V : Check.Violations)
+    Lines.push_back(V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
+                    (V.Route ? V.Route->str() : "<null>"));
+  std::sort(Lines.begin(), Lines.end());
+  std::string FP = "conv=1;scenarios=" + std::to_string(Check.ScenariosChecked);
+  for (const std::string &L : Lines)
+    FP += ";" + L;
+  return FP;
+}
+
+/// Extracts the assert verdict portion of a sim fingerprint.
+bool simAssertHolds(const std::string &FP) {
+  return FP.find(";assert=ok") != std::string::npos ||
+         FP.find(";assert=none") != std::string::npos;
+}
+
+} // namespace
+
+OracleVerdict nv::runOracle(const FuzzInstance &Inst,
+                            const OracleOptions &Opts,
+                            DiagnosticEngine &Diags) {
+  OracleVerdict V;
+  if (Inst.NvSource.empty()) {
+    V.Mismatch = "generator produced no source (internal bug)";
+    return V;
+  }
+
+  auto P = parseProgram(Inst.NvSource, Diags);
+  if (!P || !typeCheck(*P, Diags)) {
+    V.Mismatch = "generated program failed to parse/typecheck: " + Diags.str();
+    return V;
+  }
+
+  uint32_t Nodes = P->numNodes();
+  uint32_t Links = static_cast<uint32_t>(P->links().size());
+  unsigned NThreads = Opts.Threads ? Opts.Threads
+                                   : ThreadPool::defaultThreadCount();
+  if (NThreads < 2)
+    NThreads = 2;
+
+  // -- Simulation legs ------------------------------------------------------
+  struct SimLeg {
+    const char *Name;
+    bool Compiled;
+    size_t Watermark;
+  };
+  const SimLeg SimLegs[] = {
+      {"interp-wm0", false, 0},
+      {"interp-wm1", false, 1},
+      {"native-wm0", true, 0},
+      {"native-wm1", true, 1},
+  };
+  for (const SimLeg &L : SimLegs) {
+    std::string FP = simFingerprint(*P, L.Compiled, L.Watermark, Opts);
+    // The planted bug: the compiled evaluator at watermark 1 silently
+    // reports the opposite assert verdict on sp-option instances with at
+    // least 6 edges. Exists solely so tests can prove the oracle catches
+    // a divergence and the minimizer shrinks it to the 6-edge floor.
+    // Corpus-loaded instances carry only the seed and family in Spec, so
+    // fall back to the parsed program's link count for the edge floor.
+    size_t EdgeCount = Inst.Spec.Edges.empty() ? Links : Inst.Spec.Edges.size();
+    if (Opts.InjectBugForTesting && L.Compiled && L.Watermark == 1 &&
+        Inst.Spec.Policy == PolicyKind::SpOption && EdgeCount >= 6) {
+      size_t A = FP.find(";assert=");
+      if (A != std::string::npos)
+        FP = FP.substr(0, A) + (simAssertHolds(FP) ? ";assert=999"
+                                                   : ";assert=ok");
+    }
+    V.Runs.push_back({L.Name, FP});
+  }
+  // Copy, not reference: later push_backs reallocate V.Runs.
+  const std::string SimFP = V.Runs.front().Fingerprint;
+  for (size_t I = 1; I < V.Runs.size(); ++I)
+    if (V.Runs[I].Fingerprint != SimFP && V.Mismatch.empty())
+      V.Mismatch = std::string(V.Runs[0].Engine) + " vs " + V.Runs[I].Engine +
+                   ": " + SimFP + " != " + V.Runs[I].Fingerprint;
+
+  bool HasAssert = P->assertDecl() != nullptr;
+
+  // -- Fault-tolerance MTBDD legs -------------------------------------------
+  std::string FtFP;
+  bool RanFt = false;
+  if (Opts.EnableFt && Inst.FtComparable && HasAssert &&
+      Nodes <= Opts.FtMaxNodes && Links <= Opts.FtMaxLinks) {
+    struct FtLeg {
+      const char *Name;
+      bool Compiled;
+      unsigned Threads;
+      size_t Watermark;
+    };
+    const FtLeg FtLegs[] = {
+        {"ft-interp-t1-wm0", false, 1, 0},
+        {"ft-interp-tN-wm1", false, NThreads, 1},
+        {"ft-native-t1-wm1", true, 1, 1},
+        {"ft-native-tN-wm0", true, NThreads, 0},
+    };
+    for (const FtLeg &L : FtLegs) {
+      FtOptions FO;
+      FO.LinkFailures = 1;
+      FO.Threads = L.Threads;
+      FO.MaxSteps = Opts.FtMaxSteps;
+      NvContext Ctx(P->numNodes());
+      Ctx.Mgr.setGcWatermark(L.Watermark);
+      FtRunResult R = runFaultTolerance(*P, FO, L.Compiled, Diags,
+                                        /*CheckAsserts=*/true, &Ctx);
+      std::string FP = ftFingerprint(R.Check, R.Converged);
+      V.Runs.push_back({L.Name, FP});
+      if (!RanFt) {
+        FtFP = FP;
+        RanFt = true;
+      } else if (FP != FtFP && V.Mismatch.empty()) {
+        V.Mismatch = std::string(FtLegs[0].Name) + " vs " + L.Name + ": " +
+                     FtFP + " != " + FP;
+      }
+    }
+  }
+
+  // -- Naive per-scenario enumerator ----------------------------------------
+  // Skipped when the FT legs hit their step budget (FtFP == "conv=0"): the
+  // naive enumerator has no matching budget, so comparing it against a
+  // truncated meta-sim would be a false divergence (or its own hang).
+  if (Opts.EnableNaive && RanFt && FtFP != "conv=0" &&
+      Nodes <= Opts.NaiveMaxNodes && Links <= Opts.NaiveMaxLinks) {
+    FtOptions FO;
+    FO.LinkFailures = 1;
+    NvContext Ctx(P->numNodes());
+    InterpProgramEvaluator Eval(Ctx, *P);
+    FtCheckResult NR = naiveFaultTolerance(*P, Eval, FO, Ctx.noneV());
+    std::string FP = ftFingerprint(NR, /*Converged=*/true);
+    V.Runs.push_back({"naive", FP});
+    if (FP != FtFP && V.Mismatch.empty())
+      V.Mismatch = "ft-interp-t1-wm0 vs naive: " + FtFP + " != " + FP;
+  }
+
+  // -- SMT stable-state verifier --------------------------------------------
+  if (Opts.EnableSmt && Inst.SmtComparable && HasAssert &&
+      Nodes <= Opts.SmtMaxNodes && Links <= Opts.SmtMaxLinks) {
+    VerifyOptions VO;
+    VO.TimeoutMs = Opts.SmtTimeoutMs;
+    DiagnosticEngine SmtDiags;
+    VerifyResult R = verifyProgram(*P, VO, SmtDiags);
+    const char *Verdict = R.Status == VerifyStatus::Verified    ? "holds"
+                          : R.Status == VerifyStatus::Falsified ? "fails"
+                          : R.Status == VerifyStatus::Unknown   ? "unknown"
+                                                                : "error";
+    V.Runs.push_back({"smt", std::string("assert=") + Verdict});
+    if (R.Status == VerifyStatus::EncodingError && V.Mismatch.empty())
+      V.Mismatch = "smt: encoding error on an SMT-comparable instance: " +
+                   SmtDiags.str();
+    // These families are strictly monotone with selective merges, so the
+    // stable state is unique and the two verdicts must coincide. Unknown
+    // (timeout) is recorded but not a divergence.
+    if (R.Status == VerifyStatus::Verified ||
+        R.Status == VerifyStatus::Falsified) {
+      bool SmtHolds = R.Status == VerifyStatus::Verified;
+      if (SmtHolds != simAssertHolds(SimFP) && V.Mismatch.empty())
+        V.Mismatch = std::string("interp-wm0 vs smt: sim assert ") +
+                     (simAssertHolds(SimFP) ? "ok" : "fail") + " != smt " +
+                     Verdict;
+    }
+  }
+
+  V.Ok = V.Mismatch.empty();
+  return V;
+}

@@ -1,0 +1,90 @@
+//===- Oracle.h - Cross-engine differential oracle --------------*- C++ -*-===//
+//
+// Part of nv-cpp. The equivalence oracle of the differential fuzzer: one
+// instance is run through every applicable analysis engine and all
+// results are reduced to canonical string fingerprints that must agree.
+//
+// Engine matrix (Sec. 5.1's interchangeable analyses):
+//   sim legs   interpreted and closure-compiled evaluators, each at MTBDD
+//              GC watermark 0 (collector off) and 1 (collect at every
+//              safe point — maximal stress for the moving GC);
+//   ft legs    the Fig. 5 MTBDD meta-simulation, {interpreted, compiled}
+//              x {1, N check threads} x {watermark 0, 1};
+//   naive      the per-scenario failure enumerator (small instances);
+//   smt        the Z3 stable-state verifier (small instances whose policy
+//              family guarantees a unique stable state).
+//
+// Values are interned per NvContext, so cross-engine comparison goes
+// through NvContext::printValue — diagrams are canonical (reduced,
+// ordered, shared), making the printed form independent of allocation
+// history, GC schedule, and thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FUZZ_ORACLE_H
+#define NV_FUZZ_ORACLE_H
+
+#include "fuzz/InstanceGen.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+struct OracleOptions {
+  /// Worker threads for the N-thread FT legs (0 = NV_THREADS / hardware).
+  unsigned Threads = 0;
+
+  bool EnableFt = true;
+  bool EnableNaive = true;
+  bool EnableSmt = true;
+
+  // Size gates: the expensive legs only run on instances below these.
+  uint32_t FtMaxNodes = 24, FtMaxLinks = 40;
+  uint32_t NaiveMaxNodes = 16, NaiveMaxLinks = 26;
+  uint32_t SmtMaxNodes = 10, SmtMaxLinks = 16;
+
+  unsigned SmtTimeoutMs = 30000;
+  uint64_t MaxSteps = 2'000'000;
+  /// Pop budget for the FT meta-simulation legs. Well-behaved instances
+  /// under the size gates converge in well under a thousand pops; a
+  /// non-monotone policy oscillating under some failure scenario would
+  /// otherwise grow MTBDD leaves without bound. Hitting the budget turns
+  /// every FT leg into the same "conv=0" fingerprint (and skips the naive
+  /// comparison), which is a skip, not a divergence. Keep this small: the
+  /// watermark-1 legs collect at every safe point, so an oscillating
+  /// arena makes each further pop ever more expensive.
+  uint64_t FtMaxSteps = 2'000;
+
+  /// Hidden testing hook (--inject-bug-for-testing / NV_FUZZ_INJECT_BUG):
+  /// plants a deliberate wrong-verdict bug in the compiled-evaluator
+  /// watermark-1 leg for sp-option instances with >= 6 edges, simulating
+  /// a silent miscompilation the oracle must catch and the minimizer must
+  /// shrink (to exactly 6 edges).
+  bool InjectBugForTesting = false;
+};
+
+struct EngineRun {
+  std::string Engine;      ///< e.g. "native-wm1", "ft-interp-tN-wm1".
+  std::string Fingerprint; ///< Canonical result string.
+};
+
+struct OracleVerdict {
+  bool Ok = false;
+  std::string Mismatch; ///< First divergence (empty when Ok).
+  std::vector<EngineRun> Runs;
+
+  /// The two engines of the first divergence ("a|b"; diagnostics only).
+  std::string divergingEngines() const;
+};
+
+/// Runs the full engine matrix on one instance. Deterministic: equal
+/// instances and options yield equal verdicts (including Runs order).
+OracleVerdict runOracle(const FuzzInstance &Inst, const OracleOptions &Opts,
+                        DiagnosticEngine &Diags);
+
+} // namespace nv
+
+#endif // NV_FUZZ_ORACLE_H

@@ -1,0 +1,58 @@
+//===- Rng.h - Deterministic fuzzing PRNG -----------------------*- C++ -*-===//
+//
+// Part of nv-cpp. A SplitMix64 generator for the differential fuzzer.
+// std::mt19937 is fully specified, but the standard distributions are
+// not, so instance generation uses this self-contained generator with
+// explicit bounded sampling: the same 64-bit seed yields the same
+// instance on every platform and toolchain.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_FUZZ_RNG_H
+#define NV_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace nv {
+
+class FuzzRng {
+public:
+  explicit FuzzRng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); 0 when N is 0. Modulo bias is irrelevant for
+  /// instance generation (N is tiny against 2^64).
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// True with probability Pct/100.
+  bool chance(unsigned Pct) { return below(100) < Pct; }
+
+private:
+  uint64_t State;
+};
+
+/// Derives the per-instance seed from a base seed and an instance index.
+/// The mix keeps consecutive indices decorrelated so every instance field
+/// draws from an independent-looking stream.
+inline uint64_t mixSeed(uint64_t Base, uint64_t Index) {
+  uint64_t Z = Base ^ (Index * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull);
+  Z = (Z ^ (Z >> 32)) * 0xD6E8FEB86659FD93ull;
+  Z = (Z ^ (Z >> 32)) * 0xD6E8FEB86659FD93ull;
+  return Z ^ (Z >> 32);
+}
+
+} // namespace nv
+
+#endif // NV_FUZZ_RNG_H

@@ -1,43 +1,35 @@
 #!/usr/bin/env bash
-# check.sh — full pre-merge verification:
+# check.sh — full pre-merge verification. Each stage lives in its own
+# script under tools/ci/ so local runs and the GitHub Actions workflows
+# execute exactly the same steps:
 #   1. tier-1: configure, build, and run the complete ctest suite;
 #   2. a ThreadSanitizer build of the parallel determinism + thread-pool
 #      tests, to catch data races the functional tests cannot see;
 #   3. an ASan+UBSan build of the BDD, GC and parallel suites, to catch
 #      the memory errors a moving collector can introduce (stale Refs,
-#      table over-reads) that functional tests may survive by luck.
+#      table over-reads) that functional tests may survive by luck;
+#   4. differential smoke fuzz: replay the regression corpus, then a
+#      fixed-seed batch of fresh instances through the cross-engine
+#      oracle (interpreter vs native vs MTBDD analysis vs SMT).
 #
 # Usage: tools/check.sh   (from the repository root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS=${JOBS:-$(nproc)}
-
 echo "== tier-1: build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$JOBS"
-(cd build && ctest --output-on-failure -j"$JOBS")
+tools/ci/tier1.sh build
 
 echo
 echo "== TSan: parallel determinism tests =="
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-tsan -j"$JOBS" --target parallel_tests threadpool_tests
-./build-tsan/tests/threadpool_tests
-./build-tsan/tests/parallel_tests
+tools/ci/tsan.sh build-tsan
 
 echo
 echo "== ASan+UBSan: BDD + GC + parallel tests =="
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
-cmake --build build-asan -j"$JOBS" --target bdd_tests gc_tests parallel_tests
-./build-asan/tests/bdd_tests
-./build-asan/tests/gc_tests
-./build-asan/tests/parallel_tests
+tools/ci/asan.sh build-asan
+
+echo
+echo "== smoke fuzz: corpus replay + fresh instances =="
+tools/ci/smoke_fuzz.sh build 200 1
 
 echo
 echo "All checks passed."

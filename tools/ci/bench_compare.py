@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a bench-smoke JSON report against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+
+Matches records by (bench, network, failures) and compares every *_ms
+timing field present in both. Regressions beyond the threshold print a
+warning; the exit code is always 0 — shared CI runners are far too noisy
+to gate merges on wall-clock numbers, so this is a trend signal, not a
+gate. (BENCH_*.json trajectory files are the durable record.)
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.25  # warn when current > baseline * (1 + THRESHOLD)
+
+TIMING_FIELDS = ("simulate_ms", "nv_ms", "nv_native_ms", "batfish_ms")
+
+
+def key(rec):
+    return (rec.get("bench"), rec.get("network"), rec.get("failures"))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = {key(r): r for r in load(argv[1])}
+    current = []
+    for path in argv[2:]:
+        current.extend(load(path))
+
+    compared = 0
+    regressions = []
+    for rec in current:
+        base = baseline.get(key(rec))
+        if base is None:
+            continue
+        for field in TIMING_FIELDS:
+            if field not in rec or field not in base:
+                continue
+            b, c = float(base[field]), float(rec[field])
+            compared += 1
+            if b > 0 and c > b * (1 + THRESHOLD):
+                regressions.append(
+                    "  %s %s failures=%s %s: %.1fms -> %.1fms (+%.0f%%)"
+                    % (rec.get("bench"), rec.get("network"),
+                       rec.get("failures"), field, b, c, 100 * (c / b - 1)))
+
+    print("bench-smoke: compared %d timings against %s" % (compared, argv[1]))
+    if not compared:
+        print("warning: no overlapping records — baseline out of date?")
+    if regressions:
+        print("warning: %d timing(s) regressed more than %d%%:"
+              % (len(regressions), int(100 * THRESHOLD)))
+        print("\n".join(regressions))
+        print("(not failing the job: smoke timings on shared runners are "
+              "noisy; investigate if this persists across runs)")
+    else:
+        print("no regressions beyond %d%%" % int(100 * THRESHOLD))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

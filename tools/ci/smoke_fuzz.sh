@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# smoke_fuzz.sh — short differential-fuzz pass for PR CI: replay the
+# committed regression corpus, then a fixed-seed batch of fresh instances.
+# Any divergence fails the job; the repro (if --minimize produced one)
+# lands under the given corpus dir for upload as an artifact.
+#
+# Usage: tools/ci/smoke_fuzz.sh [BUILD_DIR] [COUNT] [SEED]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=${1:-build}
+COUNT=${2:-200}
+SEED=${3:-1}
+FUZZ="./$BUILD_DIR/tools/nv-fuzz"
+
+cmake --build "$BUILD_DIR" -j"${JOBS:-$(nproc)}" --target nv-fuzz
+
+echo "== corpus replay =="
+"$FUZZ" --replay tests/corpus
+
+echo
+echo "== smoke fuzz: $COUNT instances, seed $SEED =="
+mkdir -p fuzz-artifacts
+"$FUZZ" --seed "$SEED" --count "$COUNT" --minimize \
+  --corpus-dir fuzz-artifacts --json fuzz-artifacts/summary.json

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# tier1.sh — configure, build, and run the complete ctest suite.
+#
+# Usage: tools/ci/tier1.sh [BUILD_DIR] [BUILD_TYPE]
+# Env:   JOBS (parallelism), NV_WERROR=ON to fail on warnings,
+#        CMAKE_EXTRA (extra configure flags, word-split on purpose).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=${1:-build}
+BUILD_TYPE=${2:-RelWithDebInfo}
+JOBS=${JOBS:-$(nproc)}
+
+# shellcheck disable=SC2086  # CMAKE_EXTRA is a flag list
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  -DNV_WERROR="${NV_WERROR:-OFF}" \
+  ${CMAKE_EXTRA:-}
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

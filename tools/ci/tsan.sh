@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# tsan.sh — ThreadSanitizer build of the parallel determinism and
+# thread-pool tests, to catch data races the functional tests cannot see.
+#
+# Usage: tools/ci/tsan.sh [BUILD_DIR]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=${1:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNV_WERROR="${NV_WERROR:-OFF}" \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD_DIR" -j"$JOBS" --target parallel_tests threadpool_tests
+"./$BUILD_DIR/tests/threadpool_tests"
+"./$BUILD_DIR/tests/parallel_tests"

@@ -1,0 +1,297 @@
+//===- nv_fuzz.cpp - Differential fuzzing driver ------------------------------===//
+//
+// Part of nv-cpp. The command-line front end of the differential fuzzer:
+//
+//   nv-fuzz --seed S --count N        run N seed-derived instances through
+//                                     the cross-engine oracle
+//   nv-fuzz --time-budget SECS        run until the wall-clock budget is
+//                                     spent (nightly CI mode)
+//   nv-fuzz --replay PATH             replay a corpus file or directory
+//   nv-fuzz --emit SEED               print the corpus-format rendering of
+//                                     one instance (corpus seeding)
+//
+// Options:
+//   --minimize           shrink each divergence and write a corpus repro
+//   --corpus-dir DIR     where minimized repros are written (default
+//                        tests/corpus)
+//   --threads N          thread count for the N-thread oracle legs
+//   --no-smt/--no-ft/--no-naive   disable oracle legs
+//   --json PATH          machine-readable summary
+//
+// Determinism: instance i of a run is seed-derived via mixSeed(S, i) —
+// the same --seed/--count always replays the same instances and reaches
+// the same verdicts (--time-budget trades this for wall-clock coverage).
+// Exit code 0 = all instances agree, 1 = divergence found, 2 = usage or
+// I/O error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/InstanceGen.h"
+#include "fuzz/Minimize.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Rng.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace nv;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: nv-fuzz [--seed S] [--count N] [--start I] [--time-budget SECS]\n"
+      "               [--minimize] [--corpus-dir DIR] [--threads N]\n"
+      "               [--no-smt] [--no-ft] [--no-naive] [--json PATH]\n"
+      "       nv-fuzz --replay PATH   (corpus file or directory)\n"
+      "       nv-fuzz --emit SEED     (print one instance in corpus form)\n");
+  return 2;
+}
+
+struct FuzzCli {
+  uint64_t Seed = 1;
+  uint64_t Count = 100;
+  uint64_t Start = 0;
+  unsigned TimeBudgetSec = 0;
+  bool Minimize = false;
+  std::string CorpusDir = "tests/corpus";
+  std::string ReplayPath;
+  std::string JsonPath;
+  bool Emit = false;
+  uint64_t EmitSeed = 0;
+  OracleOptions Oracle;
+};
+
+std::optional<FuzzCli> parseCli(int argc, char **argv) {
+  FuzzCli O;
+  for (int I = 1; I < argc; ++I) {
+    auto Arg = [&](const char *Name) { return !std::strcmp(argv[I], Name); };
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg("--seed")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Seed = std::strtoull(V, nullptr, 0);
+    } else if (Arg("--count")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Count = std::strtoull(V, nullptr, 0);
+    } else if (Arg("--start")) {
+      // First instance index; lets nightly shards cover disjoint ranges
+      // of the same base seed.
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Start = std::strtoull(V, nullptr, 0);
+    } else if (Arg("--time-budget")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.TimeBudgetSec = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg("--threads")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Oracle.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg("--minimize")) {
+      O.Minimize = true;
+    } else if (Arg("--corpus-dir")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.CorpusDir = V;
+    } else if (Arg("--replay")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.ReplayPath = V;
+    } else if (Arg("--emit")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Emit = true;
+      O.EmitSeed = std::strtoull(V, nullptr, 0);
+    } else if (Arg("--json")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.JsonPath = V;
+    } else if (Arg("--no-smt")) {
+      O.Oracle.EnableSmt = false;
+    } else if (Arg("--no-ft")) {
+      O.Oracle.EnableFt = false;
+    } else if (Arg("--no-naive")) {
+      O.Oracle.EnableNaive = false;
+    } else if (Arg("--inject-bug-for-testing")) {
+      // Undocumented: plants the deliberate engine bug the self-tests use
+      // to prove the oracle catches and the minimizer shrinks divergences.
+      O.Oracle.InjectBugForTesting = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (std::getenv("NV_FUZZ_INJECT_BUG"))
+    O.Oracle.InjectBugForTesting = true;
+  return O;
+}
+
+struct RunTally {
+  uint64_t Instances = 0;
+  uint64_t Divergences = 0;
+  uint64_t LegRuns = 0;
+  std::vector<std::string> ReproFiles;
+};
+
+/// Runs one instance; on divergence optionally minimizes and writes a
+/// corpus repro. Returns false on divergence.
+bool runOne(const FuzzInstance &Inst, const FuzzCli &Cli, RunTally &T) {
+  DiagnosticEngine Diags;
+  OracleVerdict V = runOracle(Inst, Cli.Oracle, Diags);
+  ++T.Instances;
+  T.LegRuns += V.Runs.size();
+  if (V.Ok)
+    return true;
+
+  ++T.Divergences;
+  std::printf("DIVERGENCE %s\n  %s\n", Inst.Name.c_str(),
+              V.Mismatch.c_str());
+  if (!Cli.Minimize)
+    return false;
+
+  MinimizeResult M = minimizeSpec(Inst.Spec, Cli.Oracle);
+  std::printf("  minimized: n=%u e=%zu after %u oracle runs, %u moves\n",
+              M.Final.NumNodes, M.Final.Edges.size(), M.OracleRuns,
+              M.MovesApplied);
+  std::error_code EC;
+  std::filesystem::create_directories(Cli.CorpusDir, EC);
+  char SeedHex[32];
+  std::snprintf(SeedHex, sizeof(SeedHex), "%016llx",
+                static_cast<unsigned long long>(Inst.Spec.Seed));
+  std::string Path = Cli.CorpusDir + "/repro_" +
+                     policyKindName(M.Final.Policy) + "_" + SeedHex + ".nv";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << corpusFileText(M.Instance, "minimized repro; diverged: " +
+                                        M.Verdict.Mismatch.substr(0, 200));
+  std::printf("  wrote %s\n", Path.c_str());
+  T.ReproFiles.push_back(Path);
+  return false;
+}
+
+bool writeJson(const std::string &Path, const RunTally &T, double Ms) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << "{\n  \"instances\": " << T.Instances
+      << ",\n  \"divergences\": " << T.Divergences
+      << ",\n  \"engine_runs\": " << T.LegRuns << ",\n  \"elapsed_ms\": "
+      << static_cast<uint64_t>(Ms) << ",\n  \"repros\": [";
+  for (size_t I = 0; I < T.ReproFiles.size(); ++I)
+    Out << (I ? ", " : "") << '"' << T.ReproFiles[I] << '"';
+  Out << "]\n}\n";
+  return true;
+}
+
+int replay(const FuzzCli &Cli) {
+  std::vector<std::string> Files;
+  if (std::filesystem::is_directory(Cli.ReplayPath))
+    Files = listCorpusFiles(Cli.ReplayPath);
+  else
+    Files.push_back(Cli.ReplayPath);
+  if (Files.empty()) {
+    std::fprintf(stderr, "no corpus files under %s\n",
+                 Cli.ReplayPath.c_str());
+    return 2;
+  }
+  RunTally T;
+  Stopwatch W;
+  bool AllOk = true;
+  for (const std::string &F : Files) {
+    auto Inst = loadCorpusFile(F);
+    if (!Inst)
+      return 2;
+    bool Ok = runOne(*Inst, Cli, T);
+    std::printf("%-60s %s\n", F.c_str(), Ok ? "ok" : "DIVERGED");
+    AllOk = AllOk && Ok;
+  }
+  std::printf("replayed %llu corpus instances, %llu divergences\n",
+              static_cast<unsigned long long>(T.Instances),
+              static_cast<unsigned long long>(T.Divergences));
+  if (!Cli.JsonPath.empty() && !writeJson(Cli.JsonPath, T, W.elapsedMs()))
+    return 2;
+  return AllOk ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto Cli = parseCli(argc, argv);
+  if (!Cli)
+    return usage();
+
+  if (Cli->Emit) {
+    DiagnosticEngine Diags;
+    FuzzInstance Inst = instanceFromSeed(Cli->EmitSeed, Diags);
+    if (Inst.NvSource.empty()) {
+      std::fprintf(stderr, "generator failed:\n%s", Diags.str().c_str());
+      return 2;
+    }
+    std::printf("%s", corpusFileText(
+                          Inst, "generator-produced regression instance")
+                          .c_str());
+    return 0;
+  }
+  if (!Cli->ReplayPath.empty())
+    return replay(*Cli);
+
+  RunTally T;
+  Stopwatch W;
+  for (uint64_t I = Cli->Start;; ++I) {
+    if (Cli->TimeBudgetSec) {
+      if (W.elapsedMs() >= Cli->TimeBudgetSec * 1000.0)
+        break;
+    } else if (I >= Cli->Start + Cli->Count) {
+      break;
+    }
+    uint64_t Seed = mixSeed(Cli->Seed, I);
+    DiagnosticEngine Diags;
+    FuzzInstance Inst = instanceFromSeed(Seed, Diags);
+    if (Inst.NvSource.empty()) {
+      std::printf("GENERATOR ERROR seed=0x%016llx:\n%s",
+                  static_cast<unsigned long long>(Seed),
+                  Diags.str().c_str());
+      ++T.Divergences;
+      continue;
+    }
+    runOne(Inst, *Cli, T);
+    if ((I + 1) % 100 == 0)
+      std::printf("[%llu] %llu instances, %llu divergences, %.1fs\n",
+                  static_cast<unsigned long long>(I + 1),
+                  static_cast<unsigned long long>(T.Instances),
+                  static_cast<unsigned long long>(T.Divergences),
+                  W.elapsedMs() / 1000.0);
+  }
+  std::printf("%llu instances, %llu engine runs, %llu divergences, %.1fs\n",
+              static_cast<unsigned long long>(T.Instances),
+              static_cast<unsigned long long>(T.LegRuns),
+              static_cast<unsigned long long>(T.Divergences),
+              W.elapsedMs() / 1000.0);
+  if (!Cli->JsonPath.empty() && !writeJson(Cli->JsonPath, T, W.elapsedMs()))
+    return 2;
+  return T.Divergences ? 1 : 0;
+}
