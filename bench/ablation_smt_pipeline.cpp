@@ -40,8 +40,11 @@ int main(int argc, char **argv) {
         Opts.Smt.ConstantFold = Fold;
         Opts.Smt.NameIntermediates = Name;
         VerifyResult R = verifyProgram(*P, Opts, Diags);
+        // Solver timeouts surface as ResourceExhausted under the
+        // run-governance layer; Unknown is genuine incompleteness.
         std::string Solve =
-            R.Status == VerifyStatus::Unknown
+            (R.Status == VerifyStatus::ResourceExhausted ||
+             R.Status == VerifyStatus::Unknown)
                 ? ">" + std::to_string(A.TimeoutSec) + "s"
                 : ms(R.SolveMs);
         T.row({(Fat ? "FAT" : "SP") + std::to_string(K),

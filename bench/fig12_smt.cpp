@@ -33,8 +33,13 @@ std::string solveCell(const Program &P, bool Baseline, unsigned TimeoutSec,
   VerifyResult R = verifyProgram(P, Opts, Diags);
   if (Asserts)
     *Asserts = R.NumAssertions;
-  if (R.Status == VerifyStatus::Unknown)
+  // Timeouts (and any budget/cancellation trip) surface as
+  // ResourceExhausted under the run-governance layer; Unknown is genuine
+  // solver incompleteness.
+  if (R.Status == VerifyStatus::ResourceExhausted)
     return ">" + std::to_string(TimeoutSec) + "s T/O";
+  if (R.Status == VerifyStatus::Unknown)
+    return "unknown";
   if (R.Status == VerifyStatus::EncodingError)
     return "error";
   std::string Verdict = R.Status == VerifyStatus::Verified ? "" : " (cex!)";

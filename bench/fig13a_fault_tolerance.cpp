@@ -99,7 +99,8 @@ int main(int argc, char **argv) {
       }
       Stopwatch WS;
       VerifyResult R = verifyProgram(*SymP, Opts, Diags);
-      if (R.Status == VerifyStatus::Unknown)
+      if (R.Status == VerifyStatus::ResourceExhausted ||
+          R.Status == VerifyStatus::Unknown)
         return ">" + std::to_string(A.TimeoutSec) + "s T/O";
       return ms(WS.elapsedMs()) +
              (R.Status == VerifyStatus::Verified ? "" : " (cex!)");
@@ -113,8 +114,15 @@ int main(int argc, char **argv) {
            BddCell, NaiveCell, NvSmt, Ms2});
 
     uint64_t Lookups = Bdd.CacheHits + Bdd.CacheMisses;
+    // Governance outcome of the measured runs: a non-"ok" record carries a
+    // budget/cancellation/fault verdict and is excluded from trajectory
+    // comparison by tools/ci/bench_compare.py.
+    std::string Outcome = !Bdd.Outcome.ok()     ? Bdd.Outcome.str()
+                          : !Naive.Outcome.ok() ? Naive.Outcome.str()
+                                                : "ok";
     J.begin("fig13a")
         .field("network", N.Name)
+        .field("outcome", Outcome)
         .field("nodes", static_cast<uint64_t>(P->numNodes()))
         .field("links", static_cast<uint64_t>(P->links().size()))
         .field("threads", A.Threads)

@@ -72,6 +72,7 @@ int main(int argc, char **argv) {
       BddManager::GcStats Gc = Ctx.Mgr.gcStats();
       J.begin("fig13b")
           .field("network", N.Name)
+          .field("outcome", R.Outcome.ok() ? "ok" : R.Outcome.str())
           .field("nodes", static_cast<uint64_t>(P->numNodes()))
           .field("links", static_cast<uint64_t>(P->links().size()))
           .field("failures", static_cast<uint64_t>(F))

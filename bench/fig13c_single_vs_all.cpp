@@ -150,6 +150,9 @@ int main(int argc, char **argv) {
 
     J.begin("fig13c")
         .field("network", Name)
+        .field("outcome", (SN < 0 || SI < 0 || AN < 0 || AI < 0)
+                              ? "not-converged"
+                              : "ok")
         .field("nodes", static_cast<uint64_t>(Param->numNodes()))
         .field("prefixes", static_cast<uint64_t>(Leaves.size()))
         .field("threads", A.Threads)

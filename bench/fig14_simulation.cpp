@@ -77,9 +77,20 @@ int main(int argc, char **argv) {
         batfishAllPrefixes(*Param, Leaves, nullptr, Pool ? &*Pool : nullptr);
     double BatfishMs = W.elapsedMs();
 
+    // Governance outcome: a non-"ok" record is emitted (and the row
+    // skipped) rather than aborting the whole sweep, so trajectory runs
+    // under a budget still produce comparable JSON for the sizes that
+    // finished; bench_compare.py drops the non-ok entries.
+    std::string Outcome = !RI.Outcome.ok()   ? RI.Outcome.str()
+                          : !RC.Outcome.ok() ? RC.Outcome.str()
+                          : !BF.Outcome.ok() ? BF.Outcome.str()
+                                             : "ok";
     if (!RI.Converged || !RC.Converged || !BF.Converged) {
-      std::printf("divergence at k=%u!\n", K);
-      return 1;
+      std::printf("divergence at k=%u (%s)!\n", K, Outcome.c_str());
+      J.begin("fig14")
+          .field("network", "Fat" + std::to_string(K))
+          .field("outcome", Outcome == "ok" ? "not-converged" : Outcome);
+      continue;
     }
     T.row({"Fat" + std::to_string(K), std::to_string(All->numNodes()),
            std::to_string(Leaves.size()), sec(NvMs), sec(NativeMs),
@@ -90,6 +101,7 @@ int main(int argc, char **argv) {
     uint64_t Lookups = CtxC.Mgr.cacheHits() + CtxC.Mgr.cacheMisses();
     J.begin("fig14")
         .field("network", "Fat" + std::to_string(K))
+        .field("outcome", "ok")
         .field("nodes", static_cast<uint64_t>(All->numNodes()))
         .field("prefixes", static_cast<uint64_t>(Leaves.size()))
         .field("threads", A.Threads)

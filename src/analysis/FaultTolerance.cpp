@@ -6,7 +6,6 @@
 #include "core/Printer.h"
 #include "core/TypeChecker.h"
 #include "eval/Compile.h"
-#include "support/Fatal.h"
 #include "support/Timer.h"
 #include "transform/Transforms.h"
 
@@ -306,10 +305,19 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
                                   NvContext *ReuseCtx) {
   FtRunResult Out;
   Stopwatch W;
+  // One governor spans the whole analysis: the step budget counts the
+  // meta-simulation's pops, and a deadline/cancellation also covers the
+  // transform and the assert-check phases. The simulator is handed an
+  // unlimited budget of its own so the run is governed exactly once.
+  Governor::Scope Guard(Opts.Budget);
+  try {
   auto Meta = makeFaultTolerantProgram(P, Opts, Diags);
   Out.TransformMs = W.elapsedMs();
-  if (!Meta)
+  if (!Meta) {
+    Out.Outcome = {RunStatus::EvalError, "fault-tolerance transform failed",
+                   ""};
     return Out;
+  }
 
   // Reuse mode collects the PREVIOUS run's garbage down to the caller's
   // pinned baseline now, at the start — so the previous FtRunResult's
@@ -331,10 +339,11 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
     else
       Eval = std::make_unique<InterpProgramEvaluator>(Ctx, *Meta);
     SimOptions SO;
-    SO.MaxSteps = Opts.MaxSteps;
+    SO.Budget = RunBudget{}; // governed by this run's outer scope instead
     SimResult R = simulate(*Meta, *Eval, SO);
     Out.SimulateMs = W.elapsedMs();
     Out.Converged = R.Converged;
+    Out.Outcome = R.Outcome;
     Out.Stats = R.Stats;
     Out.CacheHits = Ctx.Mgr.cacheHits() - Hits0;
     Out.CacheMisses = Ctx.Mgr.cacheMisses() - Misses0;
@@ -354,4 +363,12 @@ FtRunResult nv::runFaultTolerance(const Program &P, const FtOptions &Opts,
   if (OwnCtx)
     Out.Check.RetainedContexts.push_back(std::move(OwnCtx));
   return Out;
+  } catch (const EngineError &E) {
+    // A trip outside the simulator's own catch (transform, evaluator
+    // construction, or the assert-check phase). The phases that completed
+    // keep their timings/stats; Converged reflects how far we got.
+    Out.Outcome = E.outcome();
+    Diags.error({}, "fault-tolerance analysis stopped: " + Out.Outcome.str());
+    return Out;
+  }
 }

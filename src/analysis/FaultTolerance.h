@@ -50,12 +50,15 @@ struct FtOptions {
   /// NV_THREADS / hardware concurrency). The meta-simulation itself is one
   /// fixpoint and stays single-threaded.
   unsigned Threads = 1;
-  /// Pop budget for the meta-simulation. Non-monotone policies (e.g. BGP
-  /// community filters) can oscillate under some failure scenarios, and an
-  /// oscillating meta-sim grows fresh MTBDD leaves every round — bound it
-  /// and report Converged = false instead of diverging. The default keeps
-  /// the simulator's own (effectively unbounded) budget.
-  uint64_t MaxSteps = 100'000'000;
+  /// Resource budget for the whole analysis (transform, meta-simulation,
+  /// assert check). Budget.MaxSteps bounds the meta-simulation's pops:
+  /// non-monotone policies (e.g. BGP community filters) can oscillate
+  /// under some failure scenarios, and an oscillating meta-sim grows
+  /// fresh MTBDD leaves every round — bound it and report Converged =
+  /// false instead of diverging. Subsumes the old MaxSteps field; a
+  /// deadline, MTBDD node budget, heap watermark, or shared CancelToken
+  /// compose the same way.
+  RunBudget Budget{/*DeadlineMs=*/0, /*MaxSteps=*/100'000'000};
 };
 
 /// Builds the fault-tolerant meta-program: the input's init/trans/merge
@@ -91,6 +94,13 @@ struct FtViolation {
 
 struct FtCheckResult {
   uint64_t ScenariosChecked = 0;
+  /// Scenarios whose run ended early (budget trip, cancellation, injected
+  /// fault, evaluation error) in the per-scenario baselines. A skipped
+  /// scenario contributes no violations; the first non-ok outcome in
+  /// scenario order is recorded in Outcome, so the report is deterministic
+  /// for any thread count.
+  uint64_t ScenariosSkipped = 0;
+  RunOutcome Outcome;
   std::vector<FtViolation> Violations;
   /// Keeps evaluation contexts alive so Violation::Route pointers interned
   /// in them stay valid: per-worker arenas for the parallel naive baseline,
@@ -132,6 +142,9 @@ struct FtRunResult {
   double TransformMs = 0, SimulateMs = 0, CheckMs = 0;
   /// MTBDD operation-cache statistics of the meta-simulation's manager.
   uint64_t CacheHits = 0, CacheMisses = 0;
+  /// How the run ended: Ok, a budget/cancellation/fault trip (Converged
+  /// false, phases completed so far are reported), or an evaluation error.
+  RunOutcome Outcome;
 };
 FtRunResult runFaultTolerance(const Program &P, const FtOptions &Opts,
                               bool UseCompiledEvaluator,

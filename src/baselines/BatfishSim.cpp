@@ -19,6 +19,7 @@ namespace {
 /// aggregation order (and thus the result) is identical for any pool size.
 struct PerPrefix {
   bool Converged = false;
+  RunOutcome Outcome;
   uint64_t Pops = 0;
   uint64_t ValuesAllocated = 0;
   std::vector<int64_t> Row;
@@ -26,20 +27,33 @@ struct PerPrefix {
 
 void runOnePrefix(const Program &Prog, uint32_t Dest,
                   const std::function<int64_t(const Value *)> &Extract,
-                  PerPrefix &Out) {
-  // Fresh context per prefix: no value sharing across destinations.
-  NvContext Ctx(Prog.numNodes());
-  InterpProgramEvaluator Eval(Ctx, Prog, {{"dest", Ctx.nodeV(Dest)}});
-  SimOptions Opts;
-  Opts.IncrementalMerge = false; // full re-merge, Batfish-style
-  SimResult Sim = simulate(Prog, Eval, Opts);
-  Out.Converged = Sim.Converged;
-  Out.Pops = Sim.Stats.Pops;
-  Out.ValuesAllocated = Ctx.Arena.size();
-  if (Extract) {
-    Out.Row.reserve(Sim.Labels.size());
-    for (const Value *L : Sim.Labels)
-      Out.Row.push_back(Extract(L));
+                  const RunBudget &JobBudget, PerPrefix &Out) {
+  // Per-prefix governance on the thread that runs the prefix: a trip
+  // skips exactly this prefix and leaves siblings bit-identical to an
+  // ungoverned run (per-prefix state is fully isolated anyway).
+  Governor::Scope Guard(JobBudget);
+  try {
+    // Fresh context per prefix: no value sharing across destinations.
+    NvContext Ctx(Prog.numNodes());
+    InterpProgramEvaluator Eval(Ctx, Prog, {{"dest", Ctx.nodeV(Dest)}});
+    SimOptions Opts;
+    Opts.IncrementalMerge = false; // full re-merge, Batfish-style
+    SimResult Sim = simulate(Prog, Eval, Opts);
+    Out.Converged = Sim.Converged;
+    Out.Outcome = Sim.Outcome;
+    Out.Pops = Sim.Stats.Pops;
+    Out.ValuesAllocated = Ctx.Arena.size();
+    if (Extract) {
+      Out.Row.reserve(Sim.Labels.size());
+      for (const Value *L : Sim.Labels)
+        Out.Row.push_back(L ? Extract(L) : 0);
+    }
+  } catch (const EngineError &E) {
+    // Evaluator construction or assert/extract evaluation tripped outside
+    // the simulator's own catch.
+    Out.Converged = false;
+    Out.Outcome = E.outcome();
+    Out.Row.clear();
   }
 }
 
@@ -47,12 +61,13 @@ void runOnePrefix(const Program &Prog, uint32_t Dest,
 
 BatfishResult nv::batfishAllPrefixes(
     const Program &ParamProgram, const std::vector<uint32_t> &Destinations,
-    const std::function<int64_t(const Value *)> &Extract, ThreadPool *Pool) {
+    const std::function<int64_t(const Value *)> &Extract, ThreadPool *Pool,
+    const RunBudget &JobBudget) {
   std::vector<PerPrefix> Per(Destinations.size());
 
   if (!Pool || Pool->numThreads() <= 1 || Destinations.size() <= 1) {
     for (size_t I = 0; I < Destinations.size(); ++I)
-      runOnePrefix(ParamProgram, Destinations[I], Extract, Per[I]);
+      runOnePrefix(ParamProgram, Destinations[I], Extract, JobBudget, Per[I]);
   } else {
     // One persistent worker per pool thread: each re-parses the program
     // ONCE (no AST node, whose free-variable cache is lazily filled, is
@@ -73,7 +88,7 @@ BatfishResult nv::batfishAllPrefixes(
                    Diags.str());
       for (size_t I = NextDest.fetch_add(1); I < Destinations.size();
            I = NextDest.fetch_add(1))
-        runOnePrefix(*Local, Destinations[I], Extract, Per[I]);
+        runOnePrefix(*Local, Destinations[I], Extract, JobBudget, Per[I]);
     });
   }
 
@@ -81,6 +96,11 @@ BatfishResult nv::batfishAllPrefixes(
   for (PerPrefix &P : Per) {
     R.Converged &= P.Converged;
     ++R.PrefixesSimulated;
+    if (!P.Outcome.ok()) {
+      ++R.PrefixesSkipped;
+      if (R.Outcome.ok())
+        R.Outcome = P.Outcome; // first in destination order: deterministic
+    }
     R.TotalPops += P.Pops;
     R.TotalValuesAllocated += P.ValuesAllocated;
     if (Extract)

@@ -16,6 +16,7 @@
 #include "core/Ast.h"
 #include "eval/Value.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 #include "support/ThreadPool.h"
 
 #include <cstdint>
@@ -27,6 +28,12 @@ namespace nv {
 struct BatfishResult {
   bool Converged = true;
   uint64_t PrefixesSimulated = 0;
+  /// Prefixes whose governed run ended early (budget trip, cancellation,
+  /// injected fault, evaluation error); skipped prefixes contribute empty
+  /// Labels rows and clear Converged. Outcome records the first non-ok
+  /// per-prefix outcome in destination order.
+  uint64_t PrefixesSkipped = 0;
+  RunOutcome Outcome;
   uint64_t TotalPops = 0;
   /// Memory proxy: total interned values allocated across per-prefix runs
   /// (no sharing between prefixes, mirroring per-prefix RIB duplication).
@@ -50,10 +57,13 @@ struct BatfishResult {
 /// isolated exactly as in the serial run, and the per-destination results
 /// are aggregated in destination order, so output is identical for any
 /// pool size.
+/// \p JobBudget (optional) governs each per-prefix run in its own scope
+/// (on the worker thread that runs it): one prefix exceeding the budget
+/// is skipped and reported, siblings are unaffected.
 BatfishResult batfishAllPrefixes(
     const Program &ParamProgram, const std::vector<uint32_t> &Destinations,
     const std::function<int64_t(const Value *)> &Extract = nullptr,
-    ThreadPool *Pool = nullptr);
+    ThreadPool *Pool = nullptr, const RunBudget &JobBudget = {});
 
 } // namespace nv
 

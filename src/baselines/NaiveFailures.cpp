@@ -20,20 +20,46 @@ SimResult nv::simulateScenario(const Program &P, ProtocolEvaluator &BaseEval,
 namespace {
 
 /// Simulates one scenario and appends its assertion violations to \p Out.
-/// Returns false when the scenario's fixpoint did not converge.
-bool checkOneScenario(const Program &P, ProtocolEvaluator &BaseEval,
-                      const FtScenario &S, const Value *DropValue,
-                      std::vector<FtViolation> &Out) {
+/// Returns the scenario's outcome: Ok, or why the fixpoint/assert run
+/// ended early (the simulator reports trips through SimResult::Outcome;
+/// assert evaluation may throw EngineError, handled by the callers'
+/// per-scenario catch).
+RunOutcome checkOneScenario(const Program &P, ProtocolEvaluator &BaseEval,
+                            const FtScenario &S, const Value *DropValue,
+                            std::vector<FtViolation> &Out) {
   SimResult Sim = simulateScenario(P, BaseEval, S, DropValue);
   if (!Sim.Converged)
-    return false;
+    return Sim.Outcome;
   for (uint32_t U = 0; U < Sim.Labels.size(); ++U) {
     if (S.Node && *S.Node == U)
       continue;
     if (!BaseEval.assertAt(U, Sim.Labels[U]))
       Out.push_back({S, U, Sim.Labels[U]});
   }
-  return true;
+  return {};
+}
+
+/// Runs one scenario under its own governed scope: the per-scenario
+/// budget confines a trip to this scenario (and this worker, in the
+/// sharded path) — siblings are untouched. On a non-Ok outcome the
+/// scenario's partial violations are discarded so skipped scenarios
+/// contribute nothing, keeping results deterministic.
+RunOutcome runOneScenarioGoverned(const Program &P,
+                                  ProtocolEvaluator &BaseEval,
+                                  const FtScenario &S, const Value *DropValue,
+                                  const RunBudget &Budget,
+                                  std::vector<FtViolation> &Out) {
+  size_t From = Out.size();
+  Governor::Scope Guard(Budget);
+  RunOutcome O;
+  try {
+    O = checkOneScenario(P, BaseEval, S, DropValue, Out);
+  } catch (const EngineError &E) {
+    O = E.outcome();
+  }
+  if (!O.ok())
+    Out.resize(From);
+  return O;
 }
 
 /// Pins the routes of violations [From, Out.size()) so they outlive the
@@ -60,7 +86,13 @@ FtCheckResult nv::naiveFaultTolerance(const Program &P,
   for (const FtScenario &S : Scenarios) {
     ++R.ScenariosChecked;
     size_t From = R.Violations.size();
-    checkOneScenario(P, BaseEval, S, DropValue, R.Violations);
+    RunOutcome O = runOneScenarioGoverned(P, BaseEval, S, DropValue,
+                                          Opts.Budget, R.Violations);
+    if (!O.ok()) {
+      ++R.ScenariosSkipped;
+      if (R.Outcome.ok())
+        R.Outcome = O;
+    }
     pinNewViolations(Ctx, R.Violations, From);
     // Collect the scenario's fixpoint garbage back down to the pinned
     // baseline (evaluator globals + partials, drop value, violations).
@@ -94,6 +126,7 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   // any dynamic interleaving (route pointers live in the per-worker arenas
   // retained by the result).
   std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
+  std::vector<RunOutcome> PerOutcome(Scenarios.size());
   std::vector<std::shared_ptr<NvContext>> Ctxs(Workers);
   std::atomic<size_t> NextScenario{0};
 
@@ -110,7 +143,13 @@ FtCheckResult nv::naiveFaultToleranceParallel(
     Ctx->pinValue(Drop);
     for (size_t I = NextScenario.fetch_add(1); I < Scenarios.size();
          I = NextScenario.fetch_add(1)) {
-      checkOneScenario(*Local, BaseEval, Scenarios[I], Drop, PerScenario[I]);
+      // Each scenario is governed in its own scope on this worker thread
+      // (the thread-local governor chain does not cross the pool), so a
+      // budget trip or injected fault skips exactly this scenario;
+      // sibling scenarios on this and other workers proceed and their
+      // results are bit-identical to an ungoverned run.
+      PerOutcome[I] = runOneScenarioGoverned(*Local, BaseEval, Scenarios[I],
+                                             Drop, Opts.Budget, PerScenario[I]);
       pinNewViolations(*Ctx, PerScenario[I], 0);
       Ctx->resetBetweenRuns();
     }
@@ -118,8 +157,15 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   });
 
   R.ScenariosChecked = Scenarios.size();
-  for (auto &Part : PerScenario)
-    R.Violations.insert(R.Violations.end(), Part.begin(), Part.end());
+  for (size_t I = 0; I < Scenarios.size(); ++I) {
+    if (!PerOutcome[I].ok()) {
+      ++R.ScenariosSkipped;
+      if (R.Outcome.ok())
+        R.Outcome = PerOutcome[I]; // first in scenario order: deterministic
+    }
+    R.Violations.insert(R.Violations.end(), PerScenario[I].begin(),
+                        PerScenario[I].end());
+  }
   for (auto &C : Ctxs)
     R.RetainedContexts.push_back(std::move(C));
   return R;

@@ -11,7 +11,7 @@
 #define NV_BDD_BITLAYOUT_H
 
 #include "core/Type.h"
-#include "support/Fatal.h"
+#include "support/Governor.h"
 
 namespace nv {
 
@@ -27,8 +27,9 @@ public:
   uint32_t numNodes() const { return NumNodes; }
   unsigned nodeBits() const { return NodeBits; }
 
-  /// Bit width of a finite type. Fatal on non-finite types (callers check
-  /// isFiniteType first; map keys are validated by the type checker).
+  /// Bit width of a finite type. Raises a recoverable EngineError on
+  /// non-finite types (callers check isFiniteType first; map keys are
+  /// validated by the type checker).
   unsigned widthOf(const TypePtr &RawT) const {
     TypePtr T = resolve(RawT);
     switch (T->Kind) {
@@ -55,7 +56,7 @@ public:
     case TypeKind::Var:
       break;
     }
-    fatalError("type " + typeToString(T) + " has no bit encoding");
+    evalError("type " + typeToString(T) + " has no bit encoding");
   }
 
 private:

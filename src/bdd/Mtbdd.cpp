@@ -3,8 +3,6 @@
 #include <cassert>
 #include "bdd/Mtbdd.h"
 
-#include "support/Fatal.h"
-
 #include <algorithm>
 #include <cstdlib>
 #include <unordered_set>
@@ -36,6 +34,9 @@ BddManager::BddManager(size_t OpCacheSlots) {
 //===----------------------------------------------------------------------===//
 
 void BddManager::growUnique() {
+  // Safe point before the table is touched: a throw here leaves the old
+  // table intact and no node allocated (callers grow before inserting).
+  pollSafePoint(GovSite::TableGrow);
   std::vector<Ref> Old = std::move(UniqueSlots);
   UniqueSlots.assign(Old.size() * 2, InvalidRef);
   UniqueMask = UniqueSlots.size() - 1;
@@ -51,6 +52,7 @@ void BddManager::growUnique() {
 }
 
 void BddManager::growLeaf() {
+  pollSafePoint(GovSite::TableGrow);
   std::vector<Ref> Old = std::move(LeafSlots);
   LeafSlots.assign(Old.size() * 2, InvalidRef);
   LeafMask = LeafSlots.size() - 1;
@@ -481,8 +483,8 @@ void BddManager::forEachKey(
   std::vector<bool> Bits(NumBits, false);
   uint64_t Total = NumBits >= 64 ? 0 : (uint64_t(1) << NumBits);
   if (NumBits >= 26)
-    fatalError("forEachKey over " + std::to_string(NumBits) +
-               " bits is too large to enumerate");
+    evalError("forEachKey over " + std::to_string(NumBits) +
+              " bits is too large to enumerate");
   for (uint64_t K = 0; K < Total; ++K) {
     for (unsigned I = 0; I < NumBits; ++I)
       Bits[I] = (K >> (NumBits - 1 - I)) & 1; // bit 0 is the MSB

@@ -58,6 +58,8 @@
 #ifndef NV_BDD_MTBDD_H
 #define NV_BDD_MTBDD_H
 
+#include "support/Governor.h"
+
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -414,10 +416,21 @@ private:
       OpCache[opHash(Tag, A, B) & OpCacheMask] = OpEntry{Tag, A, B, Result};
   }
 
+  /// Safe point on the operation-cache miss path (and at table growth):
+  /// checks the governed node budget / heap watermark / deadline /
+  /// cancellation and fault injection. Sits before any recursion or table
+  /// mutation, so a throw leaves the manager fully consistent. Ungoverned
+  /// runs pay one flag test.
+  void pollSafePoint(GovSite Site) const {
+    if (Governor::active())
+      Governor::pollSafePoint(Site, Nodes.size(), memoryBytes());
+  }
+
   template <typename UnaryFn> Ref map1Rec(Ref A, UnaryFn &Fn, uint64_t Tag) {
     Ref Cached;
     if (cacheLookup(Tag, A, LeafVar, Cached))
       return Cached;
+    pollSafePoint(GovSite::ApplyCacheMiss);
     Ref Result;
     if (isLeaf(A)) {
       Result = leaf(Fn(leafPayload(A)));
@@ -436,6 +449,7 @@ private:
     Ref Cached;
     if (cacheLookup(Tag, A, B, Cached))
       return Cached;
+    pollSafePoint(GovSite::ApplyCacheMiss);
     Ref Result;
     if (isLeaf(A) && isLeaf(B)) {
       Result = leaf(Fn(leafPayload(A), leafPayload(B)));

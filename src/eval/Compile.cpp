@@ -3,6 +3,7 @@
 #include "eval/Compile.h"
 
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <cassert>
 
@@ -137,7 +138,7 @@ CExpr Compiler::compile(const ExprPtr &E) {
   case ExprKind::Var: {
     int Slot = slotOf(E->Name);
     if (Slot < 0)
-      fatalError("compile: unbound variable " + E->Name);
+      evalError("compile: unbound variable " + E->Name);
     return [Slot](Frame &F) { return F[Slot]; };
   }
   case ExprKind::Let: {
@@ -161,7 +162,7 @@ CExpr Compiler::compile(const ExprPtr &E) {
     for (const std::string &Name : *FreeNames) {
       int Slot = slotOf(Name);
       if (Slot < 0)
-        fatalError("compile: unbound free variable " + Name);
+        evalError("compile: unbound free variable " + Name);
       FreeSlots.push_back(Slot);
     }
     std::vector<std::string> Saved = std::move(Scope);
@@ -221,7 +222,7 @@ CExpr Compiler::compile(const ExprPtr &E) {
         }
         F.resize(Mark);
       }
-      fatalError("inexhaustive match at runtime (compiled)");
+      evalError("inexhaustive match at runtime (compiled)");
     };
   }
   case ExprKind::Oper:
@@ -322,8 +323,8 @@ CExpr Compiler::compileOper(const ExprPtr &E) {
     TypePtr DictTy = resolve(E->Ty);
     assert(DictTy->Kind == TypeKind::Dict && "createDict type");
     if (!isFiniteType(DictTy->Elems[0]))
-      fatalError("createDict key type " + typeToString(DictTy->Elems[0]) +
-                 " is not finite; annotate the map's key type");
+      evalError("createDict key type " + typeToString(DictTy->Elems[0]) +
+                " is not finite; annotate the map's key type");
     TypePtr KeyTy = DictTy->Elems[0];
     return [C, A, KeyTy](Frame &F) { return C->mapCreate(KeyTy, A[0](F)); };
   }
@@ -403,7 +404,7 @@ CompiledProgramEvaluator::CompiledProgramEvaluator(NvContext &Ctx,
   MergeClo = Find("merge");
   AssertClo = Find("assert");
   if (!InitClo || !TransClo || !MergeClo)
-    fatalError("program is missing init/trans/merge declarations");
+    evalError("program is missing init/trans/merge declarations");
   // Root the globals frame: compiled closures capture interned constants
   // only through these slots (scalar literals aside), so pinning the frame
   // keeps every diagram a scenario can reach alive across collections.

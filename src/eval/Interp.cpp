@@ -5,6 +5,7 @@
 
 #include "core/Printer.h"
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 using namespace nv;
 
@@ -74,7 +75,7 @@ bool Interp::matchPattern(const Pattern *P, const Value *V, const TypePtr &RawTy
     }
     assert(V->K == Value::Kind::Tuple && "tuple pattern on non-tuple");
     if (P->Elems.size() != V->Elems.size())
-      fatalError("tuple pattern arity mismatch");
+      evalError("tuple pattern arity mismatch");
     for (size_t I = 0; I < P->Elems.size(); ++I)
       if (!matchPattern(P->Elems[I].get(), V->Elems[I], Ty->Elems[I], Env))
         return false;
@@ -105,7 +106,7 @@ const Value *Interp::eval(const Expr *E, const EnvPtr &Env) {
   case ExprKind::Var: {
     const Value *V = envLookup(Env.get(), E->Name);
     if (!V)
-      fatalError("unbound variable at runtime: " + E->Name);
+      evalError("unbound variable at runtime: " + E->Name);
     return V;
   }
   case ExprKind::Let: {
@@ -131,8 +132,8 @@ const Value *Interp::eval(const Expr *E, const EnvPtr &Env) {
       if (matchPattern(C.Pat.get(), Scrut, ScrutTy, CaseEnv))
         return eval(C.Body.get(), CaseEnv);
     }
-    fatalError("inexhaustive match on " + Scrut->str() + " in " +
-               printExpr(std::make_shared<Expr>(*E)));
+    evalError("inexhaustive match on " + Scrut->str() + " in " +
+              printExpr(std::make_shared<Expr>(*E)));
   }
   case ExprKind::Oper:
     return evalOper(E, Env);
@@ -231,8 +232,8 @@ const Value *Interp::evalOper(const Expr *E, const EnvPtr &Env) {
     TypePtr DictTy = resolve(E->Ty);
     assert(DictTy->Kind == TypeKind::Dict && "createDict type");
     if (!isFiniteType(DictTy->Elems[0]))
-      fatalError("createDict key type " + typeToString(DictTy->Elems[0]) +
-                 " is not finite; annotate the map's key type");
+      evalError("createDict key type " + typeToString(DictTy->Elems[0]) +
+                " is not finite; annotate the map's key type");
     return Ctx.mapCreate(DictTy->Elems[0], eval(E->Args[0].get(), Env));
   }
   case Op::MGet:

@@ -4,6 +4,7 @@
 #include "eval/NvContext.h"
 
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <algorithm>
 #include <set>
@@ -187,7 +188,7 @@ const Value *NvContext::valueOfLiteral(const Literal &L) {
 
 const Value *NvContext::applyClosure(const Value *Fn, const Value *Arg) {
   if (Fn->K != Value::Kind::Closure)
-    fatalError("applied a non-function value: " + Fn->str());
+    evalError("applied a non-function value: " + Fn->str());
   return Fn->Closure->call(Arg);
 }
 
@@ -242,7 +243,7 @@ void NvContext::encodeValue(const Value *V, const TypePtr &RawTy,
   case TypeKind::Var:
     break;
   }
-  fatalError("cannot bit-encode a value of type " + typeToString(Ty));
+  evalError("cannot bit-encode a value of type " + typeToString(Ty));
 }
 
 const Value *NvContext::decodeValue(const std::vector<bool> &Bits, size_t &Pos,
@@ -292,7 +293,7 @@ const Value *NvContext::decodeValue(const std::vector<bool> &Bits, size_t &Pos,
   case TypeKind::Var:
     break;
   }
-  fatalError("cannot decode a value of type " + typeToString(Ty));
+  evalError("cannot decode a value of type " + typeToString(Ty));
 }
 
 const Value *NvContext::defaultValue(const TypePtr &RawTy) {
@@ -321,15 +322,15 @@ const Value *NvContext::defaultValue(const TypePtr &RawTy) {
   case TypeKind::Var:
     break;
   }
-  fatalError("type " + typeToString(Ty) + " has no default value");
+  evalError("type " + typeToString(Ty) + " has no default value");
 }
 
 std::vector<const Value *> NvContext::enumerateType(const TypePtr &RawTy) {
   TypePtr Ty = resolve(RawTy);
   unsigned W = Layout.widthOf(Ty);
   if (W > 22)
-    fatalError("enumerateType over " + std::to_string(W) +
-               " bits is too large");
+    evalError("enumerateType over " + std::to_string(W) +
+              " bits is too large");
   std::vector<const Value *> Out;
   std::vector<bool> Bits(W, false);
   for (uint64_t K = 0; K < (uint64_t(1) << W); ++K) {

@@ -2,7 +2,7 @@
 
 #include "eval/ProgramEvaluator.h"
 
-#include "support/Fatal.h"
+#include "support/Governor.h"
 
 using namespace nv;
 
@@ -45,7 +45,7 @@ InterpProgramEvaluator::InterpProgramEvaluator(NvContext &Ctx,
   MergeClo = envLookup(Globals.get(), "merge");
   AssertClo = envLookup(Globals.get(), "assert");
   if (!InitClo || !TransClo || !MergeClo)
-    fatalError("program is missing init/trans/merge declarations");
+    evalError("program is missing init/trans/merge declarations");
   // Root the whole global environment: anything a later scenario can
   // reach through init/trans/merge/assert must survive collections.
   for (const EnvNode *N = Globals.get(); N; N = N->Parent.get())

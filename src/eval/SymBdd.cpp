@@ -14,6 +14,7 @@
 #include "core/Printer.h"
 #include "eval/NvContext.h"
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 using namespace nv;
 
@@ -46,7 +47,7 @@ public:
   Ref run(const ClosureData *Clo, const TypePtr &KeyTy) {
     const Expr *Fn = Clo->sourceExpr();
     if (!Fn || Fn->Kind != ExprKind::Fun)
-      fatalError("mapIte predicate has no NV source to evaluate symbolically");
+      evalError("mapIte predicate has no NV source to evaluate symbolically");
     unsigned W = Ctx.Layout.widthOf(KeyTy);
     SymVal Key;
     Key.Ty = resolve(KeyTy);
@@ -56,7 +57,7 @@ public:
     Frame.emplace_back(Fn->Name, std::move(Key));
     SymVal R = eval(Fn->Args[0].get(), Frame, Clo);
     if (R.Bits.size() != 1)
-      fatalError("mapIte predicate did not evaluate to a boolean");
+      evalError("mapIte predicate did not evaluate to a boolean");
     return R.Bits[0];
   }
 
@@ -107,7 +108,7 @@ private:
 
   Ref eqBits(const SymVal &A, const SymVal &B) {
     if (A.Bits.size() != B.Bits.size())
-      fatalError("symbolic equality over mismatched widths");
+      evalError("symbolic equality over mismatched widths");
     Ref R = Mgr.trueBdd();
     for (size_t I = 0; I < A.Bits.size(); ++I)
       R = Mgr.bddAnd(R, Mgr.bddXnor(A.Bits[I], B.Bits[I]));
@@ -144,9 +145,9 @@ private:
 
   SymVal mergeIte(Ref Cond, const SymVal &T, const SymVal &E) {
     if (T.isFun() || E.isFun())
-      fatalError("cannot merge function values under a symbolic condition");
+      evalError("cannot merge function values under a symbolic condition");
     if (T.Bits.size() != E.Bits.size())
-      fatalError("symbolic ite over mismatched widths");
+      evalError("symbolic ite over mismatched widths");
     SymVal Out;
     Out.Ty = T.Ty;
     Out.Bits.resize(T.Bits.size());
@@ -224,7 +225,7 @@ private:
         return *S;
       const Value *V = Free ? Free->lookupFree(E->Name) : nullptr;
       if (!V)
-        fatalError("unbound variable in symbolic evaluation: " + E->Name);
+        evalError("unbound variable in symbolic evaluation: " + E->Name);
       return lift(V, E->Ty);
     }
     case ExprKind::Let: {
@@ -278,7 +279,7 @@ private:
           break;
       }
       if (Bodies.empty())
-        fatalError("symbolic match with no reachable cases");
+        evalError("symbolic match with no reachable cases");
       SymVal R = Bodies.back();
       for (size_t I = Bodies.size() - 1; I-- > 0;)
         R = mergeIte(Conds[I], Bodies[I], R);
@@ -348,7 +349,7 @@ private:
       const ClosureData *Clo = FnV.Fn->Closure.get();
       const Expr *Fn = Clo->sourceExpr();
       if (!Fn || Fn->Kind != ExprKind::Fun)
-        fatalError("cannot symbolically apply an opaque closure");
+        evalError("cannot symbolically apply an opaque closure");
       Locals Frame;
       Frame.emplace_back(Fn->Name, std::move(Arg));
       return eval(Fn->Args[0].get(), Frame, Clo);
@@ -358,14 +359,14 @@ private:
       Frame.emplace_back(FnV.FnExpr->Name, std::move(Arg));
       return eval(FnV.FnExpr->Args[0].get(), Frame, FnV.FnFree);
     }
-    fatalError("symbolic application of a non-function");
+    evalError("symbolic application of a non-function");
   }
 
   SymVal evalOper(const Expr *E, Locals &Frame, const ClosureData *Free) {
     Op O = E->OpCode;
     if (isMapOp(O))
-      fatalError("map operation '" + opToString(O) +
-                 "' cannot appear inside a mapIte key predicate");
+      evalError("map operation '" + opToString(O) +
+                "' cannot appear inside a mapIte key predicate");
     switch (O) {
     case Op::And:
       return boolSym(Mgr.bddAnd(eval(E->Args[0].get(), Frame, Free).Bits[0],

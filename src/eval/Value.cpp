@@ -3,6 +3,7 @@
 #include "eval/Value.h"
 
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <cassert>
 
@@ -120,6 +121,10 @@ const Value *ValueArena::intern(Value &&V) {
   auto It = Table.find(&V);
   if (It != Table.end())
     return *It;
+  // Safe point before the arena grows: hits stay free, and a throw here
+  // leaves the arena and table untouched.
+  if (Governor::active())
+    Governor::pollSafePoint(GovSite::EvalAlloc);
   Storage.push_back(std::move(V));
   const Value *P = &Storage.back();
   Table.insert(P);

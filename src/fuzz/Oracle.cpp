@@ -22,47 +22,82 @@ std::string OracleVerdict::divergingEngines() const {
 
 namespace {
 
+/// The one canonical fingerprint for every resource-limit ending. A budget
+/// trip, deadline, cancellation, or injected fault is a scheduling
+/// accident, not a semantic result — different legs can trip at different
+/// points (a process-global fault countdown fires in exactly one leg), so
+/// these runs are excluded from cross-engine comparison wholesale rather
+/// than compared against each other.
+constexpr const char *SkipFingerprint = "skip:resource-limit";
+
+/// Fingerprint of a run that ended early. Resource limits collapse to the
+/// canonical skip fingerprint; semantic errors keep their status name (and
+/// only the status name — detail strings may mention leg-specific state):
+/// they are deterministic, so engines must agree on them.
+std::string outcomeFingerprint(const RunOutcome &O) {
+  if (O.resourceLimit())
+    return SkipFingerprint;
+  return std::string("error:") + runStatusName(O.Status);
+}
+
+bool isSkipFingerprint(const std::string &FP) {
+  return FP.rfind("skip:", 0) == 0;
+}
+
 /// One simulator run under a chosen evaluator and GC watermark, reduced
 /// to a canonical fingerprint: convergence, every node's label (printed
 /// from the canonical diagram), and the assert verdict.
 std::string simFingerprint(const Program &P, bool UseCompiled,
                            size_t Watermark, const OracleOptions &Opts) {
-  NvContext Ctx(P.numNodes());
-  Ctx.Mgr.setGcWatermark(Watermark);
-  std::unique_ptr<ProtocolEvaluator> Eval;
-  if (UseCompiled)
-    Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, P);
-  else
-    Eval = std::make_unique<InterpProgramEvaluator>(Ctx, P);
-
-  SimOptions SO;
-  SO.MaxSteps = Opts.MaxSteps;
-  SimResult R = simulate(P, *Eval, SO);
-  if (!R.Converged)
-    return "conv=0";
-
-  std::string FP = "conv=1";
-  for (uint32_t U = 0; U < P.numNodes(); ++U)
-    FP += ";" + Ctx.printValue(R.Labels[U]);
-  if (Eval->hasAssert()) {
-    auto Failed = checkAsserts(*Eval, R);
-    FP += ";assert=";
-    if (Failed.empty())
-      FP += "ok";
+  try {
+    NvContext Ctx(P.numNodes());
+    Ctx.Mgr.setGcWatermark(Watermark);
+    std::unique_ptr<ProtocolEvaluator> Eval;
+    if (UseCompiled)
+      Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, P);
     else
-      for (size_t I = 0; I < Failed.size(); ++I)
-        FP += (I ? "," : "") + std::to_string(Failed[I]);
-  } else {
-    FP += ";assert=none";
+      Eval = std::make_unique<InterpProgramEvaluator>(Ctx, P);
+
+    SimOptions SO;
+    SO.Budget.MaxSteps = Opts.MaxSteps;
+    SimResult R = simulate(P, *Eval, SO);
+    if (!R.Converged)
+      return outcomeFingerprint(R.Outcome);
+
+    std::string FP = "conv=1";
+    for (uint32_t U = 0; U < P.numNodes(); ++U) {
+      FP += ';';
+      FP += Ctx.printValue(R.Labels[U]);
+    }
+    if (Eval->hasAssert()) {
+      auto Failed = checkAsserts(*Eval, R);
+      FP += ";assert=";
+      if (Failed.empty())
+        FP += "ok";
+      else
+        for (size_t I = 0; I < Failed.size(); ++I) {
+          if (I)
+            FP += ',';
+          FP += std::to_string(Failed[I]);
+        }
+    } else {
+      FP += ";assert=none";
+    }
+    return FP;
+  } catch (const EngineError &E) {
+    // Evaluator construction or assert evaluation tripped outside the
+    // simulator's own catch (e.g. an injected allocation fault).
+    return outcomeFingerprint(E.outcome());
   }
-  return FP;
 }
 
 /// Canonical fingerprint of a fault-tolerance check result: scenario
 /// count plus the sorted violation set (scenario, node, selected route).
-std::string ftFingerprint(const FtCheckResult &Check, bool Converged) {
-  if (!Converged)
-    return "conv=0";
+/// A non-Ok run outcome reduces to its outcome fingerprint instead.
+std::string ftFingerprint(const FtCheckResult &Check,
+                          const RunOutcome &Outcome) {
+  if (!Outcome.ok())
+    return outcomeFingerprint(Outcome);
   std::vector<std::string> Lines;
   for (const FtViolation &V : Check.Violations)
     Lines.push_back(V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
@@ -134,18 +169,29 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
     }
     V.Runs.push_back({L.Name, FP});
   }
-  // Copy, not reference: later push_backs reallocate V.Runs.
-  const std::string SimFP = V.Runs.front().Fingerprint;
-  for (size_t I = 1; I < V.Runs.size(); ++I)
-    if (V.Runs[I].Fingerprint != SimFP && V.Mismatch.empty())
-      V.Mismatch = std::string(V.Runs[0].Engine) + " vs " + V.Runs[I].Engine +
-                   ": " + SimFP + " != " + V.Runs[I].Fingerprint;
+  // Reference = the first non-skip sim leg; skip legs (resource trips,
+  // injected faults) are excluded from comparison entirely. Copy, not
+  // reference: later push_backs reallocate V.Runs.
+  std::string SimFP;
+  std::string SimRefEngine;
+  for (size_t I = 0; I < V.Runs.size(); ++I) {
+    const EngineRun &R = V.Runs[I];
+    if (isSkipFingerprint(R.Fingerprint))
+      continue;
+    if (SimRefEngine.empty()) {
+      SimRefEngine = R.Engine;
+      SimFP = R.Fingerprint;
+    } else if (R.Fingerprint != SimFP && V.Mismatch.empty()) {
+      V.Mismatch = SimRefEngine + " vs " + R.Engine + ": " + SimFP +
+                   " != " + R.Fingerprint;
+    }
+  }
 
   bool HasAssert = P->assertDecl() != nullptr;
 
   // -- Fault-tolerance MTBDD legs -------------------------------------------
   std::string FtFP;
-  bool RanFt = false;
+  std::string FtRefEngine;
   if (Opts.EnableFt && Inst.FtComparable && HasAssert &&
       Nodes <= Opts.FtMaxNodes && Links <= Opts.FtMaxLinks) {
     struct FtLeg {
@@ -161,41 +207,54 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
         {"ft-native-tN-wm0", true, NThreads, 0},
     };
     for (const FtLeg &L : FtLegs) {
-      FtOptions FO;
-      FO.LinkFailures = 1;
-      FO.Threads = L.Threads;
-      FO.MaxSteps = Opts.FtMaxSteps;
-      NvContext Ctx(P->numNodes());
-      Ctx.Mgr.setGcWatermark(L.Watermark);
-      FtRunResult R = runFaultTolerance(*P, FO, L.Compiled, Diags,
-                                        /*CheckAsserts=*/true, &Ctx);
-      std::string FP = ftFingerprint(R.Check, R.Converged);
+      std::string FP;
+      try {
+        FtOptions FO;
+        FO.LinkFailures = 1;
+        FO.Threads = L.Threads;
+        FO.Budget.MaxSteps = Opts.FtMaxSteps;
+        NvContext Ctx(P->numNodes());
+        Ctx.Mgr.setGcWatermark(L.Watermark);
+        FtRunResult R = runFaultTolerance(*P, FO, L.Compiled, Diags,
+                                          /*CheckAsserts=*/true, &Ctx);
+        FP = ftFingerprint(R.Check, R.Outcome);
+      } catch (const EngineError &E) {
+        FP = outcomeFingerprint(E.outcome()); // e.g. injected context-setup fault
+      }
       V.Runs.push_back({L.Name, FP});
-      if (!RanFt) {
+      if (isSkipFingerprint(FP))
+        continue;
+      if (FtRefEngine.empty()) {
+        FtRefEngine = L.Name;
         FtFP = FP;
-        RanFt = true;
       } else if (FP != FtFP && V.Mismatch.empty()) {
-        V.Mismatch = std::string(FtLegs[0].Name) + " vs " + L.Name + ": " +
-                     FtFP + " != " + FP;
+        V.Mismatch = FtRefEngine + " vs " + L.Name + ": " + FtFP + " != " + FP;
       }
     }
   }
 
   // -- Naive per-scenario enumerator ----------------------------------------
-  // Skipped when the FT legs hit their step budget (FtFP == "conv=0"): the
-  // naive enumerator has no matching budget, so comparing it against a
-  // truncated meta-sim would be a false divergence (or its own hang).
-  if (Opts.EnableNaive && RanFt && FtFP != "conv=0" &&
+  // Gated on a non-skip FT reference: when every FT leg hit a resource
+  // limit (step budget, deadline, injected fault) there is nothing
+  // trustworthy to compare the enumerator against — and on a
+  // budget-limited instance the enumerator would be the hang the budget
+  // existed to prevent.
+  if (Opts.EnableNaive && !FtRefEngine.empty() &&
       Nodes <= Opts.NaiveMaxNodes && Links <= Opts.NaiveMaxLinks) {
-    FtOptions FO;
-    FO.LinkFailures = 1;
-    NvContext Ctx(P->numNodes());
-    InterpProgramEvaluator Eval(Ctx, *P);
-    FtCheckResult NR = naiveFaultTolerance(*P, Eval, FO, Ctx.noneV());
-    std::string FP = ftFingerprint(NR, /*Converged=*/true);
+    std::string FP;
+    try {
+      FtOptions FO;
+      FO.LinkFailures = 1;
+      NvContext Ctx(P->numNodes());
+      InterpProgramEvaluator Eval(Ctx, *P);
+      FtCheckResult NR = naiveFaultTolerance(*P, Eval, FO, Ctx.noneV());
+      FP = ftFingerprint(NR, NR.Outcome);
+    } catch (const EngineError &E) {
+      FP = outcomeFingerprint(E.outcome());
+    }
     V.Runs.push_back({"naive", FP});
-    if (FP != FtFP && V.Mismatch.empty())
-      V.Mismatch = "ft-interp-t1-wm0 vs naive: " + FtFP + " != " + FP;
+    if (!isSkipFingerprint(FP) && FP != FtFP && V.Mismatch.empty())
+      V.Mismatch = FtRefEngine + " vs naive: " + FtFP + " != " + FP;
   }
 
   // -- SMT stable-state verifier --------------------------------------------
@@ -205,24 +264,32 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
     VO.TimeoutMs = Opts.SmtTimeoutMs;
     DiagnosticEngine SmtDiags;
     VerifyResult R = verifyProgram(*P, VO, SmtDiags);
-    const char *Verdict = R.Status == VerifyStatus::Verified    ? "holds"
-                          : R.Status == VerifyStatus::Falsified ? "fails"
-                          : R.Status == VerifyStatus::Unknown   ? "unknown"
-                                                                : "error";
-    V.Runs.push_back({"smt", std::string("assert=") + Verdict});
-    if (R.Status == VerifyStatus::EncodingError && V.Mismatch.empty())
-      V.Mismatch = "smt: encoding error on an SMT-comparable instance: " +
-                   SmtDiags.str();
-    // These families are strictly monotone with selective merges, so the
-    // stable state is unique and the two verdicts must coincide. Unknown
-    // (timeout) is recorded but not a divergence.
-    if (R.Status == VerifyStatus::Verified ||
-        R.Status == VerifyStatus::Falsified) {
-      bool SmtHolds = R.Status == VerifyStatus::Verified;
-      if (SmtHolds != simAssertHolds(SimFP) && V.Mismatch.empty())
-        V.Mismatch = std::string("interp-wm0 vs smt: sim assert ") +
-                     (simAssertHolds(SimFP) ? "ok" : "fail") + " != smt " +
-                     Verdict;
+    if (R.Status == VerifyStatus::ResourceExhausted) {
+      // Solver timeout / cancellation / injected fault: a skip, never a
+      // divergence (generalizes the old special-cased timeout handling).
+      V.Runs.push_back({"smt", SkipFingerprint});
+    } else {
+      const char *Verdict = R.Status == VerifyStatus::Verified    ? "holds"
+                            : R.Status == VerifyStatus::Falsified ? "fails"
+                            : R.Status == VerifyStatus::Unknown   ? "unknown"
+                                                                  : "error";
+      V.Runs.push_back({"smt", std::string("assert=") + Verdict});
+      if (R.Status == VerifyStatus::EncodingError && V.Mismatch.empty())
+        V.Mismatch = "smt: encoding error on an SMT-comparable instance: " +
+                     SmtDiags.str();
+      // These families are strictly monotone with selective merges, so the
+      // stable state is unique and the two verdicts must coincide. Unknown
+      // (genuine incompleteness) is recorded but not a divergence; the
+      // comparison also needs a non-skip sim reference to compare against.
+      if ((R.Status == VerifyStatus::Verified ||
+           R.Status == VerifyStatus::Falsified) &&
+          !SimRefEngine.empty()) {
+        bool SmtHolds = R.Status == VerifyStatus::Verified;
+        if (SmtHolds != simAssertHolds(SimFP) && V.Mismatch.empty())
+          V.Mismatch = SimRefEngine + " vs smt: sim assert " +
+                       (simAssertHolds(SimFP) ? "ok" : "fail") + " != smt " +
+                       Verdict;
+      }
     }
   }
 

@@ -51,11 +51,14 @@ struct OracleOptions {
   /// Pop budget for the FT meta-simulation legs. Well-behaved instances
   /// under the size gates converge in well under a thousand pops; a
   /// non-monotone policy oscillating under some failure scenario would
-  /// otherwise grow MTBDD leaves without bound. Hitting the budget turns
-  /// every FT leg into the same "conv=0" fingerprint (and skips the naive
-  /// comparison), which is a skip, not a divergence. Keep this small: the
-  /// watermark-1 legs collect at every safe point, so an oscillating
-  /// arena makes each further pop ever more expensive.
+  /// otherwise grow MTBDD leaves without bound. Hitting the budget — like
+  /// any other resource-limit outcome (deadline, cancellation, injected
+  /// fault) — turns the leg into the one canonical "skip:resource-limit"
+  /// fingerprint, which is excluded from cross-engine comparison (and
+  /// gates the naive leg), so a truncated run is a skip, never a
+  /// divergence. Keep this small: the watermark-1 legs collect at every
+  /// safe point, so an oscillating arena makes each further pop ever more
+  /// expensive.
   uint64_t FtMaxSteps = 2'000;
 
   /// Hidden testing hook (--inject-bug-for-testing / NV_FUZZ_INJECT_BUG):

@@ -2,8 +2,6 @@
 
 #include "sim/Simulator.h"
 
-#include "support/Fatal.h"
-
 #include <algorithm>
 
 using namespace nv;
@@ -42,8 +40,14 @@ private:
 SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
                        const SimOptions &Opts) {
   uint32_t N = P.numNodes();
-  if (N == 0)
-    fatalError("cannot simulate a program without a topology");
+  if (N == 0) {
+    SimResult R;
+    R.Outcome = {RunStatus::EvalError,
+                 "cannot simulate a program without a topology", ""};
+    if (Opts.Diags)
+      Opts.Diags->error({}, R.Outcome.Detail);
+    return R;
+  }
 
   // received(v): routes most recently heard from each in-neighbor, plus
   // the node's own initial route stored under its own id (Algorithm 1,
@@ -113,6 +117,11 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
   NvContext &Ctx = Eval.ctx();
   SimRoots Roots(Ctx, R.Labels, Received);
 
+  // Enforce this run's budget for the duration of the fixpoint; an outer
+  // governor (a CLI deadline, a sharded job's budget) stays on the chain
+  // and is polled at the same safe points.
+  Governor::Scope Guard(Opts.Budget);
+  try {
   for (uint32_t U = 0; U < N; ++U) {
     R.Labels[U] = Eval.init(U);
     Received[SlotOf(U, U)] = R.Labels[U];
@@ -120,19 +129,12 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
   }
 
   while (QCount != 0) {
-    if (++R.Stats.Pops > Opts.MaxSteps) {
-      if (Opts.Diags)
-        Opts.Diags->error(
-            SourceLoc{},
-            "simulation did not converge within " +
-                std::to_string(Opts.MaxSteps) +
-                " steps; the policy may have no stable state (paper "
-                "footnote 2) — raise SimOptions::MaxSteps if it is just "
-                "slow");
-      return R; // Converged stays false.
-    }
-
-    // Safe point: no un-rooted diagram Refs are live between pops.
+    ++R.Stats.Pops;
+    // Safe point: no un-rooted diagram Refs are live between pops. The
+    // governor counts one step per pop (the unified step budget that
+    // subsumes the old MaxSteps field) and checks deadline/cancellation;
+    // a trip lands in the catch below with the labels built so far.
+    Governor::pollSafePoint(GovSite::SimPop);
     Ctx.Mgr.maybeCollectAtSafePoint();
 
     uint32_t U = Ring[QHead];
@@ -183,6 +185,20 @@ SimResult nv::simulate(const Program &P, ProtocolEvaluator &Eval,
   }
 
   R.Converged = true;
+  } catch (const EngineError &E) {
+    // Structured degradation: Converged stays false, Labels holds the
+    // partial state (rooted by SimRoots, so it survived any GC), and the
+    // outcome says which budget tripped at which safe point.
+    R.Outcome = E.outcome();
+    if (Opts.Diags)
+      Opts.Diags->error(
+          SourceLoc{},
+          "simulation did not converge: " + R.Outcome.str() +
+              (R.Outcome.Status == RunStatus::StepBudgetExceeded
+                   ? " — the policy may have no stable state (paper "
+                     "footnote 2); raise the step budget if it is just slow"
+                   : ""));
+  }
   return R;
 }
 

@@ -21,6 +21,7 @@
 #include "core/Ast.h"
 #include "eval/ProgramEvaluator.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 
 #include <cstdint>
 #include <vector>
@@ -34,13 +35,16 @@ struct SimOptions {
   /// bench.
   bool IncrementalMerge = true;
 
-  /// Abort if the queue pops exceed this bound (the stable-routing fixpoint
-  /// is not guaranteed to terminate for non-monotone policies; see the
-  /// paper's footnote 2).
-  uint64_t MaxSteps = 100'000'000;
+  /// Resource limits for this run, enforced at safe points (worklist pop,
+  /// MTBDD operations, evaluator allocation). Budget.MaxSteps bounds the
+  /// queue pops — the stable-routing fixpoint is not guaranteed to
+  /// terminate for non-monotone policies (paper footnote 2) — and subsumes
+  /// the old ad-hoc MaxSteps field. The run stops with a structured
+  /// RunOutcome instead of spinning or aborting.
+  RunBudget Budget{/*DeadlineMs=*/0, /*MaxSteps=*/100'000'000};
 
-  /// When set, exceeding MaxSteps reports an error here (in addition to
-  /// the result's Converged = false).
+  /// When set, a tripped budget reports an error here (in addition to the
+  /// result's Outcome / Converged = false).
   DiagnosticEngine *Diags = nullptr;
 };
 
@@ -55,9 +59,16 @@ struct SimResult {
   bool Converged = false;
   std::vector<const Value *> Labels; ///< L(u) per node.
   SimStats Stats;
+  /// How the run ended. On a non-Ok outcome Converged is false and Labels
+  /// holds the partial state at the tripped safe point (entries may be
+  /// null for nodes never reached) — partial diagnostics, not garbage.
+  RunOutcome Outcome;
 };
 
-/// Runs Algorithm 1 on \p P with semantics \p Eval.
+/// Runs Algorithm 1 on \p P with semantics \p Eval. Never aborts on
+/// well-formed input: budget trips, cancellation, injected faults and
+/// user-triggerable evaluation errors all end the run with a structured
+/// Outcome.
 SimResult simulate(const Program &P, ProtocolEvaluator &Eval,
                    const SimOptions &Opts = {});
 

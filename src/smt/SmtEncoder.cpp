@@ -5,7 +5,7 @@
 #include "core/Printer.h"
 #include "core/TypeChecker.h"
 #include "eval/Interp.h"
-#include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -70,7 +70,7 @@ void SmtEncoder::scalarTypes(const TypePtr &RawTy, std::vector<TypePtr> &Out) {
   case TypeKind::Var:
     break;
   }
-  fatalError("type " + typeToString(Ty) + " has no SMT shape");
+  evalError("type " + typeToString(Ty) + " has no SMT shape");
 }
 
 unsigned SmtEncoder::shapeWidth(const TypePtr &Ty) {
@@ -97,7 +97,7 @@ z3::expr SmtEncoder::leafExpr(const SmtLeaf &L, const TypePtr &RawTy) {
   default:
     break;
   }
-  fatalError("non-scalar leaf type " + typeToString(Ty));
+  evalError("non-scalar leaf type " + typeToString(Ty));
 }
 
 SmtLeaf SmtEncoder::maybeName(SmtLeaf L, const TypePtr &ScalarTy) {
@@ -205,7 +205,7 @@ SmtVal SmtEncoder::lift(const Value *V, const TypePtr &RawTy) {
         case TypeKind::Var:
           break;
         }
-        fatalError("cannot lift value of type " + typeToString(T));
+        evalError("cannot lift value of type " + typeToString(T));
       };
   Rec(V, Ty);
   return Out;
@@ -309,7 +309,7 @@ const Value *SmtEncoder::decodeFromModel(const z3::model &M, const SmtVal &V) {
     case TypeKind::Var:
       break;
     }
-    fatalError("cannot decode type " + typeToString(T));
+    evalError("cannot decode type " + typeToString(T));
   };
   return Rec(V.Ty);
 }

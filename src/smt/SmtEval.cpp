@@ -10,6 +10,7 @@
 #include "core/Printer.h"
 #include "smt/SmtEncoder.h"
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <cassert>
 
@@ -28,7 +29,7 @@ public:
 
   SmtVal applyFn(const SmtVal &Fn, SmtVal Arg) {
     if (!Fn.isFun())
-      fatalError("SMT evaluation applied a non-function");
+      evalError("SMT evaluation applied a non-function");
     Locals Frame = Fn.FnLocals ? *Fn.FnLocals : Locals{};
     Frame.emplace_back(Fn.FnExpr->Name, std::move(Arg));
     SmtVal R = eval(Fn.FnExpr->Args[0].get(), Frame);
@@ -103,8 +104,8 @@ private:
   /// Leaf-wise equality with folding.
   SmtLeaf eqLeafwise(const SmtVal &A, const SmtVal &B) {
     if (A.Leaves.size() != B.Leaves.size())
-      fatalError("SMT equality over mismatched shapes: " +
-                 typeToString(A.Ty) + " vs " + typeToString(B.Ty));
+      evalError("SMT equality over mismatched shapes: " +
+                typeToString(A.Ty) + " vs " + typeToString(B.Ty));
     std::vector<TypePtr> Ts;
     Enc.scalarTypes(A.Ty, Ts);
     SmtLeaf Acc = boolLeaf(true);
@@ -127,9 +128,9 @@ private:
     if (isConcrete(Cond))
       return Cond.C->B ? T : E;
     if (T.isFun() || E.isFun())
-      fatalError("cannot merge function values under a symbolic condition");
+      evalError("cannot merge function values under a symbolic condition");
     if (T.Leaves.size() != E.Leaves.size())
-      fatalError("SMT ite over mismatched shapes");
+      evalError("SMT ite over mismatched shapes");
     std::vector<TypePtr> Ts;
     Enc.scalarTypes(T.Ty, Ts);
     SmtVal Out;
@@ -276,8 +277,8 @@ private:
       if (!K.Symbolic) {
         int Idx = U.constIndex(K.ConstKey);
         if (Idx < 0)
-          fatalError("key " + K.ConstKey->str() +
-                     " missing from the unroll table");
+          evalError("key " + K.ConstKey->str() +
+                    " missing from the unroll table");
         return dictSlot(M, ValTy, static_cast<size_t>(Idx));
       }
       // Symbolic key: the paper's if-chain over constant keys, then
@@ -307,8 +308,8 @@ private:
       if (!K.Symbolic) {
         int Idx = U.constIndex(K.ConstKey);
         if (Idx < 0)
-          fatalError("key " + K.ConstKey->str() +
-                     " missing from the unroll table");
+          evalError("key " + K.ConstKey->str() +
+                    " missing from the unroll table");
         for (unsigned B = 0; B < W; ++B)
           Out.Leaves[Idx * W + B] = V.Leaves[B];
         return Out;
@@ -491,7 +492,7 @@ public:
         return *L;
       if (const SmtVal *G = Enc.global(E->Name))
         return *G;
-      fatalError("SMT evaluation: unbound variable " + E->Name);
+      evalError("SMT evaluation: unbound variable " + E->Name);
     }
     case ExprKind::Let: {
       SmtVal Init = eval(E->Args[0].get(), Frame);
@@ -544,8 +545,8 @@ public:
           break;
       }
       if (Bodies.empty())
-        fatalError("SMT evaluation: match with no reachable cases in " +
-                   printExpr(std::make_shared<Expr>(*E)));
+        evalError("SMT evaluation: match with no reachable cases in " +
+                  printExpr(std::make_shared<Expr>(*E)));
       SmtVal R = Bodies.back();
       for (size_t I = Bodies.size() - 1; I-- > 0;)
         R = mergeIte(Conds[I], Bodies[I], R);

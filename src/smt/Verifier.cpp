@@ -4,125 +4,228 @@
 
 #include "support/Timer.h"
 
+#include <algorithm>
+
 using namespace nv;
+
+namespace {
+
+/// Wires the run's CancelToken to z3's cooperative interrupt for the
+/// duration of a verification: requestCancel() from any thread stops a
+/// blocking solver.check(), which then returns unknown ("canceled").
+class Z3InterruptGuard {
+public:
+  Z3InterruptGuard(CancelToken *Tok, z3::context &Z) : Tok(Tok) {
+    if (Tok)
+      Id = Tok->addInterruptHook([&Z] { Z.interrupt(); });
+  }
+  ~Z3InterruptGuard() {
+    if (Tok)
+      Tok->removeInterruptHook(Id);
+  }
+  Z3InterruptGuard(const Z3InterruptGuard &) = delete;
+  Z3InterruptGuard &operator=(const Z3InterruptGuard &) = delete;
+
+private:
+  CancelToken *Tok;
+  uint64_t Id = 0;
+};
+
+/// True when z3's reason_unknown names an imposed limit rather than
+/// genuine incompleteness. Z3 reports "timeout", "canceled", or
+/// "interrupted..." depending on version and path.
+bool reasonIsLimit(const std::string &Reason) {
+  return Reason.find("timeout") != std::string::npos ||
+         Reason.find("cancel") != std::string::npos ||
+         Reason.find("interrupt") != std::string::npos ||
+         Reason.find("resource") != std::string::npos;
+}
+
+} // namespace
 
 VerifyResult nv::verifyProgram(const Program &P, const VerifyOptions &Opts,
                                DiagnosticEngine &Diags) {
   VerifyResult R;
   if (!P.AttrType) {
-    Diags.error({}, "verifier requires a type-checked program");
+    R.Outcome = {RunStatus::EvalError, "verifier requires a type-checked program", ""};
+    Diags.error({}, R.Outcome.Detail);
     return R;
   }
   uint32_t N = P.numNodes();
   if (N == 0) {
-    Diags.error({}, "verifier requires a topology");
+    R.Outcome = {RunStatus::EvalError, "verifier requires a topology", ""};
+    Diags.error({}, R.Outcome.Detail);
     return R;
   }
 
+  // Arm this run's budget; encode-loop and solver-check safe points below
+  // poll it (plus any outer governor, e.g. a CLI-wide deadline).
+  Governor::Scope Guard(Opts.Budget);
   Stopwatch W;
   z3::context Z;
-  // The encoding has one defining equation per label leaf; eliminating
-  // those equations first (and bit-blasting in BV mode) is far faster
-  // than the default solver on these instances.
-  z3::solver Solver =
-      Opts.UseTacticPipeline
-          ? (z3::tactic(Z, "simplify") & z3::tactic(Z, "solve-eqs") &
-             z3::tactic(Z, "bit-blast") & z3::tactic(Z, "smt"))
-                .mk_solver()
-          : z3::solver(Z);
-  if (Opts.TimeoutMs) {
-    z3::params Params(Z);
-    Params.set("timeout", Opts.TimeoutMs);
-    Solver.set(Params);
-  }
+  Z3InterruptGuard Interrupt(Opts.Budget.Cancel, Z);
+  try {
+    // The encoding has one defining equation per label leaf; eliminating
+    // those equations first (and bit-blasting in BV mode) is far faster
+    // than the default solver on these instances.
+    z3::solver Solver =
+        Opts.UseTacticPipeline
+            ? (z3::tactic(Z, "simplify") & z3::tactic(Z, "solve-eqs") &
+               z3::tactic(Z, "bit-blast") & z3::tactic(Z, "smt"))
+                  .mk_solver()
+            : z3::solver(Z);
 
-  NvContext Ctx(N);
-  SmtEncoder Enc(Z, Solver, Ctx, P, Opts.Smt, Diags);
-  if (!Enc.initialize())
-    return R;
-
-  const SmtVal *InitFn = Enc.global("init");
-  const SmtVal *TransFn = Enc.global("trans");
-  const SmtVal *MergeFn = Enc.global("merge");
-  const SmtVal *AssertFn = Enc.global("assert");
-  if (!InitFn || !TransFn || !MergeFn) {
-    Diags.error({}, "program is missing init/trans/merge declarations");
-    return R;
-  }
-
-  // In-edges per node.
-  std::vector<std::vector<uint32_t>> InNeighbors(N);
-  for (const auto &[U, V] : P.directedEdges())
-    InNeighbors[V].push_back(U);
-
-  // Declare the per-node stable-state labels and tie them to their merge
-  // expressions (Sec. 2.5's fixpoint equations).
-  std::vector<SmtVal> Labels;
-  Labels.reserve(N);
-  for (uint32_t U = 0; U < N; ++U)
-    Labels.push_back(Enc.freshConsts("L" + std::to_string(U), P.AttrType));
-
-  for (uint32_t U = 0; U < N; ++U) {
-    SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
-    SmtVal Acc = Enc.apply(*InitFn, {NodeV});
-    for (uint32_t V : InNeighbors[U]) {
-      SmtVal EdgeV = Enc.lift(Ctx.edgeV(V, U), Type::edgeTy());
-      SmtVal Transferred = Enc.apply(*TransFn, {EdgeV, Labels[V]});
-      Acc = Enc.apply(*MergeFn, {NodeV, Acc, Transferred});
+    NvContext Ctx(N);
+    SmtEncoder Enc(Z, Solver, Ctx, P, Opts.Smt, Diags);
+    if (!Enc.initialize()) {
+      R.Outcome = {RunStatus::EvalError, "SMT encoding failed", ""};
+      return R;
     }
-    Enc.addEquality(Labels[U], Acc);
-  }
 
-  // Property: every node's assertion holds; check N ∧ ¬P.
-  if (AssertFn) {
-    z3::expr Prop = Z.bool_val(true);
+    const SmtVal *InitFn = Enc.global("init");
+    const SmtVal *TransFn = Enc.global("trans");
+    const SmtVal *MergeFn = Enc.global("merge");
+    const SmtVal *AssertFn = Enc.global("assert");
+    if (!InitFn || !TransFn || !MergeFn) {
+      R.Outcome = {RunStatus::EvalError,
+                   "program is missing init/trans/merge declarations", ""};
+      Diags.error({}, R.Outcome.Detail);
+      return R;
+    }
+
+    // In-edges per node.
+    std::vector<std::vector<uint32_t>> InNeighbors(N);
+    for (const auto &[U, V] : P.directedEdges())
+      InNeighbors[V].push_back(U);
+
+    // Declare the per-node stable-state labels and tie them to their merge
+    // expressions (Sec. 2.5's fixpoint equations).
+    std::vector<SmtVal> Labels;
+    Labels.reserve(N);
+    for (uint32_t U = 0; U < N; ++U)
+      Labels.push_back(Enc.freshConsts("L" + std::to_string(U), P.AttrType));
+
     for (uint32_t U = 0; U < N; ++U) {
+      // Safe point once per node: the dominant encode cost is the chain of
+      // merge applications built here.
+      Governor::pollSafePoint(GovSite::SmtEncode);
       SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
-      Prop = Prop && Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]}));
+      SmtVal Acc = Enc.apply(*InitFn, {NodeV});
+      for (uint32_t V : InNeighbors[U]) {
+        SmtVal EdgeV = Enc.lift(Ctx.edgeV(V, U), Type::edgeTy());
+        SmtVal Transferred = Enc.apply(*TransFn, {EdgeV, Labels[V]});
+        Acc = Enc.apply(*MergeFn, {NodeV, Acc, Transferred});
+      }
+      Enc.addEquality(Labels[U], Acc);
     }
-    Solver.add(!Prop);
-  }
 
-  R.EncodeMs = W.elapsedMs();
-  R.NumAssertions = Solver.assertions().size();
-  R.NamedIntermediates = Enc.namedIntermediates();
+    // Property: every node's assertion holds; check N ∧ ¬P.
+    if (AssertFn) {
+      z3::expr Prop = Z.bool_val(true);
+      for (uint32_t U = 0; U < N; ++U) {
+        Governor::pollSafePoint(GovSite::SmtEncode);
+        SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
+        Prop = Prop && Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]}));
+      }
+      Solver.add(!Prop);
+    }
 
-  W.restart();
-  z3::check_result CR = Solver.check();
-  R.SolveMs = W.elapsedMs();
+    R.EncodeMs = W.elapsedMs();
+    R.NumAssertions = Solver.assertions().size();
+    R.NamedIntermediates = Enc.namedIntermediates();
 
-  if (CR == z3::unsat) {
-    // With an assert: no stable state violates it. Without: the
-    // constraints themselves are inconsistent, which we surface as
-    // Unknown so callers notice vacuity.
-    R.Status = AssertFn ? VerifyStatus::Verified : VerifyStatus::Unknown;
+    // Last poll before handing control to z3, then clamp the solver's own
+    // timeout to the tightest governed deadline so a blocking check()
+    // cannot outlive the run's wall-clock budget.
+    Governor::pollSafePoint(GovSite::SolverCheck);
+    uint64_t TimeoutMs = Opts.TimeoutMs;
+    double Remaining = Governor::remainingMs();
+    if (Remaining >= 0) {
+      uint64_t Budgeted = std::max<uint64_t>(
+          1, static_cast<uint64_t>(Remaining));
+      TimeoutMs = TimeoutMs ? std::min<uint64_t>(TimeoutMs, Budgeted) : Budgeted;
+    }
+    if (TimeoutMs) {
+      z3::params Params(Z);
+      Params.set("timeout", static_cast<unsigned>(TimeoutMs));
+      Solver.set(Params);
+    }
+
+    W.restart();
+    z3::check_result CR = Solver.check();
+    R.SolveMs = W.elapsedMs();
+
+    if (CR == z3::unsat) {
+      // With an assert: no stable state violates it. Without: the
+      // constraints themselves are inconsistent, which we surface as
+      // Unknown so callers notice vacuity.
+      R.Status = AssertFn ? VerifyStatus::Verified : VerifyStatus::Unknown;
+      return R;
+    }
+    if (CR == z3::unknown) {
+      std::string Reason = Solver.reason_unknown();
+      if (reasonIsLimit(Reason)) {
+        // The solver stopped because we told it to: a canceled token, a
+        // governed deadline, or the plain --smt-timeout. All of these are
+        // resource exhaustion, not a verdict.
+        R.Status = VerifyStatus::ResourceExhausted;
+        bool Canceled = Opts.Budget.Cancel && Opts.Budget.Cancel->isCanceled();
+        R.Outcome = {Canceled ? RunStatus::Canceled
+                              : RunStatus::DeadlineExceeded,
+                     "solver gave up after " + std::to_string(TimeoutMs) +
+                         " ms (" + Reason + ")",
+                     govSiteName(GovSite::SolverCheck)};
+      } else {
+        R.Status = VerifyStatus::Unknown;
+      }
+      return R;
+    }
+
+    if (!AssertFn) {
+      R.Status = VerifyStatus::Verified; // consistent constraints, no property
+      return R;
+    }
+
+    R.Status = VerifyStatus::Falsified;
+    z3::model M = Solver.get_model();
+    std::string Text;
+    for (const auto &[Name, V] : Enc.symbolicVals())
+      Text += "symbolic " + Name + " = " +
+              Ctx.printValue(Enc.decodeFromModel(M, V)) + "\n";
+    for (uint32_t U = 0; U < N; ++U) {
+      const Value *L = Enc.decodeFromModel(M, Labels[U]);
+      SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
+      bool Holds =
+          M.eval(Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]})), true)
+              .is_true();
+      Text += "node " + std::to_string(U) + (Holds ? "    " : " [!] ") +
+              Ctx.printValue(L) + "\n";
+    }
+    R.Counterexample = std::move(Text);
+    return R;
+  } catch (const EngineError &E) {
+    // A safe point tripped (budget, cancellation, injected fault) or the
+    // encoder hit a user-triggerable semantic error.
+    R.Outcome = E.outcome();
+    R.Status = R.Outcome.Status == RunStatus::EvalError
+                   ? VerifyStatus::EncodingError
+                   : VerifyStatus::ResourceExhausted;
+    Diags.error({}, "verification stopped: " + R.Outcome.str());
+    return R;
+  } catch (const z3::exception &E) {
+    // z3 raises on interrupt in some code paths; fold that into the
+    // cancellation outcome rather than reporting a solver bug.
+    bool Canceled = Opts.Budget.Cancel && Opts.Budget.Cancel->isCanceled();
+    if (Canceled) {
+      R.Status = VerifyStatus::ResourceExhausted;
+      R.Outcome = {RunStatus::Canceled, E.msg(),
+                   govSiteName(GovSite::SolverCheck)};
+    } else {
+      R.Status = VerifyStatus::EncodingError;
+      R.Outcome = {RunStatus::InternalError,
+                   std::string("z3 error: ") + E.msg(), ""};
+      Diags.error({}, R.Outcome.Detail);
+    }
     return R;
   }
-  if (CR == z3::unknown) {
-    R.Status = VerifyStatus::Unknown;
-    return R;
-  }
-
-  if (!AssertFn) {
-    R.Status = VerifyStatus::Verified; // consistent constraints, no property
-    return R;
-  }
-
-  R.Status = VerifyStatus::Falsified;
-  z3::model M = Solver.get_model();
-  std::string Text;
-  for (const auto &[Name, V] : Enc.symbolicVals())
-    Text += "symbolic " + Name + " = " +
-            Ctx.printValue(Enc.decodeFromModel(M, V)) + "\n";
-  for (uint32_t U = 0; U < N; ++U) {
-    const Value *L = Enc.decodeFromModel(M, Labels[U]);
-    SmtVal NodeV = Enc.lift(Ctx.nodeV(U), Type::nodeTy());
-    bool Holds = M.eval(Enc.boolExpr(Enc.apply(*AssertFn, {NodeV, Labels[U]})),
-                        true)
-                     .is_true();
-    Text += "node " + std::to_string(U) + (Holds ? "    " : " [!] ") +
-            Ctx.printValue(L) + "\n";
-  }
-  R.Counterexample = std::move(Text);
-  return R;
 }

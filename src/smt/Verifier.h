@@ -21,6 +21,7 @@
 #include "core/Ast.h"
 #include "smt/SmtEncoder.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 
 namespace nv {
 
@@ -31,13 +32,20 @@ struct VerifyOptions {
   /// Essential for the exact bit-vector mode (IntMode::BV); the default
   /// LIA encoding solves fastest on Z3's default solver.
   bool UseTacticPipeline = false;
+  /// Resource limits, enforced at the smt-encode and solver-check safe
+  /// points. A deadline also bounds the solver itself (the z3 timeout is
+  /// clamped to the remaining wall-clock budget), and the budget's
+  /// CancelToken interrupts a blocking solver.check() via z3's interrupt.
+  RunBudget Budget;
 };
 
 enum class VerifyStatus {
-  Verified,      ///< N ∧ ¬P unsatisfiable.
-  Falsified,     ///< Counterexample found.
-  Unknown,       ///< Solver timeout / incompleteness.
-  EncodingError, ///< Program violates the encodable fragment.
+  Verified,          ///< N ∧ ¬P unsatisfiable.
+  Falsified,         ///< Counterexample found.
+  Unknown,           ///< Solver incompleteness (genuine "don't know").
+  EncodingError,     ///< Program violates the encodable fragment.
+  ResourceExhausted, ///< Budget trip, cancellation, solver timeout, or an
+                     ///< injected fault; details in VerifyResult::Outcome.
 };
 
 struct VerifyResult {
@@ -47,6 +55,9 @@ struct VerifyResult {
   uint64_t NumAssertions = 0;      ///< Solver assertion count (size metric).
   uint64_t NamedIntermediates = 0; ///< Baseline-mode fresh constants.
   std::string Counterexample;      ///< Human-readable model (Falsified).
+  /// Structured cause for ResourceExhausted / EncodingError endings (also
+  /// drives the CLI exit code).
+  RunOutcome Outcome;
 };
 
 /// Verifies a type-checked program's assert declaration over its stable

@@ -1,0 +1,325 @@
+//===- Governor.h - Run governance: budgets, deadlines, cancellation -*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-governance layer. A production service cannot let one bad job
+/// take the process down: non-terminating policies (paper footnote 2),
+/// solver blow-ups, and MTBDD arena growth must all degrade into a
+/// *structured, reportable* outcome instead of an abort or a hang.
+///
+/// Three pieces:
+///
+///  - RunBudget / Governor: a wall-clock deadline, a unified step budget
+///    (subsuming the old ad-hoc SimOptions/FtOptions::MaxSteps pop
+///    budgets), an MTBDD live-node budget, and an approximate heap
+///    watermark, plus an optional shared CancelToken. Engines arm a
+///    Governor::Scope at entry; cheap safe points — simulator worklist
+///    pop, MTBDD apply-cache miss and table grow, evaluator allocation,
+///    SMT encode loop, solver check — poll the thread-local governor
+///    chain and throw EngineError when a budget trips. Safe points sit
+///    only where engine state is consistent (before a mutation), so
+///    unwinding leaves arenas and tables valid.
+///
+///  - EngineError / RunOutcome: the recoverable replacement for the old
+///    user-triggerable fatalError aborts. Engines catch EngineError at
+///    their boundary and surface a RunOutcome; sharded engines catch per
+///    job, so one governed job's failure never poisons sibling shards.
+///
+///  - FaultInject: deterministic fault injection. NV_FAULT_INJECT=
+///    "<site>:<countdown>[,<site>:<countdown>]" arms a countdown per safe-
+///    point site; the countdown'th hit of that site throws EngineError
+///    with RunStatus::FaultInjected. Tests and CI use it to prove every
+///    degradation path recovers.
+///
+/// Threading: the governor chain is thread-local. A Scope governs the
+/// arming thread only; sharded engines arm one Scope per job inside the
+/// worker lambda (sharing the caller's CancelToken through the budget),
+/// which is what confines a budget trip to the one governed job.
+/// FaultInject countdowns are process-global atomics: the N'th hit
+/// process-wide fires, whichever thread performs it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_GOVERNOR_H
+#define NV_SUPPORT_GOVERNOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+//===----------------------------------------------------------------------===//
+// RunOutcome
+//===----------------------------------------------------------------------===//
+
+/// How a governed engine run ended. Everything except Ok is a graceful
+/// degradation: the engine returned a structured result instead of
+/// aborting the process.
+enum class RunStatus : uint8_t {
+  Ok = 0,
+  DeadlineExceeded,   ///< RunBudget::DeadlineMs elapsed.
+  StepBudgetExceeded, ///< RunBudget::MaxSteps work units consumed.
+  NodeBudgetExceeded, ///< MTBDD live nodes exceeded RunBudget::MaxLiveNodes.
+  HeapBudgetExceeded, ///< Approximate heap use exceeded RunBudget::MaxHeapBytes.
+  Canceled,           ///< The run's CancelToken was triggered.
+  FaultInjected,      ///< A deterministic NV_FAULT_INJECT countdown fired.
+  EvalError,          ///< User-program-triggerable semantic error (the old
+                      ///< recoverable fatalError class: inexhaustive match,
+                      ///< unencodable type, non-function application, ...).
+  InternalError,      ///< An nv-cpp bug surfaced recoverably.
+};
+
+/// Stable lowercase-kebab name ("deadline-exceeded", ...).
+const char *runStatusName(RunStatus S);
+
+/// True for the budget/cancellation/fault statuses: the engine was told to
+/// stop, nothing is semantically wrong with the input or the code. These
+/// outcomes reduce to one canonical "skip" fingerprint in the differential
+/// oracle and map to process exit code 3.
+bool isResourceLimit(RunStatus S);
+
+/// The structured result of a governed run.
+struct RunOutcome {
+  RunStatus Status = RunStatus::Ok;
+  std::string Detail;     ///< Human-readable explanation (may be empty).
+  const char *Site = "";  ///< Safe-point site that tripped ("" = n/a).
+
+  bool ok() const { return Status == RunStatus::Ok; }
+  bool resourceLimit() const { return isResourceLimit(Status); }
+
+  /// "ok", or "<status>@<site>: <detail>".
+  std::string str() const;
+};
+
+/// Maps an outcome to the documented process exit codes: 0 ok, 2 user
+/// error (EvalError), 3 resource-exhausted (budgets, cancellation,
+/// injected faults), 4 internal bug. (1, property-falsified, is not an
+/// outcome — drivers return it from their own verdict.)
+int exitCodeForOutcome(const RunOutcome &O);
+
+//===----------------------------------------------------------------------===//
+// EngineError
+//===----------------------------------------------------------------------===//
+
+/// Thrown at safe points (budget trips, cancellation, injected faults) and
+/// by evalError() on user-triggerable semantic errors. Engines catch it at
+/// their boundary and return the carried RunOutcome; sharded engines catch
+/// per job. Never deliberately thrown across a library API boundary — a
+/// propagating EngineError means an engine forgot its catch, and the CLI
+/// top-level handler still turns it into a structured exit.
+class EngineError : public std::exception {
+public:
+  explicit EngineError(RunOutcome O) : O(std::move(O)) {
+    Rendered = this->O.str();
+  }
+  const RunOutcome &outcome() const { return O; }
+  const char *what() const noexcept override { return Rendered.c_str(); }
+
+private:
+  RunOutcome O;
+  std::string Rendered;
+};
+
+/// Throws EngineError{S, Detail, Site}.
+[[noreturn]] void throwEngineError(RunStatus S, const char *Site,
+                                   std::string Detail);
+
+/// Recoverable replacement for fatalError on user-triggerable evaluation/
+/// encoding paths: throws EngineError with RunStatus::EvalError.
+[[noreturn]] void evalError(const std::string &Msg);
+
+//===----------------------------------------------------------------------===//
+// CancelToken
+//===----------------------------------------------------------------------===//
+
+/// A shared cooperative-cancellation flag. Cheap to poll (one relaxed
+/// atomic load); requestCancel() additionally runs registered interrupt
+/// hooks so blocking work that cannot poll — a running z3::solver::check —
+/// is interrupted too.
+class CancelToken {
+public:
+  void requestCancel();
+  bool isCanceled() const { return Flag.load(std::memory_order_relaxed); }
+  /// Re-arms the token for a fresh run (hooks are kept).
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+  /// Registers \p Fn to run inside requestCancel(); returns an id for
+  /// removeInterruptHook. Hooks must be safe to call from any thread and
+  /// must not block (z3's context::interrupt qualifies). removeInterruptHook
+  /// synchronizes with a concurrent requestCancel: after it returns the
+  /// hook is guaranteed not to be running.
+  uint64_t addInterruptHook(std::function<void()> Fn);
+  void removeInterruptHook(uint64_t Id);
+
+private:
+  std::atomic<bool> Flag{false};
+  std::mutex HooksM;
+  std::vector<std::pair<uint64_t, std::function<void()>>> Hooks;
+  uint64_t NextHookId = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// RunBudget
+//===----------------------------------------------------------------------===//
+
+/// Resource limits for one governed run (all 0 / null = unlimited).
+struct RunBudget {
+  /// Wall-clock deadline in milliseconds, measured from Scope arming.
+  double DeadlineMs = 0;
+  /// Unified step budget: one step per simulator worklist pop. Subsumes
+  /// the old SimOptions::MaxSteps / FtOptions::MaxSteps pop budgets.
+  uint64_t MaxSteps = 0;
+  /// MTBDD live-node budget, checked at apply-cache-miss and table-grow
+  /// safe points against the manager's node count.
+  size_t MaxLiveNodes = 0;
+  /// Approximate heap watermark in bytes (MTBDD nodes + tables + caches),
+  /// checked at the same sites.
+  size_t MaxHeapBytes = 0;
+  /// Optional shared cancellation token, polled at every safe point.
+  CancelToken *Cancel = nullptr;
+
+  bool limited() const {
+    return DeadlineMs > 0 || MaxSteps > 0 || MaxLiveNodes > 0 ||
+           MaxHeapBytes > 0 || Cancel != nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Safe-point sites
+//===----------------------------------------------------------------------===//
+
+/// The safe-point inventory. Each site is a point where engine state is
+/// consistent and an EngineError may be thrown; the same ids name
+/// NV_FAULT_INJECT injection sites.
+enum class GovSite : uint8_t {
+  SimPop = 0,     ///< "sim-pop": simulator worklist pop (counts one step).
+  ApplyCacheMiss, ///< "apply-cache-miss": MTBDD op-cache miss, pre-recursion.
+  TableGrow,      ///< "table-grow": MTBDD unique/leaf table growth, pre-rebuild.
+  EvalAlloc,      ///< "alloc": value-arena interning of a new value.
+  SmtEncode,      ///< "smt-encode": SMT per-node encode loop.
+  SolverCheck,    ///< "solver-check": immediately before z3 solver.check().
+};
+constexpr unsigned NumGovSites = 6;
+
+const char *govSiteName(GovSite S);
+/// Parses a site name; returns false on unknown names.
+bool govSiteFromName(const std::string &Name, GovSite &Out);
+
+//===----------------------------------------------------------------------===//
+// FaultInject
+//===----------------------------------------------------------------------===//
+
+/// Deterministic fault injection: per-site atomic countdowns, armed from
+/// the NV_FAULT_INJECT environment variable at process start (or
+/// programmatically by tests). The N'th process-wide hit of an armed site
+/// throws EngineError{FaultInjected}.
+class FaultInject {
+public:
+  /// Arms \p Site to fire on its \p Countdown'th hit (1 = next hit).
+  static void arm(GovSite Site, uint64_t Countdown);
+  /// Disarms every site.
+  static void disarmAll();
+  /// Parses "<site>:<countdown>[,<site>:<countdown>]*" and arms the sites;
+  /// returns false (arming nothing further) on a malformed spec.
+  static bool armFromSpec(const std::string &Spec, std::string *ErrorOut);
+  /// Reads NV_FAULT_INJECT; malformed specs abort (a mistyped injection
+  /// spec silently injecting nothing would defeat the CI matrix).
+  static void armFromEnv();
+
+  /// True when any site is armed. One relaxed load — this is the only cost
+  /// ungoverned runs pay on hot paths.
+  static bool armed() { return AnyArmed.load(std::memory_order_relaxed); }
+
+  /// Registers a hit of \p Site; throws when its countdown fires. Called
+  /// through Governor::pollSafePoint, behind armed().
+  static void hit(GovSite Site);
+
+private:
+  static std::atomic<bool> AnyArmed;
+  static std::atomic<int64_t> Countdown[NumGovSites];
+};
+
+//===----------------------------------------------------------------------===//
+// Governor
+//===----------------------------------------------------------------------===//
+
+/// Enforces one RunBudget over the current thread. Armed via Governor::
+/// Scope; nested scopes form a chain and every safe point checks the whole
+/// chain (innermost first), so an engine's own budget and an outer
+/// driver's deadline compose.
+class Governor {
+public:
+  /// RAII arming. A Scope with an unlimited budget arms nothing and costs
+  /// nothing at safe points.
+  class Scope {
+  public:
+    explicit Scope(const RunBudget &B);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Governor *G = nullptr;
+  };
+
+  /// The innermost governor armed on this thread, or null.
+  static Governor *current() { return Head; }
+
+  /// True when any safe-point work is needed on this thread (a governor is
+  /// armed or fault injection is active). Hot paths branch on this before
+  /// computing poll arguments.
+  static bool active() { return Head != nullptr || FaultInject::armed(); }
+
+  /// The safe-point check: fault injection first, then every governor in
+  /// the chain. \p LiveNodes / \p HeapBytes carry the MTBDD manager's
+  /// occupancy at MTBDD sites (0 elsewhere). Throws EngineError when a
+  /// countdown or budget trips.
+  static void pollSafePoint(GovSite Site, size_t LiveNodes = 0,
+                            size_t HeapBytes = 0) {
+    if (FaultInject::armed())
+      FaultInject::hit(Site);
+    for (Governor *G = Head; G; G = G->Prev)
+      G->checkOne(Site, LiveNodes, HeapBytes);
+  }
+
+  /// Milliseconds until the tightest deadline in this thread's chain, or
+  /// a negative value when no deadline is armed. Used to derive solver
+  /// timeouts so z3 respects the run's deadline.
+  static double remainingMs();
+
+  const RunBudget &budget() const { return B; }
+  uint64_t stepsTaken() const { return Steps; }
+
+private:
+  friend class Scope;
+  explicit Governor(const RunBudget &Budget);
+
+  void checkOne(GovSite Site, size_t LiveNodes, size_t HeapBytes);
+  [[noreturn]] void trip(RunStatus S, GovSite Site, std::string Detail);
+
+  RunBudget B;
+  Governor *Prev = nullptr;
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+  uint64_t Steps = 0;
+  /// Amortizes clock reads on the hot sites (apply-cache-miss, alloc);
+  /// cold sites check the deadline on every poll.
+  uint32_t DeadlineCountdown = 0;
+  static constexpr uint32_t DeadlinePollEvery = 64;
+
+  static thread_local Governor *Head;
+};
+
+} // namespace nv
+
+#endif // NV_SUPPORT_GOVERNOR_H

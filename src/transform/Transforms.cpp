@@ -4,6 +4,7 @@
 
 #include "core/TypeChecker.h"
 #include "support/Fatal.h"
+#include "support/Governor.h"
 
 #include <atomic>
 #include <set>
@@ -555,7 +556,7 @@ ExprPtr nv::partialEval(const ExprPtr &E) {
         break; // later cases are unreachable
     }
     if (Residual.empty())
-      fatalError("partial evaluation found an inexhaustive match");
+      evalError("partial evaluation found an inexhaustive match");
     ExprPtr Copy = shallowCopy(E);
     Copy->Args[0] = Scrut;
     Copy->Cases = std::move(Residual);

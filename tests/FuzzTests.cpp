@@ -16,6 +16,7 @@
 
 #include "core/Parser.h"
 #include "core/TypeChecker.h"
+#include "support/Governor.h"
 
 #include <gtest/gtest.h>
 
@@ -182,6 +183,59 @@ TEST(FuzzOracle, PlantedBugIsCaught) {
   ASSERT_FALSE(VBug.Ok) << "planted bug not detected on " << Inst.Name;
   EXPECT_NE(VBug.Mismatch.find("native-wm1"), std::string::npos)
       << VBug.Mismatch;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injection matrix
+//===----------------------------------------------------------------------===//
+
+/// Every safe-point site, armed at several countdowns, against the full
+/// oracle matrix: the injected fault must degrade the one leg it hits into
+/// the canonical skip fingerprint (or miss entirely when the site is never
+/// reached), never abort the process and never register as a divergence.
+TEST(FuzzFaultInject, EverySiteDegradesToSkipNeverDivergence) {
+  DiagnosticEngine Diags;
+  FuzzInstance Inst = instanceFromSeed(2, Diags); // sp-option, FT+SMT legs
+  ASSERT_FALSE(Inst.NvSource.empty()) << Diags.str();
+  OracleOptions Opts = testOracleOptions();
+
+  for (unsigned S = 0; S < NumGovSites; ++S) {
+    for (uint64_t Countdown : {uint64_t(1), uint64_t(25)}) {
+      GovSite Site = static_cast<GovSite>(S);
+      FaultInject::arm(Site, Countdown);
+      DiagnosticEngine D;
+      OracleVerdict V = runOracle(Inst, Opts, D);
+      FaultInject::disarmAll();
+      EXPECT_TRUE(V.Ok) << govSiteName(Site) << ":" << Countdown << " — "
+                        << V.Mismatch;
+      EXPECT_GE(V.Runs.size(), 4u) << govSiteName(Site);
+    }
+  }
+}
+
+/// An immediate fault on the hottest site skips (at least) the first sim
+/// leg with the canonical fingerprint; later legs — where the one-shot
+/// countdown has already fired — run normally and still agree.
+TEST(FuzzFaultInject, ImmediateFaultYieldsCanonicalSkipFingerprint) {
+  DiagnosticEngine Diags;
+  FuzzInstance Inst = instanceFromSeed(2, Diags);
+  ASSERT_FALSE(Inst.NvSource.empty()) << Diags.str();
+  OracleOptions Opts = testOracleOptions();
+
+  FaultInject::arm(GovSite::SimPop, 1);
+  OracleVerdict V = runOracle(Inst, Opts, Diags);
+  FaultInject::disarmAll();
+
+  EXPECT_TRUE(V.Ok) << V.Mismatch;
+  bool SawSkip = false, SawNonSkip = false;
+  for (const EngineRun &R : V.Runs) {
+    if (R.Fingerprint == "skip:resource-limit")
+      SawSkip = true;
+    else
+      SawNonSkip = true;
+  }
+  EXPECT_TRUE(SawSkip) << "no leg was skipped despite sim-pop:1";
+  EXPECT_TRUE(SawNonSkip) << "every leg skipped: one-shot countdown re-fired?";
 }
 
 //===----------------------------------------------------------------------===//

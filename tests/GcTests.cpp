@@ -232,17 +232,21 @@ TEST(Simulator, MaxStepsExceededFilesDiagnostic) {
 
   DiagnosticEngine Diags;
   SimOptions Opts;
-  Opts.MaxSteps = 2; // the 4-node fixpoint needs more pops than this
+  Opts.Budget.MaxSteps = 2; // the 4-node fixpoint needs more pops than this
   Opts.Diags = &Diags;
   SimResult R = simulate(P, Eval, Opts);
   EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::StepBudgetExceeded);
   EXPECT_NE(Diags.str().find("did not converge"), std::string::npos)
       << Diags.str();
 
-  // Without a sink the bound still aborts the run, silently.
+  // Without a sink the bound still stops the run, silently, with the same
+  // structured outcome.
   SimOptions Quiet;
-  Quiet.MaxSteps = 2;
-  EXPECT_FALSE(simulate(P, Eval, Quiet).Converged);
+  Quiet.Budget.MaxSteps = 2;
+  SimResult Q = simulate(P, Eval, Quiet);
+  EXPECT_FALSE(Q.Converged);
+  EXPECT_EQ(Q.Outcome.Status, RunStatus::StepBudgetExceeded);
 }
 
 } // namespace

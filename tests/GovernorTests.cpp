@@ -1,0 +1,434 @@
+//===- GovernorTests.cpp - Run-governance layer tests ------------------------===//
+//
+// Tests of the Governor/RunBudget/CancelToken/FaultInject layer: budgets
+// trip mid-run with structured outcomes instead of aborts, cancellation
+// fans out across ThreadPool shards while untripped siblings stay
+// bit-identical to an ungoverned run, deterministic fault injection skips
+// exactly the governed job it hits, and the CLI exit-code mapping is
+// stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FaultTolerance.h"
+#include "baselines/NaiveFailures.h"
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "eval/ProgramEvaluator.h"
+#include "sim/Simulator.h"
+#include "smt/Verifier.h"
+#include "support/Governor.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+using namespace nv;
+
+namespace {
+
+Program parseAndCheck(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return *P;
+}
+
+/// Shortest-path routing with an all-nodes-reachable assertion; the same
+/// family GcTests/ParallelTests use, so naive fault tolerance has a
+/// non-trivial violation list to compare.
+std::string spProgram(uint32_t Nodes,
+                      const std::vector<std::pair<int, int>> &Links) {
+  std::string Edges;
+  for (size_t I = 0; I < Links.size(); ++I) {
+    if (I)
+      Edges += ";";
+    Edges += std::to_string(Links[I].first) + "n=" +
+             std::to_string(Links[I].second) + "n";
+  }
+  return "let nodes = " + std::to_string(Nodes) +
+         "\n"
+         "let edges = {" +
+         Edges +
+         "}\n"
+         "let init (u : node) = match u with | 0n -> Some 0 | _ -> None\n"
+         "let trans (e : edge) (x : option[int]) =\n"
+         "  match x with | None -> None | Some d -> Some (d + 1)\n"
+         "let merge (u : node) (x : option[int]) (y : option[int]) =\n"
+         "  match x, y with\n"
+         "  | _, None -> x\n"
+         "  | None, _ -> y\n"
+         "  | Some a, Some b -> if a <= b then x else y\n"
+         "let assert (u : node) (x : option[int]) =\n"
+         "  match x with | None -> false | Some d -> true\n";
+}
+
+const std::vector<std::pair<int, int>> Line = {{0, 1}, {1, 2}, {2, 3}};
+
+std::vector<std::tuple<std::string, uint32_t, std::string>>
+violationKeys(const FtCheckResult &R) {
+  std::vector<std::tuple<std::string, uint32_t, std::string>> Out;
+  for (const FtViolation &V : R.Violations)
+    Out.push_back({V.Scenario.str(), V.Node, V.Route->str()});
+  return Out;
+}
+
+/// Restores a clean process-global fault-injection state around each test
+/// (a failed ASSERT must not leave a countdown armed for the next test).
+struct FaultInjectGuard {
+  ~FaultInjectGuard() { FaultInject::disarmAll(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Outcomes, exit codes, site names, spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(RunOutcome, StatusNamesAndResourceClassification) {
+  EXPECT_STREQ(runStatusName(RunStatus::Ok), "ok");
+  EXPECT_STREQ(runStatusName(RunStatus::DeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(runStatusName(RunStatus::FaultInjected), "fault-injected");
+
+  for (RunStatus S : {RunStatus::DeadlineExceeded,
+                      RunStatus::StepBudgetExceeded,
+                      RunStatus::NodeBudgetExceeded,
+                      RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
+                      RunStatus::FaultInjected})
+    EXPECT_TRUE(isResourceLimit(S)) << runStatusName(S);
+  for (RunStatus S :
+       {RunStatus::Ok, RunStatus::EvalError, RunStatus::InternalError})
+    EXPECT_FALSE(isResourceLimit(S)) << runStatusName(S);
+}
+
+TEST(RunOutcome, StrAndExitCodeMapping) {
+  EXPECT_EQ(RunOutcome{}.str(), "ok");
+  RunOutcome O{RunStatus::DeadlineExceeded, "5 ms", "sim-pop"};
+  EXPECT_EQ(O.str(), "deadline-exceeded@sim-pop: 5 ms");
+
+  EXPECT_EQ(exitCodeForOutcome(RunOutcome{}), 0);
+  EXPECT_EQ(exitCodeForOutcome(O), 3);
+  EXPECT_EQ(exitCodeForOutcome(
+                RunOutcome{RunStatus::Canceled, "", "solver-check"}),
+            3);
+  EXPECT_EQ(exitCodeForOutcome(RunOutcome{RunStatus::EvalError, "", ""}), 2);
+  EXPECT_EQ(exitCodeForOutcome(RunOutcome{RunStatus::InternalError, "", ""}),
+            4);
+}
+
+TEST(GovSites, NamesRoundTrip) {
+  for (unsigned I = 0; I < NumGovSites; ++I) {
+    GovSite S = static_cast<GovSite>(I), Back;
+    ASSERT_TRUE(govSiteFromName(govSiteName(S), Back)) << govSiteName(S);
+    EXPECT_EQ(Back, S);
+  }
+  GovSite Out;
+  EXPECT_FALSE(govSiteFromName("bogus", Out));
+  EXPECT_FALSE(govSiteFromName("", Out));
+}
+
+TEST(FaultInjectSpec, ParsesValidAndRejectsMalformed) {
+  FaultInjectGuard Guard;
+  std::string Err;
+  EXPECT_TRUE(FaultInject::armFromSpec("sim-pop:3", &Err)) << Err;
+  EXPECT_TRUE(FaultInject::armed());
+  FaultInject::disarmAll();
+  EXPECT_FALSE(FaultInject::armed());
+
+  EXPECT_TRUE(FaultInject::armFromSpec("alloc:1,table-grow:5", &Err)) << Err;
+  FaultInject::disarmAll();
+
+  for (const char *Bad : {"bogus:1", "sim-pop", "sim-pop:", "sim-pop:zero",
+                          "sim-pop:0", "sim-pop:1x", "alloc:2,bad"}) {
+    Err.clear();
+    EXPECT_FALSE(FaultInject::armFromSpec(Bad, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+    FaultInject::disarmAll();
+  }
+}
+
+TEST(FaultInjectSpec, CountdownFiresExactlyOnce) {
+  FaultInjectGuard Guard;
+  FaultInject::arm(GovSite::SimPop, 3);
+  FaultInject::hit(GovSite::SimPop);
+  FaultInject::hit(GovSite::ApplyCacheMiss); // other sites unaffected
+  FaultInject::hit(GovSite::SimPop);
+  bool Fired = false;
+  try {
+    FaultInject::hit(GovSite::SimPop); // third hit: countdown reaches 0
+  } catch (const EngineError &E) {
+    Fired = true;
+    EXPECT_EQ(E.outcome().Status, RunStatus::FaultInjected);
+    EXPECT_STREQ(E.outcome().Site, "sim-pop");
+  }
+  EXPECT_TRUE(Fired);
+  FaultInject::hit(GovSite::SimPop); // one-shot: no re-fire
+}
+
+//===----------------------------------------------------------------------===//
+// CancelToken
+//===----------------------------------------------------------------------===//
+
+TEST(CancelToken, HooksRunOnCancelAndOnLateRegistration) {
+  CancelToken Tok;
+  int Fired = 0;
+  uint64_t Id = Tok.addInterruptHook([&] { ++Fired; });
+  EXPECT_EQ(Fired, 0);
+  Tok.requestCancel();
+  EXPECT_TRUE(Tok.isCanceled());
+  EXPECT_EQ(Fired, 1);
+
+  // Registering against an already-canceled token fires immediately (the
+  // guarded work must still be interrupted).
+  int Late = 0;
+  uint64_t LateId = Tok.addInterruptHook([&] { ++Late; });
+  EXPECT_EQ(Late, 1);
+
+  Tok.removeInterruptHook(Id);
+  Tok.removeInterruptHook(LateId);
+  Tok.reset();
+  EXPECT_FALSE(Tok.isCanceled());
+  Tok.requestCancel();
+  EXPECT_EQ(Fired, 1); // removed hooks no longer run
+  EXPECT_EQ(Late, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Governor scopes and safe points
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, UnlimitedScopeArmsNothing) {
+  EXPECT_EQ(Governor::current(), nullptr);
+  {
+    Governor::Scope Scope((RunBudget()));
+    EXPECT_EQ(Governor::current(), nullptr);
+    EXPECT_FALSE(Governor::active());
+  }
+  Governor::pollSafePoint(GovSite::SimPop); // no governor: no-op, no throw
+}
+
+TEST(Governor, RemainingMsTracksTightestDeadline) {
+  EXPECT_LT(Governor::remainingMs(), 0); // no deadline armed
+  RunBudget Outer;
+  Outer.DeadlineMs = 60000;
+  Governor::Scope OuterScope(Outer);
+  RunBudget Inner;
+  Inner.DeadlineMs = 5000;
+  Governor::Scope InnerScope(Inner);
+  double Ms = Governor::remainingMs();
+  EXPECT_GE(Ms, 0);
+  EXPECT_LE(Ms, 5000);
+}
+
+TEST(Governor, DeadlineStopsSimulationWithStructuredOutcome) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+
+  DiagnosticEngine Diags;
+  SimOptions Opts;
+  Opts.Budget.DeadlineMs = 0.0001; // expires before the first safe point
+  Opts.Diags = &Diags;
+  SimResult R = simulate(P, Eval, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::DeadlineExceeded);
+  EXPECT_TRUE(R.Outcome.resourceLimit());
+  EXPECT_NE(Diags.str().find("did not converge"), std::string::npos)
+      << Diags.str();
+
+  // The governed trip leaves the context usable: the same evaluator runs
+  // to convergence once the deadline is lifted.
+  SimResult Again = simulate(P, Eval);
+  EXPECT_TRUE(Again.Converged);
+  EXPECT_TRUE(Again.Outcome.ok());
+}
+
+TEST(Governor, OuterScopeGovernsInnerEngineRun) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+
+  RunBudget Outer;
+  Outer.DeadlineMs = 0.0001;
+  Governor::Scope Scope(Outer);
+  // simulate() itself runs with its default (step-only) budget; the outer
+  // driver deadline still trips through the chain and is reported
+  // structurally, not thrown across the API.
+  SimResult R = simulate(P, Eval);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::DeadlineExceeded);
+}
+
+TEST(Governor, NodeBudgetTripsMetaSimulation) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  FtOptions Opts;
+  Opts.Budget.MaxLiveNodes = 4; // far below what the Fig. 5 meta-sim needs
+  FtRunResult R = runFaultTolerance(P, Opts, /*Compiled=*/false, Diags);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::NodeBudgetExceeded);
+  EXPECT_EQ(exitCodeForOutcome(R.Outcome), 3);
+}
+
+TEST(Governor, HeapWatermarkTripsMetaSimulation) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  FtOptions Opts;
+  Opts.Budget.MaxHeapBytes = 1024; // below the manager's initial tables
+  FtRunResult R = runFaultTolerance(P, Opts, /*Compiled=*/false, Diags);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::HeapBudgetExceeded);
+}
+
+TEST(Governor, StepBudgetReportsThroughFtRun) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  FtOptions Opts;
+  Opts.Budget.MaxSteps = 1;
+  FtRunResult R = runFaultTolerance(P, Opts, /*Compiled=*/false, Diags);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::StepBudgetExceeded);
+}
+
+//===----------------------------------------------------------------------===//
+// SMT verifier under governance
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, SmtDeadlineReportsResourceExhausted) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  VerifyOptions Opts;
+  Opts.Budget.DeadlineMs = 0.0001;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::ResourceExhausted);
+  EXPECT_TRUE(R.Outcome.resourceLimit()) << R.Outcome.str();
+}
+
+TEST(Governor, SmtCanceledTokenReportsResourceExhausted) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  CancelToken Tok;
+  Tok.requestCancel();
+  VerifyOptions Opts;
+  Opts.Budget.Cancel = &Tok;
+  VerifyResult R = verifyProgram(P, Opts, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::ResourceExhausted);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::Canceled) << R.Outcome.str();
+}
+
+TEST(Governor, SmtUngovernedStillVerifies) {
+  // The same program verifies normally without a budget (the governance
+  // path does not perturb the verdict).
+  Program P = parseAndCheck(spProgram(4, Line));
+  DiagnosticEngine Diags;
+  VerifyResult R = verifyProgram(P, VerifyOptions{}, Diags);
+  EXPECT_EQ(R.Status, VerifyStatus::Verified) << Diags.str();
+  EXPECT_TRUE(R.Outcome.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Per-scenario confinement: sharded runs, cancellation fan-out
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, PreCanceledTokenSkipsEveryScenarioSerial) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  CancelToken Tok;
+  Tok.requestCancel();
+  FtOptions Opts;
+  Opts.Budget.Cancel = &Tok;
+  FtCheckResult R = naiveFaultTolerance(P, Eval, Opts, Ctx.noneV());
+  EXPECT_GT(R.ScenariosChecked, 0u);
+  EXPECT_EQ(R.ScenariosSkipped, R.ScenariosChecked);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::Canceled);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(Governor, CancellationFansOutAcrossThreadPoolShards) {
+  Program P = parseAndCheck(spProgram(4, Line));
+  CancelToken Tok;
+  Tok.requestCancel();
+  FtOptions Opts;
+  Opts.Budget.Cancel = &Tok;
+  for (unsigned Threads : {2u, 8u}) {
+    ThreadPool Pool(Threads);
+    FtCheckResult R = naiveFaultToleranceParallel(P, Opts, Pool);
+    EXPECT_GT(R.ScenariosChecked, 0u) << Threads;
+    EXPECT_EQ(R.ScenariosSkipped, R.ScenariosChecked) << Threads;
+    EXPECT_EQ(R.Outcome.Status, RunStatus::Canceled) << Threads;
+    EXPECT_TRUE(R.Violations.empty()) << Threads;
+  }
+}
+
+TEST(Governor, UntrippedBudgetShardedRunIsBitIdentical) {
+  Program P = parseAndCheck(spProgram(4, Line));
+
+  std::vector<std::tuple<std::string, uint32_t, std::string>> Ref;
+  {
+    ThreadPool Pool(4);
+    Ref = violationKeys(naiveFaultToleranceParallel(P, FtOptions{}, Pool));
+    ASSERT_FALSE(Ref.empty());
+  }
+
+  // A generous budget (with a live but untriggered token) must not perturb
+  // results at any pool size: same violations, same order, nothing skipped.
+  CancelToken Tok;
+  FtOptions Governed;
+  Governed.Budget.DeadlineMs = 600000;
+  Governed.Budget.MaxSteps = 100'000'000;
+  Governed.Budget.MaxLiveNodes = 1u << 30;
+  Governed.Budget.MaxHeapBytes = size_t(1) << 40;
+  Governed.Budget.Cancel = &Tok;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ThreadPool Pool(Threads);
+    FtCheckResult R = naiveFaultToleranceParallel(P, Governed, Pool);
+    EXPECT_EQ(R.ScenariosSkipped, 0u) << Threads;
+    EXPECT_TRUE(R.Outcome.ok()) << Threads << ": " << R.Outcome.str();
+    EXPECT_EQ(violationKeys(R), Ref) << Threads << " threads";
+  }
+}
+
+TEST(Governor, InjectedFaultSkipsExactlyOneScenarioSerial) {
+  FaultInjectGuard Guard;
+  Program P = parseAndCheck(spProgram(4, Line));
+
+  // Keys are extracted while the reference context is alive: the
+  // violations' Route pointers are interned in it.
+  uint64_t RefScenarios = 0;
+  size_t RefViolations = 0;
+  std::set<std::tuple<std::string, uint32_t, std::string>> RefSet;
+  {
+    NvContext RefCtx(P.numNodes());
+    InterpProgramEvaluator RefEval(RefCtx, P);
+    FtCheckResult Ref =
+        naiveFaultTolerance(P, RefEval, FtOptions{}, RefCtx.noneV());
+    ASSERT_EQ(Ref.ScenariosSkipped, 0u);
+    ASSERT_FALSE(Ref.Violations.empty());
+    RefScenarios = Ref.ScenariosChecked;
+    RefViolations = Ref.Violations.size();
+    auto RefKeys = violationKeys(Ref);
+    RefSet.insert(RefKeys.begin(), RefKeys.end());
+  }
+
+  // The countdown lands mid-way through the scenario sweep; the fault is
+  // one-shot, so exactly one scenario is skipped and every sibling result
+  // survives verbatim.
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  FaultInject::arm(GovSite::SimPop, 10);
+  FtCheckResult R = naiveFaultTolerance(P, Eval, FtOptions{}, Ctx.noneV());
+  FaultInject::disarmAll();
+
+  EXPECT_EQ(R.ScenariosChecked, RefScenarios);
+  EXPECT_EQ(R.ScenariosSkipped, 1u);
+  EXPECT_EQ(R.Outcome.Status, RunStatus::FaultInjected);
+  EXPECT_STREQ(R.Outcome.Site, "sim-pop");
+  EXPECT_LE(R.Violations.size(), RefViolations);
+  for (const auto &K : violationKeys(R))
+    EXPECT_TRUE(RefSet.count(K))
+        << "violation not in the ungoverned reference: " << std::get<0>(K);
+}
+
+} // namespace

@@ -15,7 +15,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DNV_WERROR="${NV_WERROR:-OFF}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$BUILD_DIR" -j"$JOBS" --target bdd_tests gc_tests parallel_tests
+cmake --build "$BUILD_DIR" -j"$JOBS" \
+  --target bdd_tests gc_tests parallel_tests governor_tests
 "./$BUILD_DIR/tests/bdd_tests"
 "./$BUILD_DIR/tests/gc_tests"
 "./$BUILD_DIR/tests/parallel_tests"
+"./$BUILD_DIR/tests/governor_tests"

@@ -4,10 +4,13 @@
 Usage: bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
 
 Matches records by (bench, network, failures) and compares every *_ms
-timing field present in both. Regressions beyond the threshold print a
-warning; the exit code is always 0 — shared CI runners are far too noisy
-to gate merges on wall-clock numbers, so this is a trend signal, not a
-gate. (BENCH_*.json trajectory files are the durable record.)
+timing field present in both. Records whose "outcome" field is present
+and not "ok" (budget trip, cancellation, injected fault — the run was
+truncated, so its timings are meaningless) are skipped on either side.
+Regressions beyond the threshold print a warning; the exit code is
+always 0 — shared CI runners are far too noisy to gate merges on
+wall-clock numbers, so this is a trend signal, not a gate.
+(BENCH_*.json trajectory files are the durable record.)
 """
 
 import json
@@ -22,6 +25,12 @@ def key(rec):
     return (rec.get("bench"), rec.get("network"), rec.get("failures"))
 
 
+def is_ok(rec):
+    """A record is comparable when its run completed; a missing "outcome"
+    field (reports from before the run-governance layer) means ok."""
+    return rec.get("outcome", "ok") == "ok"
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -32,14 +41,18 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    baseline = {key(r): r for r in load(argv[1])}
+    baseline = {key(r): r for r in load(argv[1]) if is_ok(r)}
     current = []
     for path in argv[2:]:
         current.extend(load(path))
 
     compared = 0
+    skipped = 0
     regressions = []
     for rec in current:
+        if not is_ok(rec):
+            skipped += 1
+            continue
         base = baseline.get(key(rec))
         if base is None:
             continue
@@ -55,6 +68,8 @@ def main(argv):
                        rec.get("failures"), field, b, c, 100 * (c / b - 1)))
 
     print("bench-smoke: compared %d timings against %s" % (compared, argv[1]))
+    if skipped:
+        print("skipped %d record(s) with a non-ok outcome" % skipped)
     if not compared:
         print("warning: no overlapping records — baseline out of date?")
     if regressions:

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# fault_inject.sh — run-governance smoke stage: arms every NV_FAULT_INJECT
+# safe-point site against the nv CLI on the example networks and asserts
+# that each run terminates with the documented resource-exhausted exit
+# code (3) — never an abort, never a crash — and that a clean budget-flag
+# run degrades the same way. Finally replays the committed budget corpus
+# seed through nv-fuzz: its FT legs hit the step budget and must reduce to
+# the structured skip verdict (exit 0, no divergence).
+#
+# Usage: tools/ci/fault_inject.sh [BUILD_DIR]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=${1:-build}
+JOBS=${JOBS:-$(nproc)}
+
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release ${CMAKE_EXTRA:-}
+cmake --build "$BUILD_DIR" -j"$JOBS" --target nv nv-fuzz
+
+NV="./$BUILD_DIR/tools/nv"
+NV_FUZZ="./$BUILD_DIR/tools/nv-fuzz"
+
+# expect_code CODE DESC CMD...: run CMD, require exit code CODE exactly.
+# Signal deaths (abort = 134, segfault = 139) show up as wrong codes.
+expect_code() {
+  local want=$1 desc=$2
+  shift 2
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got: $*" >&2
+    exit 1
+  fi
+  echo "ok: $desc (exit $got)"
+}
+
+EXAMPLE=examples/nv/sp_diamond.nv
+
+# Every injection site, against the engine most likely to reach it. A site
+# a command never reaches simply leaves the countdown unfired, and the run
+# must then succeed with its normal code — so pair each site with a
+# command that does reach it.
+expect_code 3 "inject sim-pop into sim" \
+  env NV_FAULT_INJECT=sim-pop:1 "$NV" sim "$EXAMPLE"
+expect_code 3 "inject alloc into sim" \
+  env NV_FAULT_INJECT=alloc:1 "$NV" sim "$EXAMPLE"
+expect_code 3 "inject apply-cache-miss into ft" \
+  env NV_FAULT_INJECT=apply-cache-miss:1 "$NV" ft "$EXAMPLE"
+expect_code 3 "inject smt-encode into verify" \
+  env NV_FAULT_INJECT=smt-encode:1 "$NV" verify "$EXAMPLE"
+expect_code 3 "inject solver-check into verify" \
+  env NV_FAULT_INJECT=solver-check:1 "$NV" verify "$EXAMPLE"
+
+# table-grow needs an MTBDD arena that actually outgrows its initial
+# tables: a generator-produced fat tree under a 2-failure meta-simulation
+# (seed-derived, so the run is deterministic).
+BIG=$(mktemp --suffix=.nv)
+trap 'rm -f "$BIG"' EXIT
+"$NV_FUZZ" --emit 12 > "$BIG"
+expect_code 3 "inject table-grow into 2-failure ft" \
+  env NV_FAULT_INJECT=table-grow:1 "$NV" ft "$BIG" --links 2
+
+# An armed site a run never reaches must leave the verdict untouched
+# (sp_diamond's arena never grows; ft still reports its real violations).
+expect_code 1 "armed-but-unreached table-grow keeps the verdict" \
+  env NV_FAULT_INJECT=table-grow:1 "$NV" ft "$EXAMPLE"
+
+# Late countdowns fire mid-run rather than at the first safe point.
+expect_code 3 "inject sim-pop:3 mid-simulation" \
+  env NV_FAULT_INJECT=sim-pop:3 "$NV" sim "$EXAMPLE"
+expect_code 3 "inject alloc:100 mid-ft" \
+  env NV_FAULT_INJECT=alloc:100 "$NV" ft "$EXAMPLE"
+
+# Budget flags degrade the same way without injection.
+expect_code 3 "50ms deadline on verify" \
+  "$NV" verify "$EXAMPLE" --deadline-ms 0.0001
+expect_code 3 "step budget on sim" \
+  "$NV" sim "$EXAMPLE" --max-steps 1
+expect_code 3 "node budget on ft" \
+  "$NV" ft "$EXAMPLE" --node-budget 4
+
+# Ungoverned runs keep their normal verdict codes (0 = holds; ft on the
+# diamond reports real violations = 1).
+expect_code 0 "ungoverned sim" "$NV" sim "$EXAMPLE"
+expect_code 1 "ungoverned ft (violations)" "$NV" ft "$EXAMPLE"
+
+# The committed budget corpus seed: its non-monotone FT meta-simulation
+# hits the oracle's step budget and must reduce to the canonical skip
+# verdict — a structured outcome, not a divergence or a hang.
+"$NV_FUZZ" --replay tests/corpus/seed_ft_budget_record-bgp.nv
+
+# Fault injection composed with the full differential oracle: a corpus
+# replay with a mid-run fault must still agree (the hit leg skips).
+NV_FAULT_INJECT=sim-pop:50 "$NV_FUZZ" --replay tests/corpus
+
+echo "fault-injection smoke passed"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# tsan.sh — ThreadSanitizer build of the parallel determinism and
-# thread-pool tests, to catch data races the functional tests cannot see.
+# tsan.sh — ThreadSanitizer build of the parallel determinism, thread-pool
+# and run-governance tests (cancellation fan-out across shards), to catch
+# data races the functional tests cannot see.
 #
 # Usage: tools/ci/tsan.sh [BUILD_DIR]
 set -euo pipefail
@@ -14,6 +15,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DNV_WERROR="${NV_WERROR:-OFF}" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD_DIR" -j"$JOBS" --target parallel_tests threadpool_tests
+cmake --build "$BUILD_DIR" -j"$JOBS" \
+  --target parallel_tests threadpool_tests governor_tests
 "./$BUILD_DIR/tests/threadpool_tests"
 "./$BUILD_DIR/tests/parallel_tests"
+"./$BUILD_DIR/tests/governor_tests"

@@ -16,6 +16,18 @@
 //   --baseline          MineSweeper-style encoder options (verify)
 //   --links K           number of simultaneous link failures (ft, default 1)
 //   --node              also fail one node per scenario (ft)
+//   --deadline-ms MS    wall-clock budget for the run (sim/verify/ft)
+//   --node-budget N     MTBDD live-node budget (sim/ft)
+//   --max-steps N       simulator step (worklist-pop) budget (sim/ft)
+//
+// Exit codes:
+//   0  success (property holds / command completed)
+//   1  property falsified (failed assert, FT violations, counterexample)
+//   2  user error (bad usage, parse/type/evaluation error, solver unknown)
+//   3  resource exhausted (deadline, step/node budget, cancellation,
+//      injected fault) — the run ended with a structured outcome, not a
+//      verdict
+//   4  internal error
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,7 +52,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: nv <check|print|sim|verify|ft> FILE.nv [options]\n"
                "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
-               "  --links K  --node\n");
+               "  --links K  --node\n"
+               "  --deadline-ms MS  --node-budget N  --max-steps N\n");
   return 2;
 }
 
@@ -52,7 +65,21 @@ struct CliOptions {
   bool NodeFailure = false;
   unsigned Links = 1;
   unsigned TimeoutSec = 0;
+  double DeadlineMs = 0;
+  uint64_t MaxSteps = 0;
+  uint64_t NodeBudget = 0;
   std::vector<std::pair<std::string, std::string>> Syms;
+
+  /// Folds the governance flags into \p B (leaves unset knobs alone, so
+  /// engine defaults like the simulator's step budget survive).
+  void applyBudget(RunBudget &B) const {
+    if (DeadlineMs > 0)
+      B.DeadlineMs = DeadlineMs;
+    if (MaxSteps > 0)
+      B.MaxSteps = MaxSteps;
+    if (NodeBudget > 0)
+      B.MaxLiveNodes = static_cast<size_t>(NodeBudget);
+  }
 };
 
 std::optional<CliOptions> parseCli(int argc, char **argv) {
@@ -72,6 +99,12 @@ std::optional<CliOptions> parseCli(int argc, char **argv) {
       O.Links = static_cast<unsigned>(atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
       O.TimeoutSec = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--deadline-ms") && I + 1 < argc) {
+      O.DeadlineMs = atof(argv[++I]);
+    } else if (!std::strcmp(argv[I], "--max-steps") && I + 1 < argc) {
+      O.MaxSteps = strtoull(argv[++I], nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--node-budget") && I + 1 < argc) {
+      O.NodeBudget = strtoull(argv[++I], nullptr, 10);
     } else if (!std::strcmp(argv[I], "--sym") && I + 1 < argc) {
       std::string Arg = argv[++I];
       size_t Eq = Arg.find('=');
@@ -134,7 +167,7 @@ int cmdSim(const Program &P, const CliOptions &O) {
   bool Ok = true;
   SymbolicAssignment Syms = resolveSyms(Ctx, P, O, Ok);
   if (!Ok)
-    return 1;
+    return 2;
   std::unique_ptr<ProtocolEvaluator> Eval;
   if (O.Native)
     Eval = std::make_unique<CompiledProgramEvaluator>(Ctx, P, Syms);
@@ -143,11 +176,14 @@ int cmdSim(const Program &P, const CliOptions &O) {
   if (!Eval->requiresHold())
     std::printf("warning: a require clause fails under this symbolic "
                 "assignment\n");
-  SimResult R = simulate(P, *Eval);
+  SimOptions SO;
+  O.applyBudget(SO.Budget);
+  SimResult R = simulate(P, *Eval, SO);
   if (!R.Converged) {
-    std::printf("simulation did not converge (%llu steps)\n",
-                static_cast<unsigned long long>(R.Stats.Pops));
-    return 1;
+    std::printf("simulation did not converge (%llu steps): %s\n",
+                static_cast<unsigned long long>(R.Stats.Pops),
+                R.Outcome.str().c_str());
+    return exitCodeForOutcome(R.Outcome);
   }
   for (uint32_t U = 0; U < P.numNodes(); ++U)
     std::printf("node %u: %s\n", U, Ctx.printValue(R.Labels[U]).c_str());
@@ -170,6 +206,7 @@ int cmdVerify(const Program &P, const CliOptions &O) {
   DiagnosticEngine Diags;
   VerifyOptions Opts;
   Opts.TimeoutMs = O.TimeoutSec * 1000;
+  O.applyBudget(Opts.Budget);
   if (O.Baseline) {
     Opts.Smt.ConstantFold = false;
     Opts.Smt.NameIntermediates = true;
@@ -188,12 +225,15 @@ int cmdVerify(const Program &P, const CliOptions &O) {
                 R.Counterexample.c_str());
     return 1;
   case VerifyStatus::Unknown:
-    std::printf("unknown (timeout?)\n");
+    std::printf("unknown (solver incompleteness)\n");
     return 2;
+  case VerifyStatus::ResourceExhausted:
+    std::printf("resource exhausted: %s\n", R.Outcome.str().c_str());
+    return 3;
   case VerifyStatus::EncodingError:
-    return 2;
+    return exitCodeForOutcome(R.Outcome);
   }
-  return 2;
+  return 4;
 }
 
 int cmdFt(const Program &P, const CliOptions &O) {
@@ -201,8 +241,13 @@ int cmdFt(const Program &P, const CliOptions &O) {
   FtOptions Opts;
   Opts.LinkFailures = O.Links;
   Opts.NodeFailure = O.NodeFailure;
+  O.applyBudget(Opts.Budget);
   FtRunResult R = runFaultTolerance(P, Opts, O.Native, Diags);
   Diags.printToStderr();
+  if (!R.Outcome.ok()) {
+    std::printf("analysis stopped: %s\n", R.Outcome.str().c_str());
+    return exitCodeForOutcome(R.Outcome);
+  }
   if (!R.Converged) {
     std::printf("meta-simulation did not converge\n");
     return 1;
@@ -259,11 +304,21 @@ int main(int argc, char **argv) {
     std::printf("%s", printProgram(*P).c_str());
     return 0;
   }
-  if (O->Command == "sim")
-    return cmdSim(*P, *O);
-  if (O->Command == "verify")
-    return cmdVerify(*P, *O);
-  if (O->Command == "ft")
-    return cmdFt(*P, *O);
+  try {
+    if (O->Command == "sim")
+      return cmdSim(*P, *O);
+    if (O->Command == "verify")
+      return cmdVerify(*P, *O);
+    if (O->Command == "ft")
+      return cmdFt(*P, *O);
+  } catch (const EngineError &E) {
+    // An engine let a structured error escape its boundary (or a fault was
+    // injected outside any engine's catch); still exit structurally.
+    std::fprintf(stderr, "nv: %s\n", E.what());
+    return exitCodeForOutcome(E.outcome());
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "nv: internal error: %s\n", E.what());
+    return 4;
+  }
   return usage();
 }

@@ -21,8 +21,15 @@
 // Determinism: instance i of a run is seed-derived via mixSeed(S, i) —
 // the same --seed/--count always replays the same instances and reaches
 // the same verdicts (--time-budget trades this for wall-clock coverage).
-// Exit code 0 = all instances agree, 1 = divergence found, 2 = usage or
-// I/O error.
+//
+// Exit codes (shared scheme with the nv CLI):
+//   0  all instances agree
+//   1  divergence found
+//   2  usage or I/O error
+//   3  resource exhausted (an EngineError with a resource-limit outcome
+//      escaped the oracle's per-leg catches, e.g. a fault injected before
+//      any engine scope was armed)
+//   4  internal error
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +38,7 @@
 #include "fuzz/Minimize.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Rng.h"
+#include "support/Governor.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -237,9 +245,7 @@ int replay(const FuzzCli &Cli) {
   return AllOk ? 0 : 1;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int fuzzMain(int argc, char **argv) {
   auto Cli = parseCli(argc, argv);
   if (!Cli)
     return usage();
@@ -294,4 +300,21 @@ int main(int argc, char **argv) {
   if (!Cli->JsonPath.empty() && !writeJson(Cli->JsonPath, T, W.elapsedMs()))
     return 2;
   return T.Divergences ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return fuzzMain(argc, argv);
+  } catch (const EngineError &E) {
+    // The oracle catches per-leg EngineErrors; one escaping here means it
+    // fired outside any engine (e.g. an injected fault during instance
+    // generation). Exit structurally rather than aborting.
+    std::fprintf(stderr, "nv-fuzz: %s\n", E.what());
+    return exitCodeForOutcome(E.outcome());
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "nv-fuzz: internal error: %s\n", E.what());
+    return 4;
+  }
 }
