@@ -42,12 +42,18 @@ int main(int argc, char **argv) {
         VerifyResult R = verifyProgram(*P, Opts, Diags);
         // Solver timeouts surface as ResourceExhausted under the
         // run-governance layer; Unknown is genuine incompleteness.
-        std::string Solve =
-            (R.Status == VerifyStatus::ResourceExhausted ||
-             R.Status == VerifyStatus::Unknown)
-                ? ">" + std::to_string(A.TimeoutSec) + "s"
-                : ms(R.SolveMs);
-        T.row({(Fat ? "FAT" : "SP") + std::to_string(K),
+        std::string Solve;
+        if (R.Status == VerifyStatus::ResourceExhausted ||
+            R.Status == VerifyStatus::Unknown) {
+          Solve = ">";
+          Solve += std::to_string(A.TimeoutSec);
+          Solve += "s";
+        } else {
+          Solve = ms(R.SolveMs);
+        }
+        std::string Label = Fat ? "FAT" : "SP";
+        Label += std::to_string(K);
+        T.row({Label,
                Fold ? "on" : "off", Name ? "on" : "off", ms(R.EncodeMs),
                Solve, std::to_string(R.NumAssertions),
                std::to_string(R.NamedIntermediates)});

@@ -36,8 +36,12 @@ std::string solveCell(const Program &P, bool Baseline, unsigned TimeoutSec,
   // Timeouts (and any budget/cancellation trip) surface as
   // ResourceExhausted under the run-governance layer; Unknown is genuine
   // solver incompleteness.
-  if (R.Status == VerifyStatus::ResourceExhausted)
-    return ">" + std::to_string(TimeoutSec) + "s T/O";
+  if (R.Status == VerifyStatus::ResourceExhausted) {
+    std::string TO = ">";
+    TO += std::to_string(TimeoutSec);
+    TO += "s T/O";
+    return TO;
+  }
   if (R.Status == VerifyStatus::Unknown)
     return "unknown";
   if (R.Status == VerifyStatus::EncodingError)

@@ -100,8 +100,12 @@ int main(int argc, char **argv) {
       Stopwatch WS;
       VerifyResult R = verifyProgram(*SymP, Opts, Diags);
       if (R.Status == VerifyStatus::ResourceExhausted ||
-          R.Status == VerifyStatus::Unknown)
-        return ">" + std::to_string(A.TimeoutSec) + "s T/O";
+          R.Status == VerifyStatus::Unknown) {
+        std::string TO = ">";
+        TO += std::to_string(A.TimeoutSec);
+        TO += "s T/O";
+        return TO;
+      }
       return ms(WS.elapsedMs()) +
              (R.Status == VerifyStatus::Verified ? "" : " (cex!)");
     };

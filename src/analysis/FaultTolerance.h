@@ -33,6 +33,7 @@
 #include "eval/ProgramEvaluator.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
+#include "support/Resume.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
@@ -59,6 +60,18 @@ struct FtOptions {
   /// deadline, MTBDD node budget, heap watermark, or shared CancelToken
   /// compose the same way.
   RunBudget Budget{/*DeadlineMs=*/0, /*MaxSteps=*/100'000'000};
+  /// Per-scenario retry for transient trips (deadline, step/node budget,
+  /// injected fault): each retry re-runs the scenario with the budget's
+  /// finite limits escalated. Default MaxAttempts=1 keeps single-shot
+  /// semantics.
+  RetryPolicy Retry;
+  /// Optional checkpoint/resume journal. When set, scenarios completed in
+  /// a previous run are replayed instead of re-simulated, and each newly
+  /// completed scenario (or scenario chunk, in checkFaultTolerance) is
+  /// durably recorded. Canceled scenarios are never recorded, so they
+  /// re-run on resume. The caller owns binding validation (ResumeLog::
+  /// open rejects mismatched journals).
+  ResumeLog *Resume = nullptr;
 };
 
 /// Builds the fault-tolerant meta-program: the input's init/trans/merge
@@ -89,8 +102,27 @@ const Value *scenarioKey(NvContext &Ctx, const FtScenario &S,
 struct FtViolation {
   FtScenario Scenario;
   uint32_t Node;
-  const Value *Route; ///< The route selected under the scenario.
+  const Value *Route; ///< The route selected under the scenario; null when
+                      ///< the violation was replayed from a journal.
+  /// The route's rendering, recorded at completion time. Journal replay
+  /// reconstructs violations from text (the originating arena is gone), so
+  /// reporting must go through routeStr(), which is identical for live and
+  /// replayed violations.
+  std::string RouteText;
+
+  std::string routeStr() const;
 };
+
+/// Serializes one violation into \p R as a "v" field
+/// ("<scenarioIdx> <node> <routeText>").
+void addViolationField(UnitRecord &R, size_t ScenarioIdx,
+                       const FtViolation &V);
+/// Parses every "v" field of \p R back into (scenarioIdx, violation) pairs
+/// (Route null, RouteText filled, Scenario resolved from \p Scenarios).
+/// Returns false on malformed fields or out-of-range scenario indices.
+bool parseViolationFields(const UnitRecord &R,
+                          const std::vector<FtScenario> &Scenarios,
+                          std::vector<std::pair<size_t, FtViolation>> &Out);
 
 struct FtCheckResult {
   uint64_t ScenariosChecked = 0;
@@ -100,6 +132,12 @@ struct FtCheckResult {
   /// scenario order is recorded in Outcome, so the report is deterministic
   /// for any thread count.
   uint64_t ScenariosSkipped = 0;
+  /// Scenarios (or scenario chunks' worth of scenarios) replayed from a
+  /// resume journal instead of re-simulated. Counted inside
+  /// ScenariosChecked, so aggregate counts match an uninterrupted run.
+  uint64_t ScenariosReplayed = 0;
+  /// Extra attempts spent by the retry policy across all scenarios.
+  uint64_t RetriesPerformed = 0;
   RunOutcome Outcome;
   std::vector<FtViolation> Violations;
   /// Keeps evaluation contexts alive so Violation::Route pointers interned

@@ -34,7 +34,7 @@ RunOutcome checkOneScenario(const Program &P, ProtocolEvaluator &BaseEval,
     if (S.Node && *S.Node == U)
       continue;
     if (!BaseEval.assertAt(U, Sim.Labels[U]))
-      Out.push_back({S, U, Sim.Labels[U]});
+      Out.push_back({S, U, Sim.Labels[U], {}});
   }
   return {};
 }
@@ -72,6 +72,41 @@ void pinNewViolations(NvContext &Ctx, std::vector<FtViolation> &Out,
     Ctx.pinValue(Out[I].Route);
 }
 
+/// The journal key of scenario \p I: the enumeration order is
+/// deterministic, so the index is the scenario's stable identity.
+std::string scenarioKeyStr(size_t I) {
+  std::string K = "s";
+  K += std::to_string(I);
+  return K;
+}
+
+/// Durably records one completed scenario: its outcome, how many attempts
+/// the retry policy spent, and its violations ([\p From, \p To)).
+void recordScenarioDone(ResumeLog &Log, size_t I, const RunOutcome &O,
+                        unsigned Attempts, const FtViolation *From,
+                        const FtViolation *To) {
+  UnitRecord Rec;
+  Rec.Key = scenarioKeyStr(I);
+  addOutcome(Rec, O, Attempts);
+  for (const FtViolation *V = From; V != To; ++V)
+    addViolationField(Rec, I, *V);
+  Log.recordDone(Rec);
+}
+
+/// Restores a journaled scenario: outcome into \p OutcomeOut, violations
+/// (Route null, RouteText filled) appended to \p ViolationsOut.
+void replayScenarioRecord(const UnitRecord &Rec,
+                          const std::vector<FtScenario> &Scenarios,
+                          RunOutcome &OutcomeOut,
+                          std::vector<FtViolation> &ViolationsOut) {
+  unsigned Attempts = 1;
+  parseOutcome(Rec, OutcomeOut, Attempts);
+  std::vector<std::pair<size_t, FtViolation>> Vs;
+  if (parseViolationFields(Rec, Scenarios, Vs))
+    for (auto &[Idx, V] : Vs)
+      ViolationsOut.push_back(std::move(V));
+}
+
 } // namespace
 
 FtCheckResult nv::naiveFaultTolerance(const Program &P,
@@ -83,17 +118,45 @@ FtCheckResult nv::naiveFaultTolerance(const Program &P,
   NvContext &Ctx = BaseEval.ctx();
   if (DropValue)
     Ctx.pinValue(DropValue);
-  for (const FtScenario &S : Scenarios) {
+  for (size_t I = 0; I < Scenarios.size(); ++I) {
+    const FtScenario &S = Scenarios[I];
     ++R.ScenariosChecked;
+    if (Opts.Resume) {
+      UnitRecord Rec;
+      if (Opts.Resume->replay(scenarioKeyStr(I), Rec)) {
+        RunOutcome O;
+        replayScenarioRecord(Rec, Scenarios, O, R.Violations);
+        if (!O.ok()) {
+          ++R.ScenariosSkipped;
+          if (R.Outcome.ok())
+            R.Outcome = O;
+        }
+        ++R.ScenariosReplayed;
+        continue;
+      }
+    }
     size_t From = R.Violations.size();
-    RunOutcome O = runOneScenarioGoverned(P, BaseEval, S, DropValue,
-                                          Opts.Budget, R.Violations);
+    unsigned Attempts = 1;
+    RunOutcome O = runUnitWithRetry(
+        Opts.Budget, Opts.Retry, Attempts, [&](const RunBudget &B) {
+          return runOneScenarioGoverned(P, BaseEval, S, DropValue, B,
+                                        R.Violations);
+        });
+    R.RetriesPerformed += Attempts - 1;
     if (!O.ok()) {
       ++R.ScenariosSkipped;
       if (R.Outcome.ok())
         R.Outcome = O;
     }
     pinNewViolations(Ctx, R.Violations, From);
+    // A canceled scenario is deliberately NOT journaled: cancellation is
+    // the run stopping, not the scenario resolving, so it re-runs on
+    // resume — which is what keeps resumed aggregates identical to an
+    // uninterrupted run.
+    if (Opts.Resume && O.Status != RunStatus::Canceled)
+      recordScenarioDone(*Opts.Resume, I, O, Attempts,
+                         R.Violations.data() + From,
+                         R.Violations.data() + R.Violations.size());
     // Collect the scenario's fixpoint garbage back down to the pinned
     // baseline (evaluator globals + partials, drop value, violations).
     Ctx.resetBetweenRuns();
@@ -119,7 +182,6 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   // baseline between scenarios — instead of the old scheme of building
   // (and throwing away) a fresh parse + arena per contiguous chunk.
   std::string Src = printProgram(P);
-  size_t Workers = std::min(Scenarios.size(), (size_t)Pool.numThreads());
 
   // Violations land in per-scenario slots and are concatenated in scenario
   // order below, so the logical result is identical for any pool size and
@@ -127,36 +189,72 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   // retained by the result).
   std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
   std::vector<RunOutcome> PerOutcome(Scenarios.size());
-  std::vector<std::shared_ptr<NvContext>> Ctxs(Workers);
-  std::atomic<size_t> NextScenario{0};
 
-  Pool.parallelFor(Workers, [&](size_t W) {
-    DiagnosticEngine Diags;
-    auto Local = parseProgram(Src, Diags);
-    if (!Local || !typeCheck(*Local, Diags))
-      fatalError("internal: naive-baseline worker failed to re-parse the "
-                 "program:\n" +
-                 Diags.str());
-    auto Ctx = std::make_shared<NvContext>(Local->numNodes());
-    InterpProgramEvaluator BaseEval(*Ctx, *Local);
-    const Value *Drop = MakeDrop ? MakeDrop(*Ctx) : Ctx->noneV();
-    Ctx->pinValue(Drop);
-    for (size_t I = NextScenario.fetch_add(1); I < Scenarios.size();
-         I = NextScenario.fetch_add(1)) {
-      // Each scenario is governed in its own scope on this worker thread
-      // (the thread-local governor chain does not cross the pool), so a
-      // budget trip or injected fault skips exactly this scenario;
-      // sibling scenarios on this and other workers proceed and their
-      // results are bit-identical to an ungoverned run.
-      PerOutcome[I] = runOneScenarioGoverned(*Local, BaseEval, Scenarios[I],
-                                             Drop, Opts.Budget, PerScenario[I]);
-      pinNewViolations(*Ctx, PerScenario[I], 0);
-      Ctx->resetBetweenRuns();
+  // Resume: journaled scenarios are restored up front and never enter the
+  // worklist, so workers only claim pending ones. The per-scenario slots
+  // make replayed and live results indistinguishable to the aggregation.
+  std::vector<size_t> Pending;
+  Pending.reserve(Scenarios.size());
+  for (size_t I = 0; I < Scenarios.size(); ++I) {
+    if (Opts.Resume) {
+      UnitRecord Rec;
+      if (Opts.Resume->replay(scenarioKeyStr(I), Rec)) {
+        replayScenarioRecord(Rec, Scenarios, PerOutcome[I], PerScenario[I]);
+        ++R.ScenariosReplayed;
+        continue;
+      }
     }
-    Ctxs[W] = std::move(Ctx);
-  });
+    Pending.push_back(I);
+  }
+
+  size_t Workers = std::min(Pending.size(), (size_t)Pool.numThreads());
+  std::vector<std::shared_ptr<NvContext>> Ctxs(Workers);
+  std::atomic<size_t> NextPending{0};
+  std::atomic<uint64_t> Retries{0};
+
+  if (Workers > 0)
+    Pool.parallelFor(Workers, [&](size_t W) {
+      DiagnosticEngine Diags;
+      auto Local = parseProgram(Src, Diags);
+      if (!Local || !typeCheck(*Local, Diags))
+        fatalError("internal: naive-baseline worker failed to re-parse the "
+                   "program:\n" +
+                   Diags.str());
+      auto Ctx = std::make_shared<NvContext>(Local->numNodes());
+      InterpProgramEvaluator BaseEval(*Ctx, *Local);
+      const Value *Drop = MakeDrop ? MakeDrop(*Ctx) : Ctx->noneV();
+      Ctx->pinValue(Drop);
+      for (size_t PI = NextPending.fetch_add(1); PI < Pending.size();
+           PI = NextPending.fetch_add(1)) {
+        size_t I = Pending[PI];
+        // Each scenario is governed in its own scope on this worker thread
+        // (the thread-local governor chain does not cross the pool), so a
+        // budget trip or injected fault skips exactly this scenario;
+        // sibling scenarios on this and other workers proceed and their
+        // results are bit-identical to an ungoverned run. Transient trips
+        // retry with an escalated budget before counting as skipped.
+        unsigned Attempts = 1;
+        PerOutcome[I] = runUnitWithRetry(
+            Opts.Budget, Opts.Retry, Attempts, [&](const RunBudget &B) {
+              return runOneScenarioGoverned(*Local, BaseEval, Scenarios[I],
+                                            Drop, B, PerScenario[I]);
+            });
+        if (Attempts > 1)
+          Retries.fetch_add(Attempts - 1, std::memory_order_relaxed);
+        pinNewViolations(*Ctx, PerScenario[I], 0);
+        // Canceled scenarios are not journaled (see naiveFaultTolerance):
+        // they re-run on resume. recordDone is thread-safe.
+        if (Opts.Resume && PerOutcome[I].Status != RunStatus::Canceled)
+          recordScenarioDone(*Opts.Resume, I, PerOutcome[I], Attempts,
+                             PerScenario[I].data(),
+                             PerScenario[I].data() + PerScenario[I].size());
+        Ctx->resetBetweenRuns();
+      }
+      Ctxs[W] = std::move(Ctx);
+    });
 
   R.ScenariosChecked = Scenarios.size();
+  R.RetriesPerformed = Retries.load(std::memory_order_relaxed);
   for (size_t I = 0; I < Scenarios.size(); ++I) {
     if (!PerOutcome[I].ok()) {
       ++R.ScenariosSkipped;

@@ -86,7 +86,9 @@ std::string printExprImpl(const ExprPtr &E) {
     return S + "}";
   }
   case ExprKind::RecordUpdate: {
-    std::string S = "{" + printExprImpl(E->Args[0]) + " with ";
+    std::string S = "{";
+    S += printExprImpl(E->Args[0]);
+    S += " with ";
     for (size_t I = 0; I < E->Labels.size(); ++I) {
       if (I)
         S += "; ";

@@ -9,7 +9,12 @@
 using namespace nv;
 
 std::string nv::prefixKeyLiteral(const Prefix &P) {
-  return "(" + std::to_string(P.Addr) + ", " + std::to_string(P.Len) + "u6)";
+  std::string S = "(";
+  S += std::to_string(P.Addr);
+  S += ", ";
+  S += std::to_string(P.Len);
+  S += "u6)";
+  return S;
 }
 
 namespace {
@@ -143,7 +148,18 @@ std::string nv::emitRouteMapFunction(const std::string &FnName,
       if (I)
         Pred += " && ";
       std::string T = prefixListTest(Router, P.Tests[I].first, Diags);
-      Pred += P.Tests[I].second ? T : "!" + (T[0] == '(' ? T : "(" + T + ")");
+      if (P.Tests[I].second) {
+        Pred += T;
+      } else {
+        Pred += "!";
+        if (T[0] == '(') {
+          Pred += T;
+        } else {
+          Pred += "(";
+          Pred += T;
+          Pred += ")";
+        }
+      }
     }
     Pred += ")";
     Acc = "mapIte " + Pred + " " + ValueFn + " (fun (v : rib) -> v) (" + Acc +
@@ -224,9 +240,11 @@ nv::translateConfigs(const NetworkConfig &Net, DiagnosticEngine &Diags) {
     if (Origins.empty())
       continue;
     std::string Sets = "base";
-    for (const Prefix &P : Origins)
-      Sets += "[" + prefixKeyLiteral(P) +
-              " := Some {comms = {}; length = 0; lp = 100; med = 0}]";
+    for (const Prefix &P : Origins) {
+      Sets += "[";
+      Sets += prefixKeyLiteral(P);
+      Sets += " := Some {comms = {}; length = 0; lp = 100; med = 0}]";
+    }
     S += "  | " + std::to_string(I) + "n -> " + Sets + "\n";
   }
   S += "  | _ -> base\n";
@@ -476,7 +494,11 @@ nv::translateConfigsRib(const NetworkConfig &Net, DiagnosticEngine &Diags) {
         Fields += "bgp = Some {comms = {}; length = 0; lp = 100; med = 0}";
       }
       Entry += Fields + "}";
-      Sets += "[" + prefixKeyLiteral(P) + " := " + Entry + "]";
+      Sets += "[";
+      Sets += prefixKeyLiteral(P);
+      Sets += " := ";
+      Sets += Entry;
+      Sets += "]";
     }
     S += "  | " + std::to_string(I) + "n -> " + Sets + "\n";
   }

@@ -264,7 +264,11 @@ std::string renderDictReach(const FuzzSpec &S) {
 // RouteMapCfg: vendor configuration text + frontend translation
 //===----------------------------------------------------------------------===//
 
-std::string routerName(uint32_t U) { return "R" + std::to_string(U); }
+std::string routerName(uint32_t U) {
+  std::string S = "R";
+  S += std::to_string(U);
+  return S;
+}
 
 Prefix destPrefix(const FuzzSpec &S) {
   Prefix P;

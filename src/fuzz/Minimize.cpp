@@ -92,7 +92,7 @@ std::vector<FuzzSpec> nv::shrinkCandidates(const FuzzSpec &S) {
   });
   Push([](FuzzSpec &C) {
     if (C.Announcers.size() > 1)
-      C.Announcers.resize(1);
+      C.Announcers.erase(C.Announcers.begin() + 1, C.Announcers.end());
   });
   Push([](FuzzSpec &C) { C.ExtraOrigins = 0; });
   if (!S.RouteMaps.empty()) {

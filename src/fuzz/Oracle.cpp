@@ -60,6 +60,7 @@ std::string simFingerprint(const Program &P, bool UseCompiled,
 
     SimOptions SO;
     SO.Budget.MaxSteps = Opts.MaxSteps;
+    SO.Budget.Cancel = Opts.Cancel;
     SimResult R = simulate(P, *Eval, SO);
     if (!R.Converged)
       return outcomeFingerprint(R.Outcome);
@@ -101,7 +102,7 @@ std::string ftFingerprint(const FtCheckResult &Check,
   std::vector<std::string> Lines;
   for (const FtViolation &V : Check.Violations)
     Lines.push_back(V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
-                    (V.Route ? V.Route->str() : "<null>"));
+                    V.routeStr());
   std::sort(Lines.begin(), Lines.end());
   std::string FP = "conv=1;scenarios=" + std::to_string(Check.ScenariosChecked);
   for (const std::string &L : Lines)
@@ -213,6 +214,7 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
         FO.LinkFailures = 1;
         FO.Threads = L.Threads;
         FO.Budget.MaxSteps = Opts.FtMaxSteps;
+        FO.Budget.Cancel = Opts.Cancel;
         NvContext Ctx(P->numNodes());
         Ctx.Mgr.setGcWatermark(L.Watermark);
         FtRunResult R = runFaultTolerance(*P, FO, L.Compiled, Diags,
@@ -245,6 +247,7 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
     try {
       FtOptions FO;
       FO.LinkFailures = 1;
+      FO.Budget.Cancel = Opts.Cancel;
       NvContext Ctx(P->numNodes());
       InterpProgramEvaluator Eval(Ctx, *P);
       FtCheckResult NR = naiveFaultTolerance(*P, Eval, FO, Ctx.noneV());
@@ -262,6 +265,7 @@ OracleVerdict nv::runOracle(const FuzzInstance &Inst,
       Nodes <= Opts.SmtMaxNodes && Links <= Opts.SmtMaxLinks) {
     VerifyOptions VO;
     VO.TimeoutMs = Opts.SmtTimeoutMs;
+    VO.Budget.Cancel = Opts.Cancel;
     DiagnosticEngine SmtDiags;
     VerifyResult R = verifyProgram(*P, VO, SmtDiags);
     if (R.Status == VerifyStatus::ResourceExhausted) {

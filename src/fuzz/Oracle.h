@@ -26,6 +26,7 @@
 
 #include "fuzz/InstanceGen.h"
 #include "support/Diagnostics.h"
+#include "support/Governor.h"
 
 #include <cstdint>
 #include <string>
@@ -36,6 +37,12 @@ namespace nv {
 struct OracleOptions {
   /// Worker threads for the N-thread FT legs (0 = NV_THREADS / hardware).
   unsigned Threads = 0;
+
+  /// Optional shared cancellation token, threaded into every leg's budget.
+  /// Canceled legs fingerprint as the canonical skip (never a divergence),
+  /// so a campaign's graceful shutdown drains the in-flight instance
+  /// through its safe points instead of waiting out the engine matrix.
+  CancelToken *Cancel = nullptr;
 
   bool EnableFt = true;
   bool EnableNaive = true;

@@ -102,8 +102,11 @@ VerifyResult nv::verifyProgram(const Program &P, const VerifyOptions &Opts,
     // expressions (Sec. 2.5's fixpoint equations).
     std::vector<SmtVal> Labels;
     Labels.reserve(N);
-    for (uint32_t U = 0; U < N; ++U)
-      Labels.push_back(Enc.freshConsts("L" + std::to_string(U), P.AttrType));
+    for (uint32_t U = 0; U < N; ++U) {
+      std::string LName = "L";
+      LName += std::to_string(U);
+      Labels.push_back(Enc.freshConsts(LName, P.AttrType));
+    }
 
     for (uint32_t U = 0; U < N; ++U) {
       // Safe point once per node: the dominant encode cost is the chain of

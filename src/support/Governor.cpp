@@ -37,6 +37,21 @@ const char *nv::runStatusName(RunStatus S) {
   return "unknown";
 }
 
+bool nv::runStatusFromName(const std::string &Name, RunStatus &Out) {
+  static constexpr RunStatus All[] = {
+      RunStatus::Ok,           RunStatus::DeadlineExceeded,
+      RunStatus::StepBudgetExceeded, RunStatus::NodeBudgetExceeded,
+      RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
+      RunStatus::FaultInjected, RunStatus::EvalError,
+      RunStatus::InternalError};
+  for (RunStatus S : All)
+    if (Name == runStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
 bool nv::isResourceLimit(RunStatus S) {
   switch (S) {
   case RunStatus::DeadlineExceeded:

@@ -81,6 +81,9 @@ enum class RunStatus : uint8_t {
 
 /// Stable lowercase-kebab name ("deadline-exceeded", ...).
 const char *runStatusName(RunStatus S);
+/// Parses a runStatusName back; returns false on unknown names. Used when
+/// deserializing journaled outcomes (Resume.h).
+bool runStatusFromName(const std::string &Name, RunStatus &Out);
 
 /// True for the budget/cancellation/fault statuses: the engine was told to
 /// stop, nothing is semantically wrong with the input or the code. These

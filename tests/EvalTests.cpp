@@ -307,19 +307,6 @@ Program parseAndCheck(const std::string &Src) {
   return *P;
 }
 
-/// Builds the Fig. 2b route announced by the external peer (node 4).
-const Value *mkBgpRoute(NvContext &Ctx, InterpProgramEvaluator &PE,
-                        const std::string &Fields) {
-  DiagnosticEngine Diags;
-  ExprPtr E = parseExprString(
-      "let c : set[int] = {} in Some {length = 0; lp = 100; med = 80; "
-      "comms = c; origin = 4n}",
-      Diags);
-  (void)Fields;
-  EXPECT_TRUE(E);
-  return nullptr;
-}
-
 TEST(Simulate, Fig2bNoHijackWhenPeerSilent) {
   Program P = parseAndCheck(Fig2b);
   NvContext Ctx(P.numNodes());

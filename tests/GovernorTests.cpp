@@ -17,12 +17,20 @@
 #include "sim/Simulator.h"
 #include "smt/Verifier.h"
 #include "support/Governor.h"
+#include "support/Journal.h"
+#include "support/Resume.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <set>
+#include <thread>
 #include <tuple>
+
+#include <unistd.h>
 
 using namespace nv;
 
@@ -71,7 +79,7 @@ std::vector<std::tuple<std::string, uint32_t, std::string>>
 violationKeys(const FtCheckResult &R) {
   std::vector<std::tuple<std::string, uint32_t, std::string>> Out;
   for (const FtViolation &V : R.Violations)
-    Out.push_back({V.Scenario.str(), V.Node, V.Route->str()});
+    Out.push_back({V.Scenario.str(), V.Node, V.routeStr()});
   return Out;
 }
 
@@ -429,6 +437,115 @@ TEST(Governor, InjectedFaultSkipsExactlyOneScenarioSerial) {
   for (const auto &K : violationKeys(R))
     EXPECT_TRUE(RefSet.count(K))
         << "violation not in the ungoverned reference: " << std::get<0>(K);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful shutdown: signal-driven drain + checkpoint journal
+//===----------------------------------------------------------------------===//
+
+TEST(GracefulShutdownTest, SigintDrainsShardsAndJournalsCompletedJobsOnce) {
+  // A sweep big enough (node failure x every link key on a 16-node line)
+  // that the signal reliably lands mid-flight.
+  std::vector<std::pair<int, int>> Long;
+  for (int I = 0; I + 1 < 16; ++I)
+    Long.push_back({I, I + 1});
+  Program P = parseAndCheck(spProgram(16, Long));
+  FtOptions Base;
+  Base.NodeFailure = true;
+
+  std::vector<std::tuple<std::string, uint32_t, std::string>> Ref;
+  uint64_t RefScenarios = 0;
+  {
+    ThreadPool Pool(4);
+    FtCheckResult R = naiveFaultToleranceParallel(P, Base, Pool);
+    ASSERT_TRUE(R.Outcome.ok()) << R.Outcome.str();
+    Ref = violationKeys(R);
+    RefScenarios = R.ScenariosChecked;
+    ASSERT_GT(RefScenarios, 8u);
+  }
+
+  std::string Path = ::testing::TempDir() + "nv_governor_sigint_journal";
+  std::remove(Path.c_str());
+  RunBinding Binding;
+  Binding.set("tool", "governor-tests");
+  Binding.set("program", fnv1a64Hex(spProgram(16, Long)));
+
+  // Interrupted run: deliver a real SIGINT (process-directed, like Ctrl-C)
+  // once a few units have been journaled. GracefulShutdown must be
+  // constructed before the pool and the runner thread so every thread
+  // inherits the blocked mask and delivery funnels to the watcher.
+  uint64_t Completed = 0;
+  {
+    CancelToken Tok;
+    GracefulShutdown Shutdown(Tok);
+    auto L = ResumeLog::open(Path, Binding);
+    ASSERT_TRUE(L.Log) << L.Error;
+    FtOptions Opts = Base;
+    Opts.Budget.Cancel = &Tok;
+    Opts.Resume = L.Log.get();
+    ThreadPool Pool(4);
+    FtCheckResult R;
+    std::thread Runner(
+        [&] { R = naiveFaultToleranceParallel(P, Opts, Pool); });
+    while (L.Log->entryCount() < 3)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ::kill(::getpid(), SIGINT);
+    Runner.join();
+
+    EXPECT_TRUE(Shutdown.triggered());
+    EXPECT_EQ(Shutdown.signalNumber(), SIGINT);
+    // In-flight jobs drained at their safe points: the run reports the
+    // structured Canceled outcome instead of dying, every scenario is
+    // accounted for, and at least one was cut short.
+    ASSERT_EQ(R.Outcome.Status, RunStatus::Canceled) << R.Outcome.str();
+    EXPECT_EQ(R.ScenariosChecked, RefScenarios);
+    EXPECT_GT(R.ScenariosSkipped, 0u);
+    Completed = R.ScenariosChecked - R.ScenariosSkipped;
+    // Exactly the completed jobs were journaled — canceled ones never are.
+    EXPECT_EQ(L.Log->entryCount(), Completed);
+  }
+
+  // On disk: one frame per completed job, all keys distinct.
+  JournalRead JR = readJournal(Path);
+  ASSERT_EQ(JR.St, JournalRead::State::Ok) << JR.Error;
+  EXPECT_EQ(JR.Entries.size(), Completed);
+  std::set<std::string> Keys;
+  for (const std::string &E : JR.Entries) {
+    UnitRecord Rec;
+    ASSERT_TRUE(UnitRecord::parse(E, Rec));
+    Keys.insert(Rec.Key);
+  }
+  EXPECT_EQ(Keys.size(), JR.Entries.size()) << "duplicate journal keys";
+
+  // Resume without interruption: replays exactly the completed jobs, the
+  // aggregate matches the uninterrupted reference, and the journal ends
+  // with each scenario recorded exactly once.
+  {
+    auto L = ResumeLog::open(Path, Binding);
+    ASSERT_TRUE(L.Log) << L.Error;
+    EXPECT_EQ(L.Log->replayedCount(), Completed);
+    FtOptions Opts = Base;
+    Opts.Resume = L.Log.get();
+    ThreadPool Pool(4);
+    FtCheckResult R = naiveFaultToleranceParallel(P, Opts, Pool);
+    EXPECT_TRUE(R.Outcome.ok()) << R.Outcome.str();
+    EXPECT_EQ(R.ScenariosChecked, RefScenarios);
+    EXPECT_EQ(R.ScenariosReplayed, Completed);
+    EXPECT_EQ(R.ScenariosSkipped, 0u);
+    EXPECT_EQ(violationKeys(R), Ref);
+  }
+  JournalRead JR2 = readJournal(Path);
+  ASSERT_EQ(JR2.St, JournalRead::State::Ok) << JR2.Error;
+  EXPECT_EQ(JR2.Entries.size(), RefScenarios);
+  Keys.clear();
+  for (const std::string &E : JR2.Entries) {
+    UnitRecord Rec;
+    ASSERT_TRUE(UnitRecord::parse(E, Rec));
+    Keys.insert(Rec.Key);
+  }
+  EXPECT_EQ(Keys.size(), JR2.Entries.size()) << "duplicate after resume";
+
+  std::remove(Path.c_str());
 }
 
 } // namespace

@@ -31,6 +31,12 @@ def is_ok(rec):
     return rec.get("outcome", "ok") == "ok"
 
 
+def describe(rec):
+    return "%s %s failures=%s (outcome=%s)" % (
+        rec.get("bench"), rec.get("network"), rec.get("failures"),
+        rec.get("outcome"))
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -47,11 +53,11 @@ def main(argv):
         current.extend(load(path))
 
     compared = 0
-    skipped = 0
+    skipped = []
     regressions = []
     for rec in current:
         if not is_ok(rec):
-            skipped += 1
+            skipped.append(describe(rec))
             continue
         base = baseline.get(key(rec))
         if base is None:
@@ -69,7 +75,11 @@ def main(argv):
 
     print("bench-smoke: compared %d timings against %s" % (compared, argv[1]))
     if skipped:
-        print("skipped %d record(s) with a non-ok outcome" % skipped)
+        # Name the degraded benchmarks so a truncated run is visible in
+        # the CI log, not silently dropped from the comparison.
+        print("skipped %d record(s) with a non-ok outcome:" % len(skipped))
+        for name in skipped:
+            print("  " + name)
     if not compared:
         print("warning: no overlapping records — baseline out of date?")
     if regressions:

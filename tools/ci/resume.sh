@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# resume.sh — crash-resilience smoke stage: starts a governed sharded
+# naive-failures run on a generator-produced fat tree, SIGTERMs it
+# mid-flight, resumes from the checkpoint journal at a different thread
+# count, and diffs the final JSON against an uninterrupted reference —
+# the resumed aggregate must be identical modulo the *_ms timing fields.
+# Also proves the journal failure modes (torn tail tolerated, interior
+# corruption and binding mismatch hard exit 2), retry semantics under
+# NV_FAULT_INJECT, and that replaying tests/corpus twice under --resume
+# shows no fingerprint drift.
+#
+# Usage: tools/ci/resume.sh [BUILD_DIR]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR=${1:-build}
+JOBS=${JOBS:-$(nproc)}
+
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release ${CMAKE_EXTRA:-}
+cmake --build "$BUILD_DIR" -j"$JOBS" --target nv nv-fuzz
+
+NV="./$BUILD_DIR/tools/nv"
+NV_FUZZ="./$BUILD_DIR/tools/nv-fuzz"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+NET="$WORK/net.nv"
+# Seed-derived fat tree (deterministic): 528 two-failure scenarios, a few
+# hundred ms of sharded work — enough runway to interrupt mid-flight.
+"$NV_FUZZ" --emit 12 > "$NET"
+
+strip_ms() { grep -v '_ms' "$1"; }
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+expect_code() {
+  local want=$1 desc=$2
+  shift 2
+  local got=0
+  "$@" > /dev/null 2>&1 || got=$?
+  [ "$got" -eq "$want" ] || fail "$desc: expected exit $want, got $got: $*"
+  echo "ok: $desc (exit $got)"
+}
+
+echo "== uninterrupted reference (4 threads) =="
+REF_CODE=0
+"$NV" naive "$NET" --links 2 --threads 4 --json "$WORK/ref.json" \
+  > /dev/null || REF_CODE=$?
+[ "$REF_CODE" -le 1 ] || fail "reference run died (exit $REF_CODE)"
+echo "ok: reference (exit $REF_CODE)"
+
+echo "== SIGTERM mid-flight =="
+J="$WORK/naive.journal"
+"$NV" naive "$NET" --links 2 --threads 4 --resume "$J" \
+  --json "$WORK/int.json" > /dev/null 2> "$WORK/int.err" &
+PID=$!
+# Wait until a few units are durably journaled (the header alone is
+# ~200 bytes), then interrupt.
+for _ in $(seq 1 500); do
+  SZ=$(stat -c %s "$J" 2>/dev/null || echo 0)
+  [ "$SZ" -ge 600 ] && break
+  sleep 0.01
+done
+kill -TERM "$PID" 2>/dev/null || true
+GOT=0
+wait "$PID" || GOT=$?
+[ "$GOT" -eq 3 ] || {
+  cat "$WORK/int.err" >&2
+  fail "interrupted run: expected exit 3, got $GOT"
+}
+grep -q "draining in-flight jobs" "$WORK/int.err" \
+  || fail "no graceful-shutdown message on SIGTERM"
+echo "ok: SIGTERM drained at safe points (exit 3)"
+"$NV" journal "$J" | head -3
+
+echo "== resume at 1 thread =="
+R1=0
+"$NV" naive "$NET" --links 2 --threads 1 --resume "$J" \
+  --json "$WORK/r1.json" > "$WORK/r1.out" || R1=$?
+[ "$R1" -eq "$REF_CODE" ] || fail "resumed run exit $R1 != reference $REF_CODE"
+grep -q "completed unit(s) replayed" "$WORK/r1.out" \
+  || fail "resume replayed nothing"
+diff <(strip_ms "$WORK/ref.json") <(strip_ms "$WORK/r1.json") \
+  || fail "resumed (1 thread) JSON differs from uninterrupted reference"
+echo "ok: resumed aggregate identical at 1 thread"
+
+echo "== resume again at 4 threads (full replay) =="
+R4=0
+"$NV" naive "$NET" --links 2 --threads 4 --resume "$J" \
+  --json "$WORK/r4.json" > /dev/null || R4=$?
+[ "$R4" -eq "$REF_CODE" ] || fail "full-replay run exit $R4 != $REF_CODE"
+diff <(strip_ms "$WORK/ref.json") <(strip_ms "$WORK/r4.json") \
+  || fail "resumed (4 threads) JSON differs from uninterrupted reference"
+echo "ok: resumed aggregate identical at 4 threads"
+
+echo "== torn trailing entry tolerated =="
+truncate -s -3 "$J"
+RT=0
+"$NV" naive "$NET" --links 2 --threads 4 --resume "$J" \
+  --json "$WORK/rt.json" > /dev/null 2> "$WORK/rt.err" || RT=$?
+[ "$RT" -eq "$REF_CODE" ] || fail "torn-tail resume exit $RT != $REF_CODE"
+grep -qi "torn" "$WORK/rt.err" || fail "no torn-tail note"
+diff <(strip_ms "$WORK/ref.json") <(strip_ms "$WORK/rt.json") \
+  || fail "torn-tail resume JSON differs from reference"
+echo "ok: torn tail dropped, unit re-ran, aggregate identical"
+
+echo "== interior corruption is a hard error =="
+printf '\xff' | dd of="$J" bs=1 seek=30 conv=notrunc status=none
+expect_code 2 "corrupt journal rejected" \
+  "$NV" naive "$NET" --links 2 --resume "$J"
+
+echo "== binding mismatch is a hard error =="
+rm -f "$J"
+"$NV" naive "$NET" --links 1 --resume "$J" > /dev/null || true
+expect_code 2 "journal bound to other inputs rejected" \
+  "$NV" naive "$NET" --links 2 --resume "$J"
+
+echo "== per-job retry under NV_FAULT_INJECT =="
+# One-shot fault + --retry 2: the hit scenario fails its first attempt,
+# succeeds on retry, and the verdict matches the fault-free reference.
+RETRY=0
+env NV_FAULT_INJECT=sim-pop:40 \
+  "$NV" naive "$NET" --links 2 --retry 2 --json "$WORK/retry.json" \
+  > /dev/null || RETRY=$?
+[ "$RETRY" -eq "$REF_CODE" ] || fail "retry-then-succeed exit $RETRY"
+diff <(strip_ms "$WORK/ref.json") <(strip_ms "$WORK/retry.json") \
+  || fail "retry-then-succeed JSON differs from reference"
+echo "ok: transient fault retried, verdict preserved"
+# A persistent transient (one-step budget) burns its retries and degrades
+# to the structured resource-exhausted exit, never an abort.
+expect_code 3 "exhausted retries degrade structurally" \
+  "$NV" naive "$NET" --links 2 --retry 2 --max-steps 1
+
+echo "== corpus replay under --resume: no fingerprint drift =="
+JC="$WORK/corpus.journal"
+"$NV_FUZZ" --replay tests/corpus --resume "$JC" --json "$WORK/c1.json" \
+  > /dev/null
+"$NV_FUZZ" --replay tests/corpus --resume "$JC" --json "$WORK/c2.json" \
+  > "$WORK/c2.out"
+grep -q "(journal)" "$WORK/c2.out" || fail "second replay re-ran the corpus"
+diff <(strip_ms "$WORK/c1.json") <(strip_ms "$WORK/c2.json") \
+  || fail "journaled corpus replay drifted"
+echo "ok: corpus verdicts stable across resume"
+
+echo "resume smoke passed"

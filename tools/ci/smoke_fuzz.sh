@@ -2,7 +2,7 @@
 # smoke_fuzz.sh — short differential-fuzz pass for PR CI: replay the
 # committed regression corpus, then a fixed-seed batch of fresh instances.
 # Any divergence fails the job; the repro (if --minimize produced one)
-# lands under the given corpus dir for upload as an artifact.
+# lands under the artifact dir for upload as an artifact.
 #
 # Usage: tools/ci/smoke_fuzz.sh [BUILD_DIR] [COUNT] [SEED]
 set -euo pipefail
@@ -22,4 +22,4 @@ echo
 echo "== smoke fuzz: $COUNT instances, seed $SEED =="
 mkdir -p fuzz-artifacts
 "$FUZZ" --seed "$SEED" --count "$COUNT" --minimize \
-  --corpus-dir fuzz-artifacts --json fuzz-artifacts/summary.json
+  --artifact-dir fuzz-artifacts --json fuzz-artifacts/summary.json

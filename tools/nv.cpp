@@ -8,22 +8,35 @@
 //   nv verify FILE.nv [opts]          SMT-verify the assert over all
 //                                     stable states / symbolic values
 //   nv ft     FILE.nv [opts]          fault-tolerance meta-analysis (Fig. 5)
+//   nv naive  FILE.nv [opts]          naive per-scenario failure sweep
+//                                     (sharded, checkpointable)
+//   nv journal FILE.journal           inspect a checkpoint journal
 //
 // Common options:
 //   --native            use the closure-compiled evaluator (sim/ft)
 //   --sym NAME=EXPR     bind a symbolic to a concrete NV expression (sim/ft)
 //   --timeout SECS      SMT timeout (verify)
 //   --baseline          MineSweeper-style encoder options (verify)
-//   --links K           number of simultaneous link failures (ft, default 1)
-//   --node              also fail one node per scenario (ft)
-//   --deadline-ms MS    wall-clock budget for the run (sim/verify/ft)
-//   --node-budget N     MTBDD live-node budget (sim/ft)
-//   --max-steps N       simulator step (worklist-pop) budget (sim/ft)
+//   --links K           number of simultaneous link failures (ft/naive)
+//   --node              also fail one node per scenario (ft/naive)
+//   --threads N         worker threads for the sharded phases (ft/naive)
+//   --deadline-ms MS    wall-clock budget for the run (sim/verify/ft/naive)
+//   --node-budget N     MTBDD live-node budget (sim/ft/naive)
+//   --max-steps N       simulator step (worklist-pop) budget (sim/ft/naive)
+//   --resume PATH       checkpoint/resume journal (ft/naive): completed
+//                       units replay, new completions append durably
+//   --retry N           attempts per unit for transient trips (ft/naive)
+//   --json PATH         machine-readable result (naive)
+//
+// SIGINT/SIGTERM trigger graceful shutdown in sim/verify/ft/naive:
+// in-flight jobs drain at their governor safe points, the journal is
+// already durable per completed unit, and the exit code is 3.
 //
 // Exit codes:
 //   0  success (property holds / command completed)
 //   1  property falsified (failed assert, FT violations, counterexample)
-//   2  user error (bad usage, parse/type/evaluation error, solver unknown)
+//   2  user error (bad usage, parse/type/evaluation error, solver unknown,
+//      corrupt or mismatched --resume journal)
 //   3  resource exhausted (deadline, step/node budget, cancellation,
 //      injected fault) — the run ended with a structured outcome, not a
 //      verdict
@@ -32,12 +45,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/FaultTolerance.h"
+#include "baselines/NaiveFailures.h"
 #include "core/Parser.h"
 #include "core/Printer.h"
 #include "core/TypeChecker.h"
 #include "eval/Compile.h"
 #include "sim/Simulator.h"
 #include "smt/Verifier.h"
+#include "support/Journal.h"
+#include "support/Resume.h"
+#include "support/Timer.h"
 
 #include <cstdio>
 #include <cstring>
@@ -50,10 +67,12 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nv <check|print|sim|verify|ft> FILE.nv [options]\n"
+               "usage: nv <check|print|sim|verify|ft|naive|journal> FILE "
+               "[options]\n"
                "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
-               "  --links K  --node\n"
-               "  --deadline-ms MS  --node-budget N  --max-steps N\n");
+               "  --links K  --node  --threads N\n"
+               "  --deadline-ms MS  --node-budget N  --max-steps N\n"
+               "  --resume PATH  --retry N  --json PATH\n");
   return 2;
 }
 
@@ -64,10 +83,15 @@ struct CliOptions {
   bool Baseline = false;
   bool NodeFailure = false;
   unsigned Links = 1;
+  unsigned Threads = 1;
   unsigned TimeoutSec = 0;
+  unsigned Retry = 1;
   double DeadlineMs = 0;
   uint64_t MaxSteps = 0;
   uint64_t NodeBudget = 0;
+  std::string ResumePath;
+  std::string JsonPath;
+  CancelToken *Cancel = nullptr; ///< Set by main for the engine commands.
   std::vector<std::pair<std::string, std::string>> Syms;
 
   /// Folds the governance flags into \p B (leaves unset knobs alone, so
@@ -79,6 +103,29 @@ struct CliOptions {
       B.MaxSteps = MaxSteps;
     if (NodeBudget > 0)
       B.MaxLiveNodes = static_cast<size_t>(NodeBudget);
+    if (Cancel)
+      B.Cancel = Cancel;
+  }
+
+  /// The journal binding of an ft/naive run: everything that changes the
+  /// unit list or unit semantics. Thread count and file path are recorded
+  /// as provenance only — results are thread-count-invariant by design,
+  /// and the program content (not its path) is what binds.
+  RunBinding binding(const std::string &ProgramText) const {
+    RunBinding B;
+    B.set("tool", "nv");
+    B.set("command", Command);
+    B.set("program", fnv1a64Hex(ProgramText));
+    B.setInt("links", Links);
+    B.setInt("node-failure", NodeFailure ? 1 : 0);
+    B.setInt("native", Native ? 1 : 0);
+    B.set("deadline-ms", std::to_string(DeadlineMs));
+    B.setInt("max-steps", (long long)MaxSteps);
+    B.setInt("node-budget", (long long)NodeBudget);
+    B.setInt("retry", Retry);
+    B.setProvenance("threads", std::to_string(Threads));
+    B.setProvenance("file", File);
+    return B;
   }
 };
 
@@ -97,6 +144,14 @@ std::optional<CliOptions> parseCli(int argc, char **argv) {
       O.NodeFailure = true;
     } else if (!std::strcmp(argv[I], "--links") && I + 1 < argc) {
       O.Links = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--threads") && I + 1 < argc) {
+      O.Threads = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--retry") && I + 1 < argc) {
+      O.Retry = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--resume") && I + 1 < argc) {
+      O.ResumePath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
+      O.JsonPath = argv[++I];
     } else if (!std::strcmp(argv[I], "--timeout") && I + 1 < argc) {
       O.TimeoutSec = static_cast<unsigned>(atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--deadline-ms") && I + 1 < argc) {
@@ -236,12 +291,152 @@ int cmdVerify(const Program &P, const CliOptions &O) {
   return 4;
 }
 
+/// Opens the --resume journal when one was requested. Returns false with
+/// \p ExitCode set on failure: corruption or a binding mismatch is a user
+/// error (2) per the exit-code table — never silently reused.
+bool openResume(const CliOptions &O, const std::string &ProgramText,
+                std::unique_ptr<ResumeLog> &Log, int &ExitCode) {
+  if (O.ResumePath.empty())
+    return true;
+  ResumeLog::OpenResult R = ResumeLog::open(O.ResumePath, O.binding(ProgramText));
+  if (!R.Log) {
+    std::fprintf(stderr, "nv: %s\n", R.Error.c_str());
+    ExitCode = 2;
+    return false;
+  }
+  Log = std::move(R.Log);
+  if (Log->tornTailDropped())
+    std::fprintf(stderr,
+                 "nv: note: %s ended mid-entry (interrupted write); the "
+                 "torn entry was dropped and that unit re-runs\n",
+                 Log->path().c_str());
+  if (Log->replayedCount())
+    std::printf("resuming from %s: %zu completed unit(s) replayed\n",
+                Log->path().c_str(), Log->replayedCount());
+  return true;
+}
+
+/// Minimal JSON string escaping for outcome/detail text.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+int cmdNaive(const Program &P, const CliOptions &O) {
+  FtOptions Opts;
+  Opts.LinkFailures = O.Links;
+  Opts.NodeFailure = O.NodeFailure;
+  O.applyBudget(Opts.Budget);
+  Opts.Retry.MaxAttempts = O.Retry;
+
+  std::string Text = printProgram(P);
+  std::unique_ptr<ResumeLog> Log;
+  int Ec = 0;
+  if (!openResume(O, Text, Log, Ec))
+    return Ec;
+  Opts.Resume = Log.get();
+
+  Stopwatch W;
+  ThreadPool Pool(O.Threads);
+  FtCheckResult R = naiveFaultToleranceParallel(P, Opts, Pool);
+  double Ms = W.elapsedMs();
+
+  // The violation set in scenario order is the run's semantic payload; the
+  // hash makes "bit-identical aggregate" checkable from the JSON alone.
+  std::string VioBlob;
+  for (const FtViolation &V : R.Violations)
+    VioBlob += V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
+               V.routeStr() + "\n";
+  std::string VioHash = fnv1a64Hex(VioBlob);
+
+  std::printf("%llu scenarios checked (%llu replayed, %llu skipped, %llu "
+              "retries), %zu violation(s) in %.1fms\n",
+              (unsigned long long)R.ScenariosChecked,
+              (unsigned long long)R.ScenariosReplayed,
+              (unsigned long long)R.ScenariosSkipped,
+              (unsigned long long)R.RetriesPerformed, R.Violations.size(), Ms);
+  for (size_t I = 0; I < std::min<size_t>(5, R.Violations.size()); ++I) {
+    const FtViolation &V = R.Violations[I];
+    std::printf("  %s: node %u selects %s\n", V.Scenario.str().c_str(),
+                V.Node, V.routeStr().c_str());
+  }
+
+  if (!O.JsonPath.empty()) {
+    std::ofstream Out(O.JsonPath);
+    // Timing fields end in _ms so resume.sh's diff can strip exactly them;
+    // replayed/retry counts are deliberately excluded — they describe how
+    // the run was produced, not what it computed.
+    Out << "[\n  {\n"
+        << "    \"bench\": \"naive\",\n"
+        << "    \"network\": \"" << jsonEscape(O.File) << "\",\n"
+        << "    \"links\": " << O.Links << ",\n"
+        << "    \"node_failure\": " << (O.NodeFailure ? 1 : 0) << ",\n"
+        << "    \"scenarios\": " << R.ScenariosChecked << ",\n"
+        << "    \"skipped\": " << R.ScenariosSkipped << ",\n"
+        << "    \"violations\": " << R.Violations.size() << ",\n"
+        << "    \"violations_hash\": \"" << VioHash << "\",\n"
+        << "    \"outcome\": \"" << jsonEscape(R.Outcome.str()) << "\",\n"
+        << "    \"elapsed_ms\": " << Ms << "\n"
+        << "  }\n]\n";
+  }
+
+  if (!R.Outcome.ok()) {
+    std::printf("first non-ok scenario outcome: %s\n", R.Outcome.str().c_str());
+    if (int Code = exitCodeForOutcome(R.Outcome))
+      return Code;
+  }
+  return R.Violations.empty() ? 0 : 1;
+}
+
+int cmdJournal(const std::string &Path) {
+  JournalRead R = readJournal(Path);
+  if (R.St == JournalRead::State::Corrupt) {
+    std::fprintf(stderr, "nv: %s\n", R.Error.c_str());
+    return 2;
+  }
+  if (R.St == JournalRead::State::NoFile) {
+    std::fprintf(stderr, "nv: %s: no journal found\n", Path.c_str());
+    return 2;
+  }
+  std::printf("journal: %s\nbinding:\n", Path.c_str());
+  std::istringstream Header(R.Header);
+  for (std::string Line; std::getline(Header, Line);)
+    std::printf("  %s\n", Line.c_str());
+  std::printf("entries: %zu%s\n", R.Entries.size(),
+              R.TornTail ? " (+ one torn trailing entry, dropped)" : "");
+  size_t Show = std::min<size_t>(R.Entries.size(), 10);
+  for (size_t I = 0; I < Show; ++I) {
+    UnitRecord Rec;
+    if (UnitRecord::parse(R.Entries[I], Rec))
+      std::printf("  %s\n", Rec.Key.c_str());
+  }
+  if (R.Entries.size() > Show)
+    std::printf("  ... %zu more\n", R.Entries.size() - Show);
+  return 0;
+}
+
 int cmdFt(const Program &P, const CliOptions &O) {
   DiagnosticEngine Diags;
   FtOptions Opts;
   Opts.LinkFailures = O.Links;
   Opts.NodeFailure = O.NodeFailure;
+  Opts.Threads = O.Threads;
   O.applyBudget(Opts.Budget);
+  Opts.Retry.MaxAttempts = O.Retry;
+  std::unique_ptr<ResumeLog> Log;
+  int Ec = 0;
+  if (!openResume(O, printProgram(P), Log, Ec))
+    return Ec;
+  Opts.Resume = Log.get();
   FtRunResult R = runFaultTolerance(P, Opts, O.Native, Diags);
   Diags.printToStderr();
   if (!R.Outcome.ok()) {
@@ -264,7 +459,7 @@ int cmdFt(const Program &P, const CliOptions &O) {
   for (size_t I = 0; I < std::min<size_t>(5, R.Check.Violations.size()); ++I) {
     const FtViolation &V = R.Check.Violations[I];
     std::printf("  %s: node %u selects %s\n", V.Scenario.str().c_str(),
-                V.Node, V.Route->str().c_str());
+                V.Node, V.routeStr().c_str());
   }
   return 1;
 }
@@ -275,6 +470,9 @@ int main(int argc, char **argv) {
   auto O = parseCli(argc, argv);
   if (!O)
     return usage();
+
+  if (O->Command == "journal")
+    return cmdJournal(O->File);
 
   auto Src = readFile(O->File);
   if (!Src) {
@@ -305,12 +503,21 @@ int main(int argc, char **argv) {
     return 0;
   }
   try {
+    // Signal-driven graceful shutdown for every engine command: the first
+    // SIGINT/SIGTERM trips the shared CancelToken (threaded into each
+    // engine's budget via applyBudget), jobs drain at safe points, and the
+    // Canceled outcome exits with code 3. A second signal exits at once.
+    CancelToken Cancel;
+    GracefulShutdown Shutdown(Cancel);
+    O->Cancel = &Cancel;
     if (O->Command == "sim")
       return cmdSim(*P, *O);
     if (O->Command == "verify")
       return cmdVerify(*P, *O);
     if (O->Command == "ft")
       return cmdFt(*P, *O);
+    if (O->Command == "naive")
+      return cmdNaive(*P, *O);
   } catch (const EngineError &E) {
     // An engine let a structured error escape its boundary (or a fault was
     // injected outside any engine's catch); still exit structurally.

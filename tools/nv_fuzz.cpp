@@ -12,11 +12,23 @@
 //
 // Options:
 //   --minimize           shrink each divergence and write a corpus repro
-//   --corpus-dir DIR     where minimized repros are written (default
-//                        tests/corpus)
+//   --artifact-dir DIR   where minimized repros (and other run artifacts)
+//                        are written (default tests/corpus; --corpus-dir
+//                        is the older spelling of the same knob)
+//   --resume PATH        campaign checkpoint journal: completed instances
+//                        are replayed (divergence tallies included) and
+//                        each newly completed instance is recorded durably
+//   --retry N            attempts per instance when an EngineError with a
+//                        transient outcome escapes the oracle's per-leg
+//                        catches; exhausted retries record the instance as
+//                        skipped instead of killing the campaign
 //   --threads N          thread count for the N-thread oracle legs
 //   --no-smt/--no-ft/--no-naive   disable oracle legs
 //   --json PATH          machine-readable summary
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the in-flight instance drains
+// through its engines' safe points, the journal keeps every completed
+// instance, and the campaign exits with code 3.
 //
 // Determinism: instance i of a run is seed-derived via mixSeed(S, i) —
 // the same --seed/--count always replays the same instances and reaches
@@ -39,6 +51,7 @@
 #include "fuzz/Oracle.h"
 #include "fuzz/Rng.h"
 #include "support/Governor.h"
+#include "support/Resume.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -56,7 +69,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: nv-fuzz [--seed S] [--count N] [--start I] [--time-budget SECS]\n"
-      "               [--minimize] [--corpus-dir DIR] [--threads N]\n"
+      "               [--minimize] [--artifact-dir DIR] [--threads N]\n"
+      "               [--resume PATH] [--retry N]\n"
       "               [--no-smt] [--no-ft] [--no-naive] [--json PATH]\n"
       "       nv-fuzz --replay PATH   (corpus file or directory)\n"
       "       nv-fuzz --emit SEED     (print one instance in corpus form)\n");
@@ -69,9 +83,11 @@ struct FuzzCli {
   uint64_t Start = 0;
   unsigned TimeBudgetSec = 0;
   bool Minimize = false;
-  std::string CorpusDir = "tests/corpus";
+  std::string ArtifactDir = "tests/corpus";
   std::string ReplayPath;
+  std::string ResumePath;
   std::string JsonPath;
+  unsigned Retry = 1;
   bool Emit = false;
   uint64_t EmitSeed = 0;
   OracleOptions Oracle;
@@ -113,11 +129,21 @@ std::optional<FuzzCli> parseCli(int argc, char **argv) {
       O.Oracle.Threads = static_cast<unsigned>(std::atoi(V));
     } else if (Arg("--minimize")) {
       O.Minimize = true;
-    } else if (Arg("--corpus-dir")) {
+    } else if (Arg("--corpus-dir") || Arg("--artifact-dir")) {
       const char *V = Next();
       if (!V)
         return std::nullopt;
-      O.CorpusDir = V;
+      O.ArtifactDir = V;
+    } else if (Arg("--resume")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.ResumePath = V;
+    } else if (Arg("--retry")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Retry = static_cast<unsigned>(std::atoi(V));
     } else if (Arg("--replay")) {
       const char *V = Next();
       if (!V)
@@ -157,20 +183,156 @@ struct RunTally {
   uint64_t Instances = 0;
   uint64_t Divergences = 0;
   uint64_t LegRuns = 0;
+  uint64_t Skipped = 0;
+  uint64_t Replayed = 0;
+  uint64_t Retries = 0;
   std::vector<std::string> ReproFiles;
 };
 
-/// Runs one instance; on divergence optionally minimizes and writes a
-/// corpus repro. Returns false on divergence.
-bool runOne(const FuzzInstance &Inst, const FuzzCli &Cli, RunTally &T) {
+/// What one completed instance contributed — exactly the facts the
+/// checkpoint journal needs to replay it without re-running any engine.
+struct InstanceResult {
+  bool Diverged = false;
+  bool Skipped = false;
+  uint64_t Legs = 0;
+  unsigned Attempts = 1;
+  std::string ReproFile;
+};
+
+/// The journal header: everything that determines per-instance verdicts.
+/// Thread count and wall-clock budget are provenance — verdicts are
+/// invariant under both, so an interrupted campaign may resume with
+/// different parallelism.
+RunBinding fuzzBinding(const FuzzCli &Cli, const char *Mode) {
+  RunBinding B;
+  B.set("tool", "nv-fuzz");
+  B.set("mode", Mode);
+  if (!std::strcmp(Mode, "campaign")) {
+    B.setInt("seed", static_cast<long long>(Cli.Seed));
+    B.setInt("start", static_cast<long long>(Cli.Start));
+    if (Cli.TimeBudgetSec)
+      B.set("count", "time-budget");
+    else
+      B.setInt("count", static_cast<long long>(Cli.Count));
+  } else {
+    B.set("replay-root", Cli.ReplayPath);
+  }
+  B.setInt("smt", Cli.Oracle.EnableSmt);
+  B.setInt("ft", Cli.Oracle.EnableFt);
+  B.setInt("naive", Cli.Oracle.EnableNaive);
+  B.setInt("inject-bug", Cli.Oracle.InjectBugForTesting);
+  B.setInt("retry", Cli.Retry);
+  B.setProvenance("threads", std::to_string(Cli.Oracle.Threads));
+  if (Cli.TimeBudgetSec)
+    B.setProvenance("time-budget-sec", std::to_string(Cli.TimeBudgetSec));
+  return B;
+}
+
+bool openFuzzResume(const FuzzCli &Cli, const char *Mode,
+                    std::unique_ptr<ResumeLog> &Log, int &ExitCode) {
+  if (Cli.ResumePath.empty())
+    return true;
+  ResumeLog::OpenResult R =
+      ResumeLog::open(Cli.ResumePath, fuzzBinding(Cli, Mode));
+  if (!R.Log) {
+    std::fprintf(stderr, "nv-fuzz: %s\n", R.Error.c_str());
+    ExitCode = 2;
+    return false;
+  }
+  Log = std::move(R.Log);
+  if (Log->tornTailDropped())
+    std::fprintf(stderr,
+                 "nv-fuzz: note: dropped a torn trailing journal entry "
+                 "(interrupted mid-write); that instance will re-run\n");
+  if (Log->replayedCount())
+    std::printf("resuming from %s: %zu completed instance(s) replayed\n",
+                Log->path().c_str(), Log->replayedCount());
+  return true;
+}
+
+void recordInstance(ResumeLog &Log, const std::string &Key,
+                    const std::string &Name, const InstanceResult &R) {
+  UnitRecord Rec;
+  Rec.Key = Key;
+  Rec.add("name", Name);
+  Rec.addInt("div", R.Diverged ? 1 : 0);
+  Rec.addInt("skip", R.Skipped ? 1 : 0);
+  Rec.addInt("legs", static_cast<long long>(R.Legs));
+  Rec.addInt("attempts", R.Attempts);
+  if (!R.ReproFile.empty())
+    Rec.add("repro", R.ReproFile);
+  Log.recordDone(Rec);
+}
+
+/// Applies a journaled instance record to the tally as if the instance
+/// had just run. Returns false if the record lacks the expected fields
+/// (version drift) — the caller then re-runs the instance.
+bool replayInstance(const UnitRecord &Rec, RunTally &T) {
+  const std::string *Legs = Rec.get("legs");
+  const std::string *Div = Rec.get("div");
+  if (!Legs || !Div)
+    return false;
+  ++T.Instances;
+  ++T.Replayed;
+  T.LegRuns += std::strtoull(Legs->c_str(), nullptr, 10);
+  if (const std::string *S = Rec.get("skip"); S && *S == "1")
+    ++T.Skipped;
+  if (*Div == "1") {
+    ++T.Divergences;
+    const std::string *Name = Rec.get("name");
+    std::printf("DIVERGENCE %s (replayed from journal)\n",
+                Name ? Name->c_str() : Rec.Key.c_str());
+  }
+  if (const std::string *Repro = Rec.get("repro"))
+    T.ReproFiles.push_back(*Repro);
+  return true;
+}
+
+/// Runs one instance through the oracle; on divergence optionally
+/// minimizes and writes a corpus repro under the artifact directory.
+/// An EngineError with a transient resource-limit outcome that escapes
+/// the oracle's per-leg catches is retried up to --retry times; when the
+/// retries are exhausted the instance is recorded as skipped (so a
+/// persistently flaky unit cannot kill a long campaign). Returns false
+/// on divergence.
+bool runOne(const FuzzInstance &Inst, const FuzzCli &Cli, RunTally &T,
+            InstanceResult &R) {
   DiagnosticEngine Diags;
-  OracleVerdict V = runOracle(Inst, Cli.Oracle, Diags);
+  OracleVerdict V;
+  unsigned MaxAttempts = Cli.Retry ? Cli.Retry : 1;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    R.Attempts = Attempt;
+    try {
+      V = runOracle(Inst, Cli.Oracle, Diags);
+      break;
+    } catch (const EngineError &E) {
+      if (!isTransientOutcome(E.outcome()))
+        throw;
+      if (Attempt < MaxAttempts) {
+        ++T.Retries;
+        continue;
+      }
+      if (MaxAttempts > 1) {
+        // Retries exhausted on a transient failure: record durably as
+        // skipped and let the campaign continue.
+        R.Skipped = true;
+        ++T.Instances;
+        ++T.Skipped;
+        std::printf("SKIP %s after %u attempt(s): %s\n", Inst.Name.c_str(),
+                    Attempt, E.what());
+        return true;
+      }
+      throw; // retry disabled: preserve the structural-exit behavior
+    }
+  }
   ++T.Instances;
   T.LegRuns += V.Runs.size();
+  R.Legs = V.Runs.size();
   if (V.Ok)
     return true;
 
   ++T.Divergences;
+  R.Diverged = true;
   std::printf("DIVERGENCE %s\n  %s\n", Inst.Name.c_str(),
               V.Mismatch.c_str());
   if (!Cli.Minimize)
@@ -181,11 +343,11 @@ bool runOne(const FuzzInstance &Inst, const FuzzCli &Cli, RunTally &T) {
               M.Final.NumNodes, M.Final.Edges.size(), M.OracleRuns,
               M.MovesApplied);
   std::error_code EC;
-  std::filesystem::create_directories(Cli.CorpusDir, EC);
+  std::filesystem::create_directories(Cli.ArtifactDir, EC);
   char SeedHex[32];
   std::snprintf(SeedHex, sizeof(SeedHex), "%016llx",
                 static_cast<unsigned long long>(Inst.Spec.Seed));
-  std::string Path = Cli.CorpusDir + "/repro_" +
+  std::string Path = Cli.ArtifactDir + "/repro_" +
                      policyKindName(M.Final.Policy) + "_" + SeedHex + ".nv";
   std::ofstream Out(Path);
   if (!Out) {
@@ -196,6 +358,7 @@ bool runOne(const FuzzInstance &Inst, const FuzzCli &Cli, RunTally &T) {
                                         M.Verdict.Mismatch.substr(0, 200));
   std::printf("  wrote %s\n", Path.c_str());
   T.ReproFiles.push_back(Path);
+  R.ReproFile = Path;
   return false;
 }
 
@@ -205,9 +368,12 @@ bool writeJson(const std::string &Path, const RunTally &T, double Ms) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
     return false;
   }
+  // No "replayed"/"retries" fields: a resumed run's summary must be
+  // byte-identical to an uninterrupted one (modulo the _ms timing field).
   Out << "{\n  \"instances\": " << T.Instances
       << ",\n  \"divergences\": " << T.Divergences
-      << ",\n  \"engine_runs\": " << T.LegRuns << ",\n  \"elapsed_ms\": "
+      << ",\n  \"engine_runs\": " << T.LegRuns
+      << ",\n  \"skipped\": " << T.Skipped << ",\n  \"elapsed_ms\": "
       << static_cast<uint64_t>(Ms) << ",\n  \"repros\": [";
   for (size_t I = 0; I < T.ReproFiles.size(); ++I)
     Out << (I ? ", " : "") << '"' << T.ReproFiles[I] << '"';
@@ -215,7 +381,7 @@ bool writeJson(const std::string &Path, const RunTally &T, double Ms) {
   return true;
 }
 
-int replay(const FuzzCli &Cli) {
+int replay(FuzzCli &Cli) {
   std::vector<std::string> Files;
   if (std::filesystem::is_directory(Cli.ReplayPath))
     Files = listCorpusFiles(Cli.ReplayPath);
@@ -226,14 +392,43 @@ int replay(const FuzzCli &Cli) {
                  Cli.ReplayPath.c_str());
     return 2;
   }
+
+  std::unique_ptr<ResumeLog> Log;
+  int Ec = 0;
+  if (!openFuzzResume(Cli, "replay", Log, Ec))
+    return Ec;
+
+  CancelToken Cancel;
+  GracefulShutdown Shutdown(Cancel);
+  Cli.Oracle.Cancel = &Cancel;
+
   RunTally T;
   Stopwatch W;
   bool AllOk = true;
   for (const std::string &F : Files) {
+    if (Cancel.isCanceled())
+      break;
+    if (Log) {
+      // Journal key for replay mode is the corpus file path itself.
+      UnitRecord Rec;
+      if (Log->replay(F, Rec) && replayInstance(Rec, T)) {
+        const std::string *Div = Rec.get("div");
+        bool Ok = !Div || *Div != "1";
+        std::printf("%-60s %s\n", F.c_str(),
+                    Ok ? "ok (journal)" : "DIVERGED (journal)");
+        AllOk = AllOk && Ok;
+        continue;
+      }
+    }
     auto Inst = loadCorpusFile(F);
     if (!Inst)
       return 2;
-    bool Ok = runOne(*Inst, Cli, T);
+    InstanceResult R;
+    bool Ok = runOne(*Inst, Cli, T, R);
+    if (Cancel.isCanceled())
+      break; // legs drained via cancellation: not a completed unit
+    if (Log)
+      recordInstance(*Log, F, Inst->Name, R);
     std::printf("%-60s %s\n", F.c_str(), Ok ? "ok" : "DIVERGED");
     AllOk = AllOk && Ok;
   }
@@ -242,6 +437,13 @@ int replay(const FuzzCli &Cli) {
               static_cast<unsigned long long>(T.Divergences));
   if (!Cli.JsonPath.empty() && !writeJson(Cli.JsonPath, T, W.elapsedMs()))
     return 2;
+  if (Shutdown.triggered()) {
+    std::fprintf(stderr,
+                 "nv-fuzz: replay interrupted; %zu completed instance(s) "
+                 "journaled\n",
+                 Log ? Log->entryCount() : size_t(0));
+    return 3;
+  }
   return AllOk ? 0 : 1;
 }
 
@@ -265,26 +467,51 @@ int fuzzMain(int argc, char **argv) {
   if (!Cli->ReplayPath.empty())
     return replay(*Cli);
 
+  std::unique_ptr<ResumeLog> Log;
+  int Ec = 0;
+  if (!openFuzzResume(*Cli, "campaign", Log, Ec))
+    return Ec;
+
+  CancelToken Cancel;
+  GracefulShutdown Shutdown(Cancel);
+  Cli->Oracle.Cancel = &Cancel;
+
   RunTally T;
   Stopwatch W;
   for (uint64_t I = Cli->Start;; ++I) {
+    if (Cancel.isCanceled())
+      break;
     if (Cli->TimeBudgetSec) {
       if (W.elapsedMs() >= Cli->TimeBudgetSec * 1000.0)
         break;
     } else if (I >= Cli->Start + Cli->Count) {
       break;
     }
+    std::string Key = "i";
+    Key += std::to_string(I);
+    if (Log) {
+      UnitRecord Rec;
+      if (Log->replay(Key, Rec) && replayInstance(Rec, T))
+        continue;
+    }
     uint64_t Seed = mixSeed(Cli->Seed, I);
     DiagnosticEngine Diags;
     FuzzInstance Inst = instanceFromSeed(Seed, Diags);
     if (Inst.NvSource.empty()) {
+      // Not journaled: generation is deterministic, so a resumed run
+      // reproduces (and re-counts) the same generator error.
       std::printf("GENERATOR ERROR seed=0x%016llx:\n%s",
                   static_cast<unsigned long long>(Seed),
                   Diags.str().c_str());
       ++T.Divergences;
       continue;
     }
-    runOne(Inst, *Cli, T);
+    InstanceResult R;
+    runOne(Inst, *Cli, T, R);
+    if (Cancel.isCanceled())
+      break; // legs drained via cancellation: not a completed unit
+    if (Log)
+      recordInstance(*Log, Key, Inst.Name, R);
     if ((I + 1) % 100 == 0)
       std::printf("[%llu] %llu instances, %llu divergences, %.1fs\n",
                   static_cast<unsigned long long>(I + 1),
@@ -292,13 +519,24 @@ int fuzzMain(int argc, char **argv) {
                   static_cast<unsigned long long>(T.Divergences),
                   W.elapsedMs() / 1000.0);
   }
-  std::printf("%llu instances, %llu engine runs, %llu divergences, %.1fs\n",
+  std::printf("%llu instances (%llu replayed, %llu skipped, %llu retries), "
+              "%llu engine runs, %llu divergences, %.1fs\n",
               static_cast<unsigned long long>(T.Instances),
+              static_cast<unsigned long long>(T.Replayed),
+              static_cast<unsigned long long>(T.Skipped),
+              static_cast<unsigned long long>(T.Retries),
               static_cast<unsigned long long>(T.LegRuns),
               static_cast<unsigned long long>(T.Divergences),
               W.elapsedMs() / 1000.0);
   if (!Cli->JsonPath.empty() && !writeJson(Cli->JsonPath, T, W.elapsedMs()))
     return 2;
+  if (Shutdown.triggered()) {
+    std::fprintf(stderr,
+                 "nv-fuzz: campaign interrupted; %zu completed instance(s) "
+                 "journaled\n",
+                 Log ? Log->entryCount() : size_t(0));
+    return 3;
+  }
   return T.Divergences ? 1 : 0;
 }
 
