@@ -1,0 +1,180 @@
+//===- serve_latency.cpp - Cold CLI pipeline vs warm serve session -----------===//
+//
+// Measures what `nv serve` exists to buy: the latency of a repeat
+// fault-tolerance query against a resident session versus the cold cost
+// of the same query as a one-shot CLI-style invocation that repays the
+// whole pipeline every time. Both warm layers are reported — the memoized
+// repeat (an identical query answered from the session's result cache,
+// the daemon's steady-state repeat latency) and the "fresh" recompute
+// (cached transform/evaluators, but the meta-simulation re-runs).
+//
+// The CI bench-smoke stage runs this with --smoke --min-speedup N and
+// fails the build when warm repeats stop being at least N times faster
+// than cold runs — the regression gate for the service's reason to exist.
+//
+// Extra flags (beyond the standard BenchUtil set):
+//   --min-speedup X   exit 1 unless every network's warm speedup >= X
+//   --repeats N       warm repeats per network (default 10)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FaultTolerance.h"
+#include "bench/BenchUtil.h"
+#include "core/Parser.h"
+#include "core/TypeChecker.h"
+#include "net/Generators.h"
+#include "serve/Serve.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace nv;
+using namespace nvbench;
+
+namespace {
+
+double median(std::vector<double> Xs) {
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
+}
+
+/// One cold query: everything a fresh `nv ft` process does after argv
+/// parsing — parse, typecheck, transform, build evaluators, simulate,
+/// check. Returns the wall time, or a negative value on failure.
+double coldQuery(const std::string &Src, unsigned LinkFailures) {
+  Stopwatch W;
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Src, Diags);
+  if (!P || !typeCheck(*P, Diags))
+    return -1;
+  FtOptions Opts;
+  Opts.LinkFailures = LinkFailures;
+  FtRunResult R = runFaultTolerance(*P, Opts, /*Compiled=*/false, Diags);
+  if (!R.Outcome.ok() || !R.Converged)
+    return -1;
+  return W.elapsedMs();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Args A = Args::parse(argc, argv);
+  double MinSpeedup = 0;
+  unsigned Repeats = 10;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-speedup") && I + 1 < argc)
+      MinSpeedup = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--repeats") && I + 1 < argc)
+      Repeats = static_cast<unsigned>(std::atoi(argv[++I]));
+  }
+
+  struct Net {
+    std::string Name;
+    std::string Src;
+    unsigned LinkFailures;
+  };
+  std::vector<Net> Nets;
+  std::vector<unsigned> Ks = A.Paper   ? std::vector<unsigned>{8, 12, 16}
+                             : A.Smoke ? std::vector<unsigned>{4}
+                                       : std::vector<unsigned>{4, 6, 8};
+  for (unsigned K : Ks)
+    Nets.push_back({"Fat" + std::to_string(K), generateSpSingle(K),
+                    A.Smoke ? 1u : 2u});
+
+  std::printf("serve latency — cold one-shot pipeline vs warm resident "
+              "session (ft query).\n\n");
+  Table T({"network", "cold (ms)", "recompute (ms)", "repeat (ms)", "speedup"});
+  JsonReport J;
+  bool GateOk = true;
+
+  for (const Net &N : Nets) {
+    // Cold: a fresh pipeline per iteration, like one CLI invocation.
+    std::vector<double> ColdMs;
+    for (unsigned I = 0; I < 3; ++I) {
+      double Ms = coldQuery(N.Src, N.LinkFailures);
+      if (Ms < 0) {
+        std::fprintf(stderr, "%s: cold query failed\n", N.Name.c_str());
+        return 1;
+      }
+      ColdMs.push_back(Ms);
+    }
+
+    // Warm: load once into a serve session, then repeat the same query.
+    ServeConfig Cfg;
+    Cfg.Threads = 1;
+    auto Res = ServeCore::create(Cfg);
+    if (!Res.Core) {
+      std::fprintf(stderr, "serve core: %s\n", Res.Error.c_str());
+      return 1;
+    }
+    Json LoadReq = Json::object();
+    LoadReq.set("verb", "load");
+    LoadReq.set("session", "bench");
+    LoadReq.set("program", N.Src);
+    Json Load = Res.Core->executeLine(LoadReq.dump());
+    std::string FtLine = "{\"verb\":\"ft\",\"session\":\"bench\",\"links\":" +
+                         std::to_string(N.LinkFailures) + "}";
+    Json First = Res.Core->executeLine(FtLine); // the session's cold miss
+    if (Load.getNumber("code", -1) != 0 || First.getNumber("code", -1) > 1) {
+      std::fprintf(stderr, "%s: serve setup failed: %s / %s\n", N.Name.c_str(),
+                   Load.dump().c_str(), First.dump().c_str());
+      return 1;
+    }
+    std::string FreshLine = FtLine;
+    FreshLine.insert(FreshLine.size() - 1, ",\"fresh\":true");
+    std::vector<double> RecomputeMs, RepeatMs;
+    for (unsigned I = 0; I < Repeats; ++I) {
+      Stopwatch W;
+      Json R = Res.Core->executeLine(FreshLine);
+      double Ms = W.elapsedMs();
+      if (R.getNumber("code", -1) > 1 || !R.getBool("warm")) {
+        std::fprintf(stderr, "%s: warm recompute went cold: %s\n",
+                     N.Name.c_str(), R.dump().c_str());
+        return 1;
+      }
+      RecomputeMs.push_back(Ms);
+
+      W.restart();
+      Json C = Res.Core->executeLine(FtLine);
+      Ms = W.elapsedMs();
+      if (C.getNumber("code", -1) > 1 || !C.getBool("cached")) {
+        std::fprintf(stderr, "%s: repeat missed the result memo: %s\n",
+                     N.Name.c_str(), C.dump().c_str());
+        return 1;
+      }
+      RepeatMs.push_back(Ms);
+    }
+
+    double Cold = median(ColdMs), Recompute = median(RecomputeMs),
+           Repeat = median(RepeatMs);
+    double Speedup = Repeat > 0 ? Cold / Repeat : 0;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0fx", Speedup);
+    T.row({N.Name, ms(Cold), ms(Recompute), ms(Repeat), Buf});
+    J.begin("serve_latency")
+        .field("network", N.Name)
+        .field("link_failures", static_cast<uint64_t>(N.LinkFailures))
+        .field("cold_ms", Cold)
+        .field("warm_recompute_ms", Recompute)
+        .field("warm_repeat_ms", Repeat)
+        .field("speedup", Speedup);
+    if (MinSpeedup > 0 && Speedup < MinSpeedup) {
+      std::fprintf(stderr,
+                   "%s: warm-repeat speedup %.1fx below the --min-speedup "
+                   "%.1fx gate (cold %.2fms, repeat %.2fms)\n",
+                   N.Name.c_str(), Speedup, MinSpeedup, Cold, Repeat);
+      GateOk = false;
+    }
+  }
+
+  T.print();
+  if (!J.writeTo(A.JsonPath))
+    return 1;
+  if (!GateOk)
+    return 1;
+  if (MinSpeedup > 0)
+    std::printf("\nwarm-speedup gate (>= %.1fx): ok\n", MinSpeedup);
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- Client.cpp - Serve-protocol client -------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace nv;
+
+std::unique_ptr<ServeClient> ServeClient::connect(const std::string &Path,
+                                                  std::string &Error) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return nullptr;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = Path + ": connect: " + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(Fd));
+}
+
+ServeClient::~ServeClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool ServeClient::send(const std::string &Line, std::string &Error) {
+  std::string Data = Line;
+  Data += '\n';
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool ServeClient::readLine(std::string &Out, std::string &Error) {
+  char Chunk[4096];
+  size_t Nl;
+  while ((Nl = Buf.find('\n')) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      Error = N == 0 ? "daemon closed the connection"
+                     : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  Out = Buf.substr(0, Nl);
+  Buf.erase(0, Nl + 1);
+  if (!Out.empty() && Out.back() == '\r')
+    Out.pop_back();
+  return true;
+}
+
+bool ServeClient::request(const std::string &Line, std::string &Response,
+                          std::string &Error) {
+  return send(Line, Error) && readLine(Response, Error);
+}

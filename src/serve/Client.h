@@ -1,0 +1,58 @@
+//===- Client.h - Serve-protocol client ------------------------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the serve protocol: connect to the
+/// daemon's Unix socket, send one request line, read one response line.
+/// Used by `nv req` (the CLI side of the scripted CI session) and by the
+/// socket-level tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_CLIENT_H
+#define NV_SERVE_CLIENT_H
+
+#include <memory>
+#include <string>
+
+namespace nv {
+
+class ServeClient {
+public:
+  /// Connects to the daemon at \p SocketPath; null (with \p Error set) on
+  /// failure.
+  static std::unique_ptr<ServeClient> connect(const std::string &SocketPath,
+                                              std::string &Error);
+
+  ~ServeClient();
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Sends one request line and reads one response line (the newline is
+  /// added/stripped here). False (with \p Error set) on a transport
+  /// failure or a daemon that closed the connection.
+  bool request(const std::string &Line, std::string &Response,
+               std::string &Error);
+
+  /// Sends without waiting for the response (the disconnect-cancellation
+  /// test wants to hang up mid-request).
+  bool send(const std::string &Line, std::string &Error);
+
+  int fd() const { return Fd; }
+
+private:
+  explicit ServeClient(int Fd) : Fd(Fd) {}
+
+  bool readLine(std::string &Out, std::string &Error);
+
+  int Fd;
+  std::string Buf;
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_CLIENT_H

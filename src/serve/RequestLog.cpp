@@ -1,0 +1,132 @@
+//===- RequestLog.cpp - Journal-backed request-queue crash log ----------------===//
+
+#include "serve/RequestLog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace nv;
+
+RunBinding RequestLog::binding() {
+  RunBinding B;
+  B.set("tool", "nv-serve");
+  B.set("log", "request-queue");
+  B.set("version", "1");
+  return B;
+}
+
+RequestLog::OpenResult RequestLog::open(const std::string &Path) {
+  OpenResult Res;
+  std::string Header = binding().render();
+  JournalRead R = readJournal(Path);
+
+  if (R.St == JournalRead::State::Corrupt) {
+    Res.Error = R.Error;
+    Res.Hard = true;
+    return Res;
+  }
+
+  std::unique_ptr<RequestLog> Log(new RequestLog());
+  Log->Path = Path;
+  std::string Error;
+
+  if (R.St == JournalRead::State::NoFile) {
+    Log->Writer = createJournal(Path, Header, Error);
+    if (!Log->Writer) {
+      Res.Error = Error;
+      return Res;
+    }
+    Res.Log = std::move(Log);
+    return Res;
+  }
+
+  std::string Why;
+  if (!RunBinding::matches(R.Header, Header, Why)) {
+    Res.Error = Path + ": not a serve request-queue journal (" + Why +
+                "); delete it or pass a different --journal path";
+    Res.Hard = true;
+    return Res;
+  }
+
+  // Replay history: acceptance order is entry order, so the pending list
+  // (accepted minus done) comes out in the order requests arrived.
+  std::vector<PendingRequest> Accepted;
+  for (size_t I = 0; I < R.Entries.size(); ++I) {
+    UnitRecord Rec;
+    if (!UnitRecord::parse(R.Entries[I], Rec)) {
+      Res.Error = Path + ": journal entry " + std::to_string(I) +
+                  " is not a request record (journal is corrupt)";
+      Res.Hard = true;
+      return Res;
+    }
+    const std::string *Event = Rec.get("event");
+    if (!Event) {
+      Res.Error = Path + ": journal entry " + std::to_string(I) +
+                  " has no event field (journal is corrupt)";
+      Res.Hard = true;
+      return Res;
+    }
+    // Ids are "r<seq>"; track the max so new ids never collide.
+    if (Rec.Key.size() > 1 && Rec.Key[0] == 'r') {
+      uint64_t Seq = std::strtoull(Rec.Key.c_str() + 1, nullptr, 10);
+      Log->NextSeq = std::max(Log->NextSeq, Seq + 1);
+    }
+    if (*Event == "accepted") {
+      ++Log->Accepted;
+      const std::string *Body = Rec.get("body");
+      Accepted.push_back({Rec.Key, Body ? *Body : ""});
+    } else if (*Event == "done") {
+      ++Log->Done;
+      auto It = std::find_if(Accepted.begin(), Accepted.end(),
+                             [&](const PendingRequest &P) {
+                               return P.Id == Rec.Key;
+                             });
+      if (It != Accepted.end())
+        Accepted.erase(It);
+    }
+    // Unknown events are tolerated (forward compatibility), not fatal.
+  }
+  Log->Pending = std::move(Accepted);
+
+  Log->TornTail = R.TornTail;
+  Log->Writer = appendJournal(Path, R.ValidBytes, Error);
+  if (!Log->Writer) {
+    Res.Error = Error;
+    return Res;
+  }
+  Res.Log = std::move(Log);
+  return Res;
+}
+
+void RequestLog::append(const UnitRecord &R) {
+  std::lock_guard<std::mutex> L(M);
+  if (!Writer)
+    return;
+  if (!Writer->append(R.render()) && !WarnedBroken) {
+    WarnedBroken = true;
+    std::fprintf(stderr,
+                 "nv-serve: warning: request journal %s stopped recording "
+                 "(%s); requests keep running without crash logging\n",
+                 Writer->path().c_str(), Writer->lastError().c_str());
+  }
+}
+
+void RequestLog::recordAccepted(const std::string &Id,
+                                const std::string &Body) {
+  UnitRecord R;
+  R.Key = Id;
+  R.add("event", "accepted");
+  R.add("body", Body);
+  append(R);
+}
+
+void RequestLog::recordDone(const std::string &Id, int Code,
+                            const std::string &Outcome) {
+  UnitRecord R;
+  R.Key = Id;
+  R.add("event", "done");
+  R.addInt("code", Code);
+  R.add("outcome", Outcome);
+  append(R);
+}

@@ -1,0 +1,108 @@
+//===- RequestLog.h - Journal-backed request-queue crash log ----*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve daemon's crash log: every accepted request is journaled
+/// before it runs, and its response is journaled when it finishes, using
+/// the same append-only checksummed Journal format the analysis engines
+/// checkpoint with (support/Journal.h). A daemon killed mid-request
+/// leaves accepted-without-done entries behind; on restart those pending
+/// requests replay in acceptance order against the fresh server state,
+/// and their outcomes are journaled, so the request queue always drains
+/// durably — a client that journals its `load`s (with client-chosen
+/// session ids) gets its whole session rebuilt before the replayed
+/// queries run.
+///
+/// Entry format (UnitRecord):
+///   key "r<seq>", fields:
+///     event=accepted  body=<request JSON line>
+///     event=done      code=<exit code>  outcome=<RunOutcome string>
+///
+/// The torn-tail / corrupt-interior distinction is inherited from the
+/// Journal layer: a tail torn by a crash inside an append is truncated
+/// and that record is simply lost (an accepted-torn request re-runs
+/// nothing; a done-torn request replays), while interior corruption or a
+/// binding mismatch is a hard error — the daemon refuses to start against
+/// a log that is not its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_REQUESTLOG_H
+#define NV_SERVE_REQUESTLOG_H
+
+#include "support/Resume.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nv {
+
+class RequestLog {
+public:
+  struct PendingRequest {
+    std::string Id;   ///< "r<seq>" journal key.
+    std::string Body; ///< The accepted request's JSON line.
+  };
+
+  struct OpenResult {
+    std::unique_ptr<RequestLog> Log;
+    std::string Error; ///< Set when Log is null.
+    bool Hard = false; ///< Corruption/binding mismatch: exit 2.
+  };
+
+  /// The serve journal binding. Socket path and thread count are
+  /// provenance only: restarting the daemon elsewhere must still replay.
+  static RunBinding binding();
+
+  /// Opens (or creates) the request log at \p Path, replaying its history
+  /// to compute the pending set. Mirrors ResumeLog::open's three cases:
+  /// fresh file, valid log (torn tail truncated), or hard failure.
+  static OpenResult open(const std::string &Path);
+
+  /// Durably records acceptance of request \p Id (one frame + fdatasync).
+  /// Thread-safe. I/O failure disables further writes with one stderr
+  /// warning — the log is a recovery aid, never a request-path dependency.
+  void recordAccepted(const std::string &Id, const std::string &Body);
+
+  /// Durably records completion of request \p Id.
+  void recordDone(const std::string &Id, int Code, const std::string &Outcome);
+
+  /// Requests accepted but not completed as of open(), in acceptance
+  /// order. The server replays these at startup.
+  const std::vector<PendingRequest> &pending() const { return Pending; }
+
+  /// First request sequence number this process should assign (one past
+  /// the largest journaled id, so ids never collide across restarts).
+  uint64_t nextSeq() const { return NextSeq; }
+
+  size_t acceptedCount() const { return Accepted; }
+  size_t doneCount() const { return Done; }
+  bool tornTailDropped() const { return TornTail; }
+  const std::string &path() const { return Path; }
+
+private:
+  RequestLog() = default;
+
+  std::string Path;
+  bool TornTail = false;
+  size_t Accepted = 0; ///< Entries loaded at open (history), not live.
+  size_t Done = 0;
+  uint64_t NextSeq = 1;
+  std::vector<PendingRequest> Pending;
+
+  std::mutex M;
+  std::unique_ptr<JournalWriter> Writer; ///< Guarded by M.
+  bool WarnedBroken = false;             ///< Guarded by M.
+
+  void append(const UnitRecord &R);
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_REQUESTLOG_H

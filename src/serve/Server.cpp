@@ -1,0 +1,219 @@
+//===- Server.cpp - Unix-socket front end for ServeCore -----------------------===//
+
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace nv;
+
+namespace {
+
+bool bindUnixSocket(const std::string &Path, int &OutFd, std::string &Error) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Error = "socket path too long (max " +
+            std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) + " bytes): " +
+            Path;
+    return false;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (errno == EADDRINUSE) {
+      // A leftover socket file from a crashed daemon, or a live one?
+      // Probe with a connect: refused/unreachable means stale, so unlink
+      // and rebind; an accepted connect means the path is taken.
+      int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      bool Live = Probe >= 0 && ::connect(Probe,
+                                          reinterpret_cast<sockaddr *>(&Addr),
+                                          sizeof(Addr)) == 0;
+      if (Probe >= 0)
+        ::close(Probe);
+      if (Live) {
+        ::close(Fd);
+        Error = Path + ": another daemon is already serving on this socket";
+        return false;
+      }
+      ::unlink(Path.c_str());
+      if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0) {
+        OutFd = Fd;
+        return true;
+      }
+    }
+    Error = Path + ": bind: " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  OutFd = Fd;
+  return true;
+}
+
+/// True once the peer has closed its end (a zero-byte recv with the
+/// socket still readable). Pipelined request bytes read as "alive".
+bool peerHungUp(int Fd) {
+  char B;
+  ssize_t N = ::recv(Fd, &B, 1, MSG_PEEK | MSG_DONTWAIT);
+  return N == 0;
+}
+
+bool sendAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && (errno == EINTR))
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+Server::CreateResult Server::create(const Options &Opts) {
+  CreateResult Res;
+  int Fd = -1;
+  if (!bindUnixSocket(Opts.SocketPath, Fd, Res.Error)) {
+    Res.ExitCode = 2;
+    return Res;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Res.Error = Opts.SocketPath + ": listen: " + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return Res;
+  }
+  ServeCore::CreateResult CoreRes = ServeCore::create(Opts.Core);
+  if (!CoreRes.Core) {
+    Res.Error = CoreRes.Error;
+    Res.ExitCode = CoreRes.Hard ? 2 : 2;
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return Res;
+  }
+  std::unique_ptr<Server> Srv(new Server());
+  Srv->Path = Opts.SocketPath;
+  Srv->ListenFd = Fd;
+  Srv->Core = std::move(CoreRes.Core);
+  Res.Srv = std::move(Srv);
+  return Res;
+}
+
+Server::~Server() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Path.c_str());
+  }
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+}
+
+int Server::run(CancelToken *Cancel) {
+  bool Canceled = false;
+  for (;;) {
+    if (Core->shutdownRequested())
+      break;
+    if (Cancel && Cancel->isCanceled()) {
+      Canceled = true;
+      break;
+    }
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, /*timeout ms=*/200);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> L(ConnM);
+    ConnFds.push_back(Fd);
+    ConnThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+
+  // Stop accepting, nudge live connections: a half-close makes their
+  // blocking read return so each thread can finish its in-flight request
+  // and exit.
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  ListenFd = -1;
+  {
+    std::lock_guard<std::mutex> L(ConnM);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RD);
+  }
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+  ConnThreads.clear();
+  return Canceled ? 3 : 0;
+}
+
+void Server::connectionLoop(int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  bool Open = true;
+  while (Open) {
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0) {
+        if (N < 0 && errno == EINTR)
+          continue;
+        Open = false;
+        break;
+      }
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+    if (!Open)
+      break;
+    std::string Line = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+
+    auto Cancel = std::make_shared<CancelToken>();
+    ServeCore::PendingPtr Pending = Core->submit(Line, Cancel);
+    bool ClientGone = false;
+    while (!Pending->waitFor(50)) {
+      // The client vanishing is a cancellation request: trip the token,
+      // then keep waiting — the request must still complete so session
+      // state and the journal stay consistent.
+      if (!ClientGone && Buf.empty() && peerHungUp(Fd)) {
+        ClientGone = true;
+        Cancel->requestCancel();
+      }
+    }
+    Json Resp = Pending->wait();
+    if (!ClientGone) {
+      if (!sendAll(Fd, Resp.dump() + "\n"))
+        Open = false;
+    } else {
+      Open = false;
+    }
+  }
+  ::close(Fd);
+  std::lock_guard<std::mutex> L(ConnM);
+  ConnFds.erase(std::remove(ConnFds.begin(), ConnFds.end(), Fd),
+                ConnFds.end());
+}

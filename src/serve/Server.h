@@ -1,0 +1,79 @@
+//===- Server.h - Unix-socket front end for ServeCore -----------*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport for `nv serve`: a Unix-domain stream socket speaking
+/// newline-delimited JSON. One thread per connection reads request lines
+/// and submits them to the ServeCore; while a request runs, the
+/// connection thread polls its socket for hangup and trips the request's
+/// CancelToken when the client goes away — the request still completes
+/// (with a Canceled outcome, keeping session state and the journal
+/// consistent), but no response is written.
+///
+/// A local socket (not TCP) on purpose: the service trusts its requests
+/// exactly as much as the CLI trusts its argv, so access control is the
+/// filesystem permission on the socket path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_SERVER_H
+#define NV_SERVE_SERVER_H
+
+#include "serve/Serve.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nv {
+
+class Server {
+public:
+  struct Options {
+    std::string SocketPath;
+    ServeConfig Core;
+  };
+
+  struct CreateResult {
+    std::unique_ptr<Server> Srv;
+    std::string Error; ///< Set when Srv is null.
+    int ExitCode = 2;  ///< Suggested process exit code on failure.
+  };
+
+  /// Binds the socket (replacing a stale file whose daemon is gone,
+  /// refusing a path another live daemon answers on) and builds the core,
+  /// replaying any journaled pending requests.
+  static CreateResult create(const Options &Opts);
+
+  ~Server();
+
+  /// Accept loop. Returns when a shutdown request executes (exit 0) or
+  /// \p Cancel trips (exit 3, the resource/cancellation code). Closes and
+  /// unlinks the socket, drains connections, before returning.
+  int run(CancelToken *Cancel);
+
+  ServeCore &core() { return *Core; }
+  const std::string &socketPath() const { return Path; }
+
+private:
+  Server() = default;
+
+  void connectionLoop(int Fd);
+
+  std::string Path;
+  int ListenFd = -1;
+  std::unique_ptr<ServeCore> Core;
+
+  std::mutex ConnM;
+  std::vector<int> ConnFds; ///< Live connection fds (for shutdown nudge).
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace nv
+
+#endif // NV_SERVE_SERVER_H

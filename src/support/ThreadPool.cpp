@@ -32,6 +32,39 @@ ThreadPool::~ThreadPool() {
   WorkCv.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  // Workers exit without draining the async queue; run whatever is left
+  // inline so a task's observable side effects (a completion flag another
+  // thread waits on) are never lost.
+  std::deque<std::function<void()>> Leftover;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Leftover.swap(AsyncQ);
+  }
+  for (auto &T : Leftover)
+    runAsyncTask(std::move(T));
+}
+
+void ThreadPool::runAsyncTask(std::function<void()> Task) {
+  AsyncActive.fetch_add(1, std::memory_order_relaxed);
+  Task();
+  AsyncActive.fetch_sub(1, std::memory_order_relaxed);
+  AsyncCompleted.fetch_add(1, std::memory_order_relaxed);
+  TasksRun.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  AsyncSubmitted.fetch_add(1, std::memory_order_relaxed);
+  if (Workers.empty()) {
+    // A pool of one thread has nobody to hand the task to: run it inline
+    // now, preserving the "never dropped" guarantee.
+    runAsyncTask(std::move(Task));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(M);
+    AsyncQ.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
 }
 
 void ThreadPool::drain(const std::shared_ptr<Job> &J) {
@@ -56,10 +89,13 @@ void ThreadPool::workerLoop() {
   uint64_t SeenGeneration = 0;
   for (;;) {
     std::shared_ptr<Job> J;
+    std::function<void()> Task;
     {
       std::unique_lock<std::mutex> L(M);
       auto IdleStart = std::chrono::steady_clock::now();
-      WorkCv.wait(L, [&] { return Stopping || Generation != SeenGeneration; });
+      WorkCv.wait(L, [&] {
+        return Stopping || Generation != SeenGeneration || !AsyncQ.empty();
+      });
       IdleMicros.fetch_add(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - IdleStart)
@@ -67,11 +103,20 @@ void ThreadPool::workerLoop() {
           std::memory_order_relaxed);
       if (Stopping)
         return;
-      SeenGeneration = Generation;
-      J = Current;
+      if (Generation != SeenGeneration) {
+        // parallelFor jobs take priority: every worker participates so the
+        // blocking caller finishes as fast as possible.
+        SeenGeneration = Generation;
+        J = Current;
+      } else if (!AsyncQ.empty()) {
+        Task = std::move(AsyncQ.front());
+        AsyncQ.pop_front();
+      }
     }
     if (J)
       drain(J);
+    else if (Task)
+      runAsyncTask(std::move(Task));
   }
 }
 
@@ -116,5 +161,12 @@ ThreadPool::Stats ThreadPool::stats() const {
   S.ParallelForCalls = ParallelForCalls.load(std::memory_order_relaxed);
   S.WorkerIdleMs =
       static_cast<double>(IdleMicros.load(std::memory_order_relaxed)) / 1000.0;
+  S.AsyncSubmitted = AsyncSubmitted.load(std::memory_order_relaxed);
+  S.AsyncCompleted = AsyncCompleted.load(std::memory_order_relaxed);
+  S.AsyncActive = AsyncActive.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(M);
+    S.AsyncQueued = AsyncQ.size();
+  }
   return S;
 }

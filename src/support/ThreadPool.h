@@ -6,11 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A fixed-size worker pool with a blocking `parallelFor(N, Fn)` primitive.
-/// The analyses this repo reproduces decompose into embarrassingly parallel
-/// shards (one fixpoint per failure scenario, per destination prefix, per
-/// assert index); each shard owns its NvContext/BddManager arena so
-/// hash-consing stays lock-free and the pool only has to hand out indices.
+/// A fixed-size worker pool with a blocking `parallelFor(N, Fn)` primitive
+/// and a fire-and-forget `submit(Task)` queue. The analyses this repo
+/// reproduces decompose into embarrassingly parallel shards (one fixpoint
+/// per failure scenario, per destination prefix, per assert index); each
+/// shard owns its NvContext/BddManager arena so hash-consing stays
+/// lock-free and the pool only has to hand out indices. The serve layer
+/// multiplexes independent verification requests over the same workers via
+/// submit().
 ///
 /// Determinism: parallelFor assigns each index exactly once and callers
 /// collect results into index-addressed slots, so output is independent of
@@ -25,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -54,10 +58,25 @@ public:
   /// inside a task of the same pool.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
+  /// Enqueues one independent task for asynchronous execution on a worker
+  /// thread. Tasks must not throw (a task that lets an exception escape
+  /// terminates the process — request executors catch at their boundary)
+  /// and must not call parallelFor or submit-and-wait on this same pool
+  /// from inside the task. With no workers (a pool of one thread) the task
+  /// runs inline on the calling thread before submit returns, so a task is
+  /// never silently dropped. Tasks still queued at destruction time run
+  /// inline in the destructor for the same reason: anyone waiting on a
+  /// task's side effects is guaranteed to see them.
+  void submit(std::function<void()> Task);
+
   struct Stats {
     uint64_t TasksRun = 0;         ///< Total indices executed.
     uint64_t ParallelForCalls = 0; ///< parallelFor invocations.
     double WorkerIdleMs = 0;       ///< Worker time spent waiting for work.
+    uint64_t AsyncSubmitted = 0;   ///< submit() calls.
+    uint64_t AsyncCompleted = 0;   ///< Submitted tasks finished.
+    size_t AsyncQueued = 0;        ///< Submitted tasks not yet started.
+    size_t AsyncActive = 0;        ///< Submitted tasks currently running.
   };
   Stats stats() const;
 
@@ -80,20 +99,25 @@ private:
 
   void workerLoop();
   void drain(const std::shared_ptr<Job> &J);
+  void runAsyncTask(std::function<void()> Task);
 
   unsigned NumThreads;
   std::vector<std::thread> Workers;
 
-  std::mutex M;
-  std::condition_variable WorkCv; ///< Signals a new job (or shutdown).
+  mutable std::mutex M; ///< mutable: stats() reads AsyncQ.size() under it.
+  std::condition_variable WorkCv; ///< Signals a new job/task (or shutdown).
   std::condition_variable DoneCv; ///< Signals a job's Pending reached zero.
   uint64_t Generation = 0;        ///< Bumped once per parallelFor.
   bool Stopping = false;
   std::shared_ptr<Job> Current;   ///< Guarded by M.
+  std::deque<std::function<void()>> AsyncQ; ///< Guarded by M.
 
   std::atomic<uint64_t> TasksRun{0};
   std::atomic<uint64_t> ParallelForCalls{0};
   std::atomic<uint64_t> IdleMicros{0};
+  std::atomic<uint64_t> AsyncSubmitted{0};
+  std::atomic<uint64_t> AsyncCompleted{0};
+  std::atomic<size_t> AsyncActive{0};
 };
 
 } // namespace nv

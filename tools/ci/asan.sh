@@ -16,8 +16,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD_DIR" -j"$JOBS" \
-  --target bdd_tests gc_tests parallel_tests governor_tests
+  --target bdd_tests gc_tests parallel_tests governor_tests serve_tests
 "./$BUILD_DIR/tests/bdd_tests"
 "./$BUILD_DIR/tests/gc_tests"
 "./$BUILD_DIR/tests/parallel_tests"
 "./$BUILD_DIR/tests/governor_tests"
+"./$BUILD_DIR/tests/serve_tests"

@@ -2,15 +2,21 @@
 """Compare a bench-smoke JSON report against the committed baseline.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+       bench_compare.py --self-test
 
 Matches records by (bench, network, failures) and compares every *_ms
 timing field present in both. Records whose "outcome" field is present
 and not "ok" (budget trip, cancellation, injected fault — the run was
 truncated, so its timings are meaningless) are skipped on either side.
-Regressions beyond the threshold print a warning; the exit code is
-always 0 — shared CI runners are far too noisy to gate merges on
-wall-clock numbers, so this is a trend signal, not a gate.
-(BENCH_*.json trajectory files are the durable record.)
+Regressions beyond the threshold print a warning; the exit code is 0 —
+shared CI runners are far too noisy to gate merges on wall-clock
+numbers, so this is a trend signal, not a gate. (BENCH_*.json
+trajectory files are the durable record.)
+
+A missing, unreadable, or unparsable input file IS a hard failure
+(exit 2): that means the baseline rotted or a benchmark wrote garbage,
+which silently comparing nothing would hide. --self-test exercises
+both behaviors and is run by tier1.sh.
 """
 
 import json
@@ -37,20 +43,98 @@ def describe(rec):
         rec.get("outcome"))
 
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+class InputError(Exception):
+    """A missing or malformed input file; main() maps this to exit 2."""
+
+
+def load(path, what):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise InputError("cannot read %s %s: %s" % (what, path, e.strerror))
+    except json.JSONDecodeError as e:
+        raise InputError("%s %s is not valid JSON: %s" % (what, path, e))
+    if not isinstance(data, list) or not all(
+            isinstance(r, dict) for r in data):
+        raise InputError(
+            "%s %s must be a JSON array of objects" % (what, path))
+    return data
+
+
+def self_test():
+    """Runs this script as a subprocess against synthetic inputs and
+    checks the exit-code contract end to end."""
+    import os
+    import subprocess
+    import tempfile
+
+    me = os.path.abspath(__file__)
+
+    def run(args):
+        return subprocess.run([sys.executable, me] + args,
+                              capture_output=True, text=True)
+
+    ok_rec = {"bench": "b", "network": "n", "failures": 1,
+              "simulate_ms": 10.0}
+    slow_rec = dict(ok_rec, simulate_ms=100.0)
+    tripped_rec = dict(slow_rec, outcome="deadline-exceeded@sim-pop")
+
+    with tempfile.TemporaryDirectory() as d:
+        def write(name, content):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                f.write(content if isinstance(content, str)
+                        else json.dumps(content))
+            return path
+
+        base = write("base.json", [ok_rec])
+        good = write("good.json", [ok_rec])
+        slow = write("slow.json", [slow_rec])
+        tripped = write("tripped.json", [tripped_rec])
+        garbage = write("garbage.json", "{not json")
+        nonarray = write("nonarray.json", {"bench": "b"})
+        missing = os.path.join(d, "does-not-exist.json")
+
+        checks = [
+            # (argv, expected exit, expected substring, stream)
+            ([missing, good], 2, "cannot read baseline", "stderr"),
+            ([garbage, good], 2, "not valid JSON", "stderr"),
+            ([nonarray, good], 2, "array of objects", "stderr"),
+            ([base, missing], 2, "cannot read report", "stderr"),
+            ([base, garbage], 2, "not valid JSON", "stderr"),
+            ([base, good], 0, "no regressions", "stdout"),
+            ([base, slow], 0, "regressed", "stdout"),
+            ([base, tripped], 0, "non-ok outcome", "stdout"),
+        ]
+        for argv, want_code, want_text, stream in checks:
+            r = run(argv)
+            out = r.stderr if stream == "stderr" else r.stdout
+            if r.returncode != want_code or want_text not in out:
+                print("self-test FAILED for %s:\n  exit %d (want %d)\n"
+                      "  stdout: %s\n  stderr: %s"
+                      % (argv, r.returncode, want_code, r.stdout, r.stderr),
+                      file=sys.stderr)
+                return 1
+    print("bench-compare self-test: %d checks ok" % len(checks))
+    return 0
 
 
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    baseline = {key(r): r for r in load(argv[1]) if is_ok(r)}
-    current = []
-    for path in argv[2:]:
-        current.extend(load(path))
+    try:
+        baseline = {key(r): r for r in load(argv[1], "baseline") if is_ok(r)}
+        current = []
+        for path in argv[2:]:
+            current.extend(load(path, "report"))
+    except InputError as e:
+        print("bench-compare error: %s" % e, file=sys.stderr)
+        return 2
 
     compared = 0
     skipped = []

@@ -18,3 +18,8 @@ cmake -B "$BUILD_DIR" -S . \
   ${CMAKE_EXTRA:-}
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+# The bench-compare gate's own contract (hard failure on a rotten
+# baseline, warn-only on timings) is cheap to verify everywhere tier-1
+# runs, and catches a python3 incompatibility before bench-smoke does.
+python3 tools/ci/bench_compare.py --self-test

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# tsan.sh — ThreadSanitizer build of the parallel determinism, thread-pool
-# and run-governance tests (cancellation fan-out across shards), to catch
-# data races the functional tests cannot see.
+# tsan.sh — ThreadSanitizer build of the parallel determinism, thread-pool,
+# run-governance and serve tests (concurrent requests, disconnect
+# cancellation), to catch data races the functional tests cannot see.
 #
 # Usage: tools/ci/tsan.sh [BUILD_DIR]
 set -euo pipefail
@@ -16,7 +16,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD_DIR" -j"$JOBS" \
-  --target parallel_tests threadpool_tests governor_tests
+  --target parallel_tests threadpool_tests governor_tests serve_tests
 "./$BUILD_DIR/tests/threadpool_tests"
 "./$BUILD_DIR/tests/parallel_tests"
 "./$BUILD_DIR/tests/governor_tests"
+"./$BUILD_DIR/tests/serve_tests"

@@ -11,6 +11,14 @@
 //   nv naive  FILE.nv [opts]          naive per-scenario failure sweep
 //                                     (sharded, checkpointable)
 //   nv journal FILE.journal           inspect a checkpoint journal
+//   nv serve  SOCKET [opts]           long-lived verification daemon on a
+//                                     Unix socket (newline-delimited JSON);
+//                                     --threads N, --journal PATH (request
+//                                     crash log), --max-sessions N
+//   nv req    SOCKET [JSON...]        send request(s) to a daemon; with no
+//                                     arguments, reads one request per
+//                                     stdin line (scripted session); exits
+//                                     with the last response's code
 //
 // Common options:
 //   --native            use the closure-compiled evaluator (sim/ft)
@@ -47,6 +55,9 @@
 #include "analysis/FaultTolerance.h"
 #include "baselines/NaiveFailures.h"
 #include "core/Parser.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Server.h"
 #include "core/Printer.h"
 #include "core/TypeChecker.h"
 #include "eval/Compile.h"
@@ -56,9 +67,11 @@
 #include "support/Resume.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace nv;
@@ -69,6 +82,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: nv <check|print|sim|verify|ft|naive|journal> FILE "
                "[options]\n"
+               "       nv serve SOCKET [--threads N] [--journal PATH] "
+               "[--max-sessions N]\n"
+               "       nv req SOCKET [JSON...]   (no JSON: one request per "
+               "stdin line)\n"
                "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
                "  --links K  --node  --threads N\n"
                "  --deadline-ms MS  --node-budget N  --max-steps N\n"
@@ -421,7 +438,113 @@ int cmdJournal(const std::string &Path) {
   }
   if (R.Entries.size() > Show)
     std::printf("  ... %zu more\n", R.Entries.size() - Show);
+  // One greppable line for any journal flavor: unit count, a fingerprint
+  // of the binding header, and whether a crash tore the tail.
+  std::printf("summary: %zu unit(s), binding %s, torn tail: %s\n",
+              R.Entries.size(), fnv1a64Hex(R.Header).c_str(),
+              R.TornTail ? "dropped" : "clean");
+  // Serve request-queue journals additionally get queue accounting: the
+  // pending count is what a restarted daemon would replay.
+  if (R.Header.find("tool=nv-serve") != std::string::npos) {
+    std::vector<std::string> PendingIds;
+    size_t Accepted = 0, Done = 0;
+    for (const std::string &E : R.Entries) {
+      UnitRecord Rec;
+      if (!UnitRecord::parse(E, Rec))
+        continue;
+      const std::string *Event = Rec.get("event");
+      if (!Event)
+        continue;
+      if (*Event == "accepted") {
+        ++Accepted;
+        PendingIds.push_back(Rec.Key);
+      } else if (*Event == "done") {
+        ++Done;
+        auto It = std::find(PendingIds.begin(), PendingIds.end(), Rec.Key);
+        if (It != PendingIds.end())
+          PendingIds.erase(It);
+      }
+    }
+    std::printf("serve queue: %zu accepted, %zu done, %zu pending",
+                Accepted, Done, PendingIds.size());
+    for (size_t I = 0; I < std::min<size_t>(5, PendingIds.size()); ++I)
+      std::printf("%s%s", I ? " " : " (", PendingIds[I].c_str());
+    if (!PendingIds.empty())
+      std::printf(PendingIds.size() > 5 ? " ...)" : ")");
+    std::printf("\n");
+  }
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// serve / req
+//===----------------------------------------------------------------------===//
+
+int cmdServe(int argc, char **argv) {
+  Server::Options Opts;
+  Opts.SocketPath = argv[2];
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Opts.Core.Threads = static_cast<unsigned>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--journal") && I + 1 < argc)
+      Opts.Core.JournalPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--max-sessions") && I + 1 < argc)
+      Opts.Core.MaxSessions = static_cast<size_t>(atoi(argv[++I]));
+    else
+      return usage();
+  }
+  Server::CreateResult Res = Server::create(Opts);
+  if (!Res.Srv) {
+    std::fprintf(stderr, "nv: %s\n", Res.Error.c_str());
+    return Res.ExitCode;
+  }
+  if (size_t N = Res.Srv->core().replayedCount())
+    std::fprintf(stderr, "nv-serve: replayed %zu journaled request(s)\n", N);
+  std::fprintf(stderr, "nv-serve: listening on %s (%u threads)\n",
+               Res.Srv->socketPath().c_str(),
+               Res.Srv->core().pool().numThreads());
+  // SIGINT/SIGTERM stop the accept loop; in-flight requests drain, the
+  // socket is unlinked, and the exit code is 3 (canceled, not a verdict).
+  // A client `shutdown` request exits 0.
+  CancelToken Cancel;
+  GracefulShutdown Shutdown(Cancel);
+  return Res.Srv->run(&Cancel);
+}
+
+int cmdReq(int argc, char **argv) {
+  std::string Error;
+  std::unique_ptr<ServeClient> Client = ServeClient::connect(argv[2], Error);
+  if (!Client) {
+    std::fprintf(stderr, "nv: %s\n", Error.c_str());
+    return 2;
+  }
+  int Last = 0;
+  bool Ok = true;
+  auto One = [&](const std::string &Line) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      return true; // blank separator lines in scripts are fine
+    std::string Resp;
+    if (!Client->request(Line, Resp, Error)) {
+      std::fprintf(stderr, "nv: %s\n", Error.c_str());
+      Last = 2;
+      return false;
+    }
+    std::printf("%s\n", Resp.c_str());
+    std::fflush(stdout);
+    Json J;
+    std::string JErr;
+    Last = Json::parse(Resp, J, JErr) ? static_cast<int>(J.getNumber("code", 4))
+                                      : 4;
+    return true;
+  };
+  if (argc > 3) {
+    for (int I = 3; I < argc && Ok; ++I)
+      Ok = One(argv[I]);
+  } else {
+    for (std::string Line; std::getline(std::cin, Line) && Ok;)
+      Ok = One(Line);
+  }
+  return Last;
 }
 
 int cmdFt(const Program &P, const CliOptions &O) {
@@ -467,6 +590,11 @@ int cmdFt(const Program &P, const CliOptions &O) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // serve/req take a socket path, not a FILE, so they bypass parseCli.
+  if (argc >= 3 && !std::strcmp(argv[1], "serve"))
+    return cmdServe(argc, argv);
+  if (argc >= 3 && !std::strcmp(argv[1], "req"))
+    return cmdReq(argc, argv);
   auto O = parseCli(argc, argv);
   if (!O)
     return usage();
