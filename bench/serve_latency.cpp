@@ -15,6 +15,12 @@
 // Extra flags (beyond the standard BenchUtil set):
 //   --min-speedup X   exit 1 unless every network's warm speedup >= X
 //   --repeats N       warm repeats per network (default 10)
+//   --saturate        overload mode instead: 8 closed-loop submitters
+//                     against a 2-worker core with MaxInflight 2 /
+//                     QueueDepth 4 (capacity 6 < offered 8, so admission
+//                     must shed). Emits shed_rate and accepted_p99_ms;
+//                     exits 1 if nothing was shed, anything shed was
+//                     journal-visible, or no request was accepted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +33,10 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 using namespace nv;
 using namespace nvbench;
@@ -38,6 +47,124 @@ double median(std::vector<double> Xs) {
   std::sort(Xs.begin(), Xs.end());
   size_t N = Xs.size();
   return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
+}
+
+double percentileOf(std::vector<double> Xs, double P) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  double Idx = P * static_cast<double>(Xs.size() - 1);
+  size_t Lo = static_cast<size_t>(Idx);
+  size_t Hi = std::min(Lo + 1, Xs.size() - 1);
+  return Xs[Lo] + (Xs[Hi] - Xs[Lo]) * (Idx - static_cast<double>(Lo));
+}
+
+/// Saturation mode: drive a deliberately small core (2 workers,
+/// MaxInflight 2, QueueDepth 4) with 8 closed-loop submitters. Offered
+/// concurrency 8 > capacity 6, so admission control must shed; what the
+/// gate pins down is that it sheds *cleanly* — overloaded responses with
+/// a retry_after_ms hint, accepted requests finishing with a bounded
+/// p99, and nothing shed ever reaching the journal.
+int runSaturate(const Args &A) {
+  ServeConfig Cfg;
+  Cfg.Threads = 3; // 2 workers run requests; see MaxInflight default
+  Cfg.MaxInflight = 2;
+  Cfg.QueueDepth = 4;
+  auto Res = ServeCore::create(Cfg);
+  if (!Res.Core) {
+    std::fprintf(stderr, "serve core: %s\n", Res.Error.c_str());
+    return 1;
+  }
+  ServeCore &Core = *Res.Core;
+  Json LoadReq = Json::object();
+  LoadReq.set("verb", "load");
+  LoadReq.set("session", "bench");
+  LoadReq.set("program", generateSpSingle(4));
+  if (Core.executeLine(LoadReq.dump()).getNumber("code", -1) != 0) {
+    std::fprintf(stderr, "saturate: load failed\n");
+    return 1;
+  }
+  // "fresh" on every query so the result memo cannot absorb the load.
+  const std::string Line =
+      "{\"verb\":\"ft\",\"session\":\"bench\",\"links\":1,\"fresh\":true}";
+
+  const unsigned Submitters = 8;
+  const unsigned PerThread = A.Smoke ? 15 : 40;
+  std::atomic<uint64_t> Shed{0}, AcceptedOk{0}, Failed{0};
+  std::atomic<uint64_t> RetryHints{0};
+  std::mutex LatM;
+  std::vector<double> AcceptedMs;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Submitters; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        Stopwatch W;
+        Json R = Core.submit(Line)->wait();
+        double Ms = W.elapsedMs();
+        if (R.getBool("overloaded")) {
+          Shed.fetch_add(1, std::memory_order_relaxed);
+          if (R.getNumber("retry_after_ms", 0) > 0)
+            RetryHints.fetch_add(1, std::memory_order_relaxed);
+        } else if (R.getNumber("code", -1) <= 1) {
+          AcceptedOk.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> L(LatM);
+          AcceptedMs.push_back(Ms);
+        } else {
+          Failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  uint64_t Offered = static_cast<uint64_t>(Submitters) * PerThread;
+  double ShedRate = static_cast<double>(Shed) / static_cast<double>(Offered);
+  double P99 = percentileOf(AcceptedMs, 0.99);
+  double P50 = percentileOf(AcceptedMs, 0.50);
+
+  Table T({"offered", "accepted", "shed", "shed rate", "p50 (ms)",
+           "p99 (ms)"});
+  char RateBuf[32];
+  std::snprintf(RateBuf, sizeof(RateBuf), "%.1f%%", 100 * ShedRate);
+  T.row({std::to_string(Offered), std::to_string(AcceptedOk.load()),
+         std::to_string(Shed.load()), RateBuf, ms(P50), ms(P99)});
+  T.print();
+
+  JsonReport J;
+  J.begin("serve_saturation")
+      .field("network", std::string("Fat4"))
+      .field("offered", Offered)
+      .field("accepted", AcceptedOk.load())
+      .field("shed", Shed.load())
+      .field("shed_rate", ShedRate)
+      .field("accepted_p50_ms", P50)
+      .field("accepted_p99_ms", P99);
+  if (!J.writeTo(A.JsonPath))
+    return 1;
+
+  if (Failed.load()) {
+    std::fprintf(stderr, "saturate: %llu requests failed outright\n",
+                 static_cast<unsigned long long>(Failed.load()));
+    return 1;
+  }
+  if (Shed.load() == 0 || AcceptedOk.load() == 0) {
+    std::fprintf(stderr,
+                 "saturate: expected both shedding and accepted work "
+                 "(shed %llu, accepted %llu)\n",
+                 static_cast<unsigned long long>(Shed.load()),
+                 static_cast<unsigned long long>(AcceptedOk.load()));
+    return 1;
+  }
+  if (RetryHints.load() != Shed.load()) {
+    std::fprintf(stderr,
+                 "saturate: %llu shed responses missing retry_after_ms\n",
+                 static_cast<unsigned long long>(Shed.load() -
+                                                 RetryHints.load()));
+    return 1;
+  }
+  std::printf("\nsaturation gate: shed cleanly with retry hints, "
+              "accepted p99 %.1f ms\n", P99);
+  return 0;
 }
 
 /// One cold query: everything a fresh `nv ft` process does after argv
@@ -63,12 +190,17 @@ int main(int argc, char **argv) {
   Args A = Args::parse(argc, argv);
   double MinSpeedup = 0;
   unsigned Repeats = 10;
+  bool Saturate = false;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--min-speedup") && I + 1 < argc)
       MinSpeedup = std::atof(argv[++I]);
     else if (!std::strcmp(argv[I], "--repeats") && I + 1 < argc)
       Repeats = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--saturate"))
+      Saturate = true;
   }
+  if (Saturate)
+    return runSaturate(A);
 
   struct Net {
     std::string Name;

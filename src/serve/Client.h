@@ -6,27 +6,45 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal blocking client for the serve protocol: connect to the
-/// daemon's Unix socket, send one request line, read one response line.
-/// Used by `nv req` (the CLI side of the scripted CI session) and by the
-/// socket-level tests.
+/// Clients for the serve protocol. ServeClient is the minimal transport:
+/// connect to the daemon's Unix socket (with a connect deadline), send
+/// one request line, read one response line (with a read deadline). On
+/// top of it, ResilientClient retries transient failures — connection
+/// refused (daemon restarting under a supervisor), connection reset
+/// (worker killed mid-request), and `overloaded` responses — with capped
+/// exponential backoff plus jitter, honoring the server's retry_after_ms
+/// hint. A read *timeout* is deliberately not transient: the request may
+/// still be running, and re-sending it would double the work.
+///
+/// Used by `nv req` (the CLI side of the scripted CI session), chaos CI,
+/// and the socket-level tests.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef NV_SERVE_CLIENT_H
 #define NV_SERVE_CLIENT_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 namespace nv {
 
+struct ClientOptions {
+  /// Deadline for the connect itself. 0 = block forever.
+  unsigned ConnectTimeoutMs = 5000;
+  /// Deadline for reading one response line. Generous by default: a
+  /// verification request legitimately runs for a while. 0 = forever.
+  unsigned ReadTimeoutMs = 120000;
+};
+
 class ServeClient {
 public:
   /// Connects to the daemon at \p SocketPath; null (with \p Error set) on
-  /// failure.
+  /// failure. Respects Opts.ConnectTimeoutMs.
   static std::unique_ptr<ServeClient> connect(const std::string &SocketPath,
-                                              std::string &Error);
+                                              std::string &Error,
+                                              const ClientOptions &Opts = {});
 
   ~ServeClient();
   ServeClient(const ServeClient &) = delete;
@@ -34,7 +52,8 @@ public:
 
   /// Sends one request line and reads one response line (the newline is
   /// added/stripped here). False (with \p Error set) on a transport
-  /// failure or a daemon that closed the connection.
+  /// failure, a daemon that closed the connection, or the read deadline
+  /// expiring (distinguish with timedOut()).
   bool request(const std::string &Line, std::string &Response,
                std::string &Error);
 
@@ -42,15 +61,79 @@ public:
   /// test wants to hang up mid-request).
   bool send(const std::string &Line, std::string &Error);
 
+  /// True when the last failed request/readLine hit ReadTimeoutMs rather
+  /// than a transport error. `nv req` maps this to exit 3.
+  bool timedOut() const { return TimedOut; }
+
   int fd() const { return Fd; }
 
 private:
-  explicit ServeClient(int Fd) : Fd(Fd) {}
+  explicit ServeClient(int Fd, const ClientOptions &Opts)
+      : Fd(Fd), Opts(Opts) {}
 
   bool readLine(std::string &Out, std::string &Error);
 
   int Fd;
+  ClientOptions Opts;
+  bool TimedOut = false;
   std::string Buf;
+};
+
+//===----------------------------------------------------------------------===//
+// Retry / backoff
+//===----------------------------------------------------------------------===//
+
+struct RetryOptions {
+  /// Total attempts (first try included). 1 = no retries.
+  unsigned MaxAttempts = 4;
+  unsigned BackoffBaseMs = 100; ///< Delay scale for the first retry.
+  unsigned BackoffCapMs = 2000; ///< Backoff plateau.
+  uint64_t JitterSeed = 0x9e3779b97f4a7c15ull; ///< Deterministic in tests.
+};
+
+/// Pure backoff schedule (unit-tested): the delay before retry number
+/// \p Attempt (1-based). Exponential Base * 2^(Attempt-1) capped at Cap,
+/// then jittered into [delay/2, delay] via the xorshift64 \p JitterState
+/// so a fleet of shed clients does not retry in lockstep; never below
+/// the server's \p RetryAfterMs hint (0 = no hint).
+unsigned retryDelayMs(unsigned Attempt, const RetryOptions &Opts,
+                      uint64_t &JitterState, unsigned RetryAfterMs);
+
+/// A lazily-connecting client that survives daemon restarts and load
+/// shedding: each request() connects on demand, classifies failures, and
+/// retries transient ones (connect refused/absent while the supervisor
+/// restarts the worker, connection reset when the worker died, daemon
+/// closed, and `overloaded` responses) after a backoff that honors the
+/// response's retry_after_ms. Non-transient failures — an error response
+/// the daemon produced deliberately, or a read timeout — return at once.
+class ResilientClient {
+public:
+  ResilientClient(std::string SocketPath, ClientOptions CO = {},
+                  RetryOptions RO = {})
+      : Path(std::move(SocketPath)), CO(CO), RO(RO),
+        JitterState(RO.JitterSeed ? RO.JitterSeed : 1) {}
+
+  /// Sends \p Line, retrying transients up to RO.MaxAttempts total
+  /// attempts. True with \p Response set on any response from the daemon
+  /// (including error responses — the caller owns the exit taxonomy);
+  /// false with \p Error when attempts are exhausted or a non-transient
+  /// transport failure (e.g. read timeout) occurred.
+  bool request(const std::string &Line, std::string &Response,
+               std::string &Error);
+
+  /// True when the last failed request() ended on a read timeout.
+  bool timedOut() const { return TimedOut; }
+  /// Transient failures retried over this client's lifetime.
+  uint64_t retries() const { return Retries; }
+
+private:
+  std::string Path;
+  ClientOptions CO;
+  RetryOptions RO;
+  uint64_t JitterState;
+  std::unique_ptr<ServeClient> Conn; ///< Lazy; dropped on any failure.
+  bool TimedOut = false;
+  uint64_t Retries = 0;
 };
 
 } // namespace nv

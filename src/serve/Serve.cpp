@@ -60,6 +60,12 @@ struct ServeSession {
   std::mutex M;
   std::atomic<uint64_t> Requests{0};
   std::chrono::steady_clock::time_point LastUsed; ///< Guarded by SessionsM.
+
+  /// Approximate MTBDD heap of this session, refreshed after load and
+  /// after every engine request while M is held. An atomic snapshot so
+  /// the pressure check can sum all sessions without taking any session
+  /// mutex (a busy session just contributes its last-known size).
+  std::atomic<uint64_t> BytesApprox{0};
 };
 
 } // namespace nv
@@ -143,6 +149,14 @@ std::string memoKey(const Json &Req) {
   return Out;
 }
 
+/// Engine verbs are subject to admission control and backlog accounting;
+/// control verbs (ping/stats/health/shutdown) are always admitted so a
+/// saturated daemon stays observable and stoppable.
+bool isEngineVerb(const std::string &V) {
+  return V == "load" || V == "unload" || V == "sim" || V == "verify" ||
+         V == "ft";
+}
+
 double percentile(std::vector<double> &Sorted, double P) {
   if (Sorted.empty())
     return 0;
@@ -179,6 +193,13 @@ ServeCore::ServeCore(const ServeConfig &CfgIn)
       Pool(Cfg.Threads) {
   if (Cfg.MaxSessions == 0)
     Cfg.MaxSessions = 1;
+  // Default MaxInflight to the pool's *worker* count (a pool of N spawns
+  // N-1 workers; submitted tasks only run there), so the bound is
+  // actually reachable and the queue-depth term can engage.
+  MaxInflightEff = Cfg.MaxInflight ? Cfg.MaxInflight
+                   : Pool.numThreads() > 1
+                       ? Pool.numThreads() - 1
+                       : 1;
 }
 
 ServeCore::~ServeCore() = default;
@@ -218,23 +239,114 @@ ServeCore::CreateResult ServeCore::create(const ServeConfig &Cfg) {
 // Request lifecycle
 //===----------------------------------------------------------------------===//
 
+bool ServeCore::wouldShed() const {
+  return ReqActive.load(std::memory_order_relaxed) >= MaxInflightEff &&
+         ReqQueued.load(std::memory_order_relaxed) >= Cfg.QueueDepth;
+}
+
+const char *ServeCore::healthState() const {
+  if (shutdownRequested())
+    return "draining";
+  if (wouldShed())
+    return "overloaded";
+  return "ready";
+}
+
+unsigned ServeCore::retryAfterMsHint() const {
+  // Expected wait = mean recent request latency scaled by the backlog a
+  // retry would land behind, spread over the workers. Clamped so a cold
+  // daemon never hints 0 and a pathological one never hints minutes.
+  double MeanMs = 0;
+  {
+    std::lock_guard<std::mutex> L(LatM);
+    if (LatCount) {
+      for (size_t I = 0; I < LatCount; ++I)
+        MeanMs += LatRing[I];
+      MeanMs /= static_cast<double>(LatCount);
+    }
+  }
+  double Backlog = static_cast<double>(
+      ReqQueued.load(std::memory_order_relaxed) + 1);
+  double Hint = MeanMs * Backlog / static_cast<double>(Pool.numThreads());
+  if (Hint < 25)
+    Hint = 25;
+  if (Hint > 5000)
+    Hint = 5000;
+  return static_cast<unsigned>(Hint);
+}
+
+Json ServeCore::shedResponse(const std::string &Id) const {
+  Json R = makeResp(Id);
+  R.set("ok", false);
+  R.set("code", 3);
+  R.set("overloaded", true);
+  R.set("retry_after_ms", retryAfterMsHint());
+  RunOutcome O{RunStatus::Overloaded,
+               "request shed by admission control", "serve-accept"};
+  R.set("outcome", O.str());
+  R.set("outcome_status", runStatusName(RunStatus::Overloaded));
+  R.set("error", "server overloaded; retry after the hinted backoff");
+  return R;
+}
+
 ServeCore::PendingPtr ServeCore::submit(const std::string &Line,
                                         std::shared_ptr<CancelToken> Cancel) {
   auto P = std::make_shared<Pending>();
   std::string Id = "r";
   Id += std::to_string(NextSeq.fetch_add(1));
-  // Journal acceptance before queueing: a crash while the request waits
-  // for a worker still replays it.
-  if (Log)
-    Log->recordAccepted(Id, Line);
-  Pool.submit([this, P, Id, Line, Cancel] {
-    Json R = run(Id, Line, Cancel.get(), /*RecordAccepted=*/false);
+  auto Finish = [P](Json R) {
     {
       std::lock_guard<std::mutex> L(P->M);
       P->Response = std::move(R);
       P->Done = true;
     }
     P->Cv.notify_all();
+  };
+
+  // Admission control: engine verbs are shed when MaxInflight requests
+  // are executing AND QueueDepth more already wait. Shed before
+  // journaling — a shed request was never accepted, so it must never
+  // replay (its consumed id is a harmless gap: nextSeq() derives from
+  // journaled ids only). The line is parsed a second time in dispatch();
+  // classification must not trust a cheaper sniff than dispatch uses.
+  Json Req;
+  std::string ParseErr;
+  bool Engine = Json::parse(Line, Req, ParseErr) && Req.isObject() &&
+                isEngineVerb(Req.getString("verb"));
+  if (Engine && wouldShed()) {
+    Shed.fetch_add(1, std::memory_order_relaxed);
+    Finish(shedResponse(Id));
+    return P;
+  }
+  // Fault site "serve-accept": admission passed but acceptance fails
+  // before it is durable — the client gets a fault outcome and nothing
+  // is journaled, exactly like a shed.
+  try {
+    FaultInject::hit(GovSite::ServeAccept);
+  } catch (const EngineError &E) {
+    Finish(outcomeResp(Id, E.outcome()));
+    return P;
+  }
+  // Journal acceptance before queueing: a crash while the request waits
+  // for a worker still replays it. Only engine verbs are journaled — the
+  // journal replays accepted *work*, and a health probe is not work.
+  if (Log && Engine)
+    Log->recordAccepted(Id, Line);
+  // Control verbs (ping/health/stats/shutdown and malformed lines) run
+  // inline on the caller's thread: "always admitted" would be hollow if
+  // a health probe still queued behind saturated workers. They are all
+  // cheap and never take a session mutex for long.
+  if (!Engine) {
+    Finish(run(Id, Line, Cancel.get(), /*RecordAccepted=*/false));
+    return P;
+  }
+  ReqQueued.fetch_add(1, std::memory_order_relaxed);
+  Pool.submit([this, P, Id, Line, Cancel, Finish] {
+    ReqQueued.fetch_sub(1, std::memory_order_relaxed);
+    ReqActive.fetch_add(1, std::memory_order_relaxed);
+    Json R = run(Id, Line, Cancel.get(), /*RecordAccepted=*/false);
+    ReqActive.fetch_sub(1, std::memory_order_relaxed);
+    Finish(std::move(R));
   });
   return P;
 }
@@ -248,13 +360,28 @@ Json ServeCore::executeLine(const std::string &Line, CancelToken *Cancel) {
 Json ServeCore::run(const std::string &Id, const std::string &Line,
                     CancelToken *Cancel, bool RecordAccepted) {
   Stopwatch W;
-  if (RecordAccepted && Log)
+  // Only engine verbs touch the journal (they are the replayable work);
+  // during replay everything journaled is retired with a done record,
+  // which also drains control verbs journaled by older daemons.
+  Json ReqSniff;
+  std::string SniffErr;
+  bool JournalIt =
+      Log && (Replaying ||
+              (Json::parse(Line, ReqSniff, SniffErr) && ReqSniff.isObject() &&
+               isEngineVerb(ReqSniff.getString("verb"))));
+  if (RecordAccepted && JournalIt)
     Log->recordAccepted(Id, Line);
   Accepted.fetch_add(1, std::memory_order_relaxed);
   Active.fetch_add(1, std::memory_order_relaxed);
   Json Resp;
   try {
+    // Fault sites "serve-enqueue" (the worker picked the request up) and
+    // "serve-respond" (response finalization, pre-journal-done). Both
+    // fire inside the accounting envelope, so a tripped stage still
+    // counts, journals done, and answers the client with a fault outcome.
+    FaultInject::hit(GovSite::ServeEnqueue);
     Resp = dispatch(Id, Line, Cancel);
+    FaultInject::hit(GovSite::ServeRespond);
   } catch (const EngineError &E) {
     // Verb executors catch at their boundary; this is the backstop for a
     // trip outside any executor (e.g. evaluator construction).
@@ -269,7 +396,7 @@ Json ServeCore::run(const std::string &Id, const std::string &Line,
   Active.fetch_sub(1, std::memory_order_relaxed);
   Completed.fetch_add(1, std::memory_order_relaxed);
   noteLatency(W.elapsedMs());
-  if (Log) {
+  if (JournalIt) {
     std::string Outc = Resp.getString("outcome");
     if (Outc.empty())
       Outc = Code == 0   ? "ok"
@@ -322,6 +449,22 @@ Json ServeCore::dispatch(const std::string &Id, const std::string &Line,
       Shutdown.store(true, std::memory_order_release);
     else
       R.set("replayed_noop", true);
+    return R;
+  }
+
+  if (Verb == "health") {
+    // Always admitted and always code 0: health reports the overload
+    // state, it does not participate in it.
+    Json R = makeResp(Id);
+    R.set("ok", true);
+    R.set("code", 0);
+    R.set("state", healthState());
+    R.set("engine_active", ReqActive.load(std::memory_order_relaxed));
+    R.set("engine_queued", ReqQueued.load(std::memory_order_relaxed));
+    R.set("max_inflight", static_cast<uint64_t>(MaxInflightEff));
+    R.set("queue_depth", static_cast<uint64_t>(Cfg.QueueDepth));
+    R.set("shed", Shed.load(std::memory_order_relaxed));
+    R.set("generation", Cfg.Generation);
     return R;
   }
 
@@ -383,13 +526,95 @@ Json ServeCore::dispatch(const std::string &Id, const std::string &Line,
       R = doFt(*S, Req, Id, Cancel);
     // Only verdicts memoize: errors and budget/cancellation trips must
     // re-run (codes 2-4 describe the request or the run, not the network).
-    if (R.getNumber("code", 4) <= 1)
+    if (R.getNumber("code", 4) <= 1) {
       S->Results[Key] = R;
+      capMemo(*S);
+    }
+    S->BytesApprox.store(S->Ctx->Mgr.memoryBytes(),
+                         std::memory_order_relaxed);
     return R;
   }
 
   return errResp(Id, 2, Verb.empty() ? "request has no \"verb\""
                                      : "unknown verb \"" + Verb + "\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation under pressure
+//===----------------------------------------------------------------------===//
+
+void ServeCore::capMemo(ServeSession &S) {
+  if (!Cfg.MemoEntryCap)
+    return;
+  size_t Dropped = 0;
+  // std::map iterates in key order, so this erases by key, not recency:
+  // the cap is a size backstop against unbounded distinct-query streams,
+  // not an LRU — identical repeats (the case the memo exists for) keep
+  // hitting whichever entries remain.
+  while (S.Results.size() > Cfg.MemoEntryCap) {
+    S.Results.erase(S.Results.begin());
+    ++Dropped;
+  }
+  if (Dropped)
+    MemoEvicted.fetch_add(Dropped, std::memory_order_relaxed);
+}
+
+uint64_t ServeCore::residentBytesApprox() const {
+  std::lock_guard<std::mutex> L(SessionsM);
+  uint64_t Total = 0;
+  for (const auto &[Name, S] : Sessions)
+    Total += S->BytesApprox.load(std::memory_order_relaxed);
+  return Total;
+}
+
+bool ServeCore::relievePressure(const std::string &Exempt) {
+  if (!Cfg.HeapBudgetBytes ||
+      residentBytesApprox() <= Cfg.HeapBudgetBytes)
+    return true;
+
+  // Stage 1: drop the result memos of every idle session (try_lock —
+  // a busy session's caches are in use). Memos are small next to MTBDD
+  // arenas, but they are the cheapest thing to give back and dropping
+  // them never loses accepted work, only recomputes it.
+  {
+    std::lock_guard<std::mutex> L(SessionsM);
+    for (auto &[Name, S] : Sessions) {
+      if (Name == Exempt)
+        continue;
+      if (S->M.try_lock()) {
+        MemoEvicted.fetch_add(S->Results.size(), std::memory_order_relaxed);
+        S->Results.clear();
+        S->M.unlock();
+      }
+    }
+  }
+
+  // Stage 2: evict idle sessions coldest-first until under budget. A
+  // busy session is never evicted (its arena cannot be reclaimed while
+  // a request runs inside it), and neither is the exempt session being
+  // (re)loaded. In-flight holders of an evicted session's shared_ptr
+  // finish normally; only the name becomes unresolvable.
+  while (residentBytesApprox() > Cfg.HeapBudgetBytes) {
+    std::lock_guard<std::mutex> L(SessionsM);
+    auto Coldest = Sessions.end();
+    for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
+      if (It->first == Exempt)
+        continue;
+      if (Coldest != Sessions.end() &&
+          It->second->LastUsed >= Coldest->second->LastUsed)
+        continue;
+      if (It->second->M.try_lock()) {
+        It->second->M.unlock(); // idle right now; SessionsM blocks lookups
+        Coldest = It;
+      }
+    }
+    if (Coldest == Sessions.end())
+      return false; // everything left is busy or exempt
+    Sessions.erase(Coldest);
+    PressureEvicted.fetch_add(1, std::memory_order_relaxed);
+    SessionsEvicted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -401,6 +626,18 @@ Json ServeCore::doLoad(const Json &Req, const std::string &Id) {
   std::string Path = Req.getString("path");
   if (Source.empty() && Path.empty())
     return errResp(Id, 2, "load needs \"program\" (NV source) or \"path\"");
+
+  // Degrade before rejecting: above the heap watermark, give back memos
+  // and cold sessions first; only when nothing is evictable (every other
+  // session is mid-request) does the load itself bounce. The rejection
+  // is journaled like any accepted request — the outcome is overloaded,
+  // which clients treat as transient.
+  if (!relievePressure(Req.getString("session"))) {
+    LoadsRejected.fetch_add(1, std::memory_order_relaxed);
+    Json R = shedResponse(Id);
+    R.set("heap_pressure", true);
+    return R;
+  }
   ParseOptions PO;
   if (Source.empty()) {
     auto Text = readFileText(Path);
@@ -424,6 +661,7 @@ Json ServeCore::doLoad(const Json &Req, const std::string &Id) {
   S->Prog = std::move(*P);
   S->Ctx = std::make_unique<NvContext>(S->Prog.numNodes());
   S->LastUsed = std::chrono::steady_clock::now();
+  S->BytesApprox.store(S->Ctx->Mgr.memoryBytes(), std::memory_order_relaxed);
 
   size_t Evicted = 0;
   {
@@ -710,6 +948,26 @@ Json ServeCore::statsJson() const {
     Codes.push(C.load(std::memory_order_relaxed));
   Reqs.set("by_code", std::move(Codes));
   R.set("requests", std::move(Reqs));
+
+  R.set("health", healthState());
+  R.set("generation", Cfg.Generation);
+
+  Json Adm = Json::object();
+  Adm.set("max_inflight", static_cast<uint64_t>(MaxInflightEff));
+  Adm.set("queue_depth", static_cast<uint64_t>(Cfg.QueueDepth));
+  Adm.set("engine_active", ReqActive.load(std::memory_order_relaxed));
+  Adm.set("engine_queued", ReqQueued.load(std::memory_order_relaxed));
+  Adm.set("shed", Shed.load(std::memory_order_relaxed));
+  R.set("admission", std::move(Adm));
+
+  Json Press = Json::object();
+  Press.set("heap_budget_bytes", static_cast<uint64_t>(Cfg.HeapBudgetBytes));
+  Press.set("resident_bytes", residentBytesApprox());
+  Press.set("memo_evicted", MemoEvicted.load(std::memory_order_relaxed));
+  Press.set("sessions_evicted",
+            PressureEvicted.load(std::memory_order_relaxed));
+  Press.set("loads_rejected", LoadsRejected.load(std::memory_order_relaxed));
+  R.set("pressure", std::move(Press));
 
   {
     std::vector<double> Sorted;

@@ -29,7 +29,17 @@
 ///             (links, node, native) key, so repeat queries skip the
 ///             transform and go straight to the meta-simulation)
 ///   stats     pool occupancy, cache hit rates, GC counters, latencies
+///   health    admission state: "ready" | "overloaded" | "draining"
 ///   shutdown  ask the daemon to exit cleanly
+///
+/// Overload: engine verbs (load/unload/sim/verify/ft) pass admission
+/// control — when MaxInflight of them are executing and QueueDepth more
+/// wait, a new one is shed with an immediate code-3 response carrying
+/// "overloaded": true and a "retry_after_ms" backoff hint, and is never
+/// journaled. Control verbs always get through. Under a configured heap
+/// watermark the daemon degrades before rejecting: result memos, then
+/// idle sessions (coldest first), are given back ahead of bouncing a
+/// load. See DESIGN.md §8 "Overload & supervision".
 ///
 /// Two cache layers serve the query verbs. The engine-artifact layer
 /// (parsed AST, evaluators with pinned closures, the ft meta-program per
@@ -92,6 +102,31 @@ struct ServeConfig {
   size_t MaxSessions = 8;
   /// Optional request-queue crash log (RequestLog.h). Empty = no journal.
   std::string JournalPath;
+
+  /// Admission control. A submitted engine request (load/unload/sim/
+  /// verify/ft) arriving when MaxInflight requests are already executing
+  /// AND QueueDepth more are waiting is shed: an immediate code-3
+  /// response with "overloaded": true and a "retry_after_ms" hint,
+  /// never journaled, never queued. Control verbs (ping/stats/health/
+  /// shutdown) are always admitted so a saturated daemon stays
+  /// observable and stoppable. MaxInflight 0 = the pool's worker count
+  /// (threads - 1: submitted tasks only run on workers).
+  size_t MaxInflight = 0;
+  size_t QueueDepth = 64;
+
+  /// Soft MTBDD heap budget summed across all resident sessions (bytes,
+  /// 0 = unlimited). A `load` arriving above the watermark first purges
+  /// result memos, then evicts idle sessions coldest-first; only when
+  /// nothing evictable remains (every other session is mid-request) is
+  /// the load itself rejected with the overloaded response.
+  size_t HeapBudgetBytes = 0;
+
+  /// Per-session result-memo entry cap (oldest-entry eviction; 0 = off).
+  size_t MemoEntryCap = 256;
+
+  /// Supervisor restart generation (0 = first/unsupervised life),
+  /// surfaced in stats so operators can see crash-restart churn.
+  uint64_t Generation = 0;
 };
 
 class ServeCore {
@@ -141,6 +176,15 @@ public:
     return Shutdown.load(std::memory_order_acquire);
   }
 
+  /// The health verb's state machine, cheap enough to poll per request:
+  /// "draining" once shutdown was requested, "overloaded" while admission
+  /// would shed an engine verb arriving right now, else "ready".
+  const char *healthState() const;
+
+  /// True when an engine verb submitted now would be shed (MaxInflight
+  /// requests executing and QueueDepth more already waiting).
+  bool wouldShed() const;
+
   /// Pending requests replayed from the journal during create().
   size_t replayedCount() const { return Replayed; }
 
@@ -170,6 +214,25 @@ private:
   std::shared_ptr<ServeSession> findSession(const std::string &Name);
   void noteLatency(double Ms);
 
+  /// The shed response: code 3, "overloaded": true, a retry_after_ms
+  /// hint. Never journaled — a shed request was never accepted.
+  Json shedResponse(const std::string &Id) const;
+  /// Backoff hint for shed responses: recent mean latency scaled by queue
+  /// occupancy per worker, clamped to [25, 5000] ms.
+  unsigned retryAfterMsHint() const;
+  /// Sum of every resident session's approximate MTBDD heap bytes.
+  uint64_t residentBytesApprox() const;
+  /// Degradation under pressure, called before an expensive load when a
+  /// heap budget is configured: purge idle sessions' result memos, then
+  /// evict idle sessions coldest-first, until the resident total drops
+  /// under the budget or nothing evictable remains. \p Exempt (the
+  /// session being (re)loaded) is never touched. Returns true if the
+  /// total is under budget on exit.
+  bool relievePressure(const std::string &Exempt);
+  /// Oldest-entry memo eviction down to Cfg.MemoEntryCap (session mutex
+  /// held by the caller).
+  void capMemo(ServeSession &S);
+
   ServeConfig Cfg;
   std::unique_ptr<RequestLog> Log;
   std::chrono::steady_clock::time_point Start;
@@ -189,6 +252,20 @@ private:
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> Active{0};
   std::array<std::atomic<uint64_t>, 5> ByCode{};
+
+  /// Admission control. ReqActive/ReqQueued track *engine* requests only
+  /// (control verbs are always admitted and excluded from the backlog);
+  /// MaxInflightEff is Cfg.MaxInflight resolved against the pool size.
+  size_t MaxInflightEff = 1;
+  std::atomic<uint64_t> ReqActive{0};
+  std::atomic<uint64_t> ReqQueued{0};
+  std::atomic<uint64_t> Shed{0}; ///< Requests rejected by admission.
+  /// Degradation counters: memo entries dropped (cap or pressure), idle
+  /// sessions evicted by the heap watermark, loads rejected because
+  /// nothing could be evicted.
+  std::atomic<uint64_t> MemoEvicted{0};
+  std::atomic<uint64_t> PressureEvicted{0};
+  std::atomic<uint64_t> LoadsRejected{0};
   /// ft transform-cache hits/misses: a hit is a repeat (links, node,
   /// native) query on a session — the warm path the service exists for.
   std::atomic<uint64_t> FtWarmHits{0};

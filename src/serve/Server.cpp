@@ -108,6 +108,8 @@ Server::CreateResult Server::create(const Options &Opts) {
   std::unique_ptr<Server> Srv(new Server());
   Srv->Path = Opts.SocketPath;
   Srv->ListenFd = Fd;
+  Srv->MaxLineBytes = Opts.MaxLineBytes;
+  Srv->IdleTimeoutMs = Opts.IdleTimeoutMs;
   Srv->Core = std::move(CoreRes.Core);
   Res.Srv = std::move(Srv);
   return Res;
@@ -168,12 +170,62 @@ int Server::run(CancelToken *Cancel) {
 }
 
 void Server::connectionLoop(int Fd) {
+  // Partial-write safety: a client that stops draining its socket makes
+  // send block once the buffers fill; the timeout turns that into a
+  // failed send (sendAll treats EAGAIN as fatal) and the connection
+  // closes instead of pinning this thread forever.
+  struct timeval SndTo{};
+  SndTo.tv_sec = 30;
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SndTo, sizeof(SndTo));
+
   std::string Buf;
   char Chunk[4096];
   bool Open = true;
+  auto LastByte = std::chrono::steady_clock::now();
   while (Open) {
     size_t Nl;
     while ((Nl = Buf.find('\n')) == std::string::npos) {
+      // Processed lines are erased below, so an unterminated Buf is one
+      // partial request line; cap it before it can grow unboundedly.
+      if (MaxLineBytes && Buf.size() > MaxLineBytes) {
+        Json E = Json::object();
+        E.set("ok", false);
+        E.set("code", 2);
+        E.set("error", "request line exceeds " +
+                           std::to_string(MaxLineBytes) + " bytes");
+        sendAll(Fd, E.dump() + "\n");
+        Open = false;
+        break;
+      }
+      pollfd P{Fd, POLLIN, 0};
+      // Slices never longer than the idle timeout, so short timeouts
+      // (tests, aggressive configs) are detected promptly.
+      int Slice = IdleTimeoutMs && IdleTimeoutMs < 1000
+                      ? static_cast<int>(IdleTimeoutMs)
+                      : 1000;
+      int PN = ::poll(&P, 1, Slice);
+      if (PN < 0) {
+        if (errno == EINTR)
+          continue;
+        Open = false;
+        break;
+      }
+      if (PN == 0) {
+        if (IdleTimeoutMs &&
+            std::chrono::steady_clock::now() - LastByte >=
+                std::chrono::milliseconds(IdleTimeoutMs)) {
+          Json E = Json::object();
+          E.set("ok", false);
+          E.set("code", 3);
+          E.set("error", "connection idle for more than " +
+                             std::to_string(IdleTimeoutMs) + " ms");
+          E.set("idle_timeout", true);
+          sendAll(Fd, E.dump() + "\n");
+          Open = false;
+          break;
+        }
+        continue;
+      }
       ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
       if (N <= 0) {
         if (N < 0 && errno == EINTR)
@@ -182,6 +234,7 @@ void Server::connectionLoop(int Fd) {
         break;
       }
       Buf.append(Chunk, static_cast<size_t>(N));
+      LastByte = std::chrono::steady_clock::now();
     }
     if (!Open)
       break;

@@ -14,6 +14,14 @@
 /// (with a Canceled outcome, keeping session state and the journal
 /// consistent), but no response is written.
 ///
+/// Connection hygiene: each connection carries an fd, a thread, and a
+/// growing line buffer, so misbehaving clients are bounded. A request
+/// line longer than MaxLineBytes gets a one-line JSON error (code 2) and
+/// the connection closes; a connection idle longer than IdleTimeoutMs
+/// gets a one-line JSON error (code 3) and closes; and writes carry a
+/// send timeout so a client that stops draining its socket cannot pin a
+/// connection thread in a blocked send.
+///
 /// A local socket (not TCP) on purpose: the service trusts its requests
 /// exactly as much as the CLI trusts its argv, so access control is the
 /// filesystem permission on the socket path.
@@ -37,6 +45,12 @@ public:
   struct Options {
     std::string SocketPath;
     ServeConfig Core;
+    /// Longest accepted request line; beyond it the connection gets a
+    /// one-line JSON error (code 2) and closes. 0 = unbounded.
+    size_t MaxLineBytes = 1 << 20;
+    /// A connection with no bytes for this long gets a one-line JSON
+    /// error (code 3) and closes, reclaiming its fd and thread. 0 = off.
+    unsigned IdleTimeoutMs = 300000;
   };
 
   struct CreateResult {
@@ -67,6 +81,8 @@ private:
 
   std::string Path;
   int ListenFd = -1;
+  size_t MaxLineBytes = 1 << 20;
+  unsigned IdleTimeoutMs = 300000;
   std::unique_ptr<ServeCore> Core;
 
   std::mutex ConnM;

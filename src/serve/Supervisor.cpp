@@ -1,0 +1,157 @@
+//===- Supervisor.cpp - Supervised worker restarts for nv serve ---------------===//
+
+#include "serve/Supervisor.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+using namespace nv;
+
+unsigned nv::nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
+                                unsigned CapMs) {
+  if (ConsecutiveFailures == 0)
+    return 0;
+  if (BaseMs == 0)
+    BaseMs = 1;
+  uint64_t Delay = BaseMs;
+  // Doubling with an early cap check instead of a shift: 2^(N-1) for a
+  // large N must saturate at Cap, not wrap.
+  for (unsigned I = 1; I < ConsecutiveFailures && Delay < CapMs; ++I)
+    Delay *= 2;
+  return static_cast<unsigned>(Delay < CapMs ? Delay : CapMs);
+}
+
+namespace {
+
+// Shared with the signal handlers; the handler only reads/writes these
+// and calls kill(), all async-signal-safe.
+volatile sig_atomic_t StopRequested = 0;
+volatile pid_t WorkerPid = 0;
+
+void forwardStop(int /*Sig*/) {
+  StopRequested = 1;
+  pid_t Pid = WorkerPid;
+  if (Pid > 0)
+    kill(Pid, SIGTERM); // the worker's GracefulShutdown drains on this
+}
+
+/// Sleeps ~Ms but returns early once a stop was requested (nanosleep is
+/// interrupted by the forwarding handler).
+void sleepInterruptible(unsigned Ms) {
+  struct timespec Left;
+  Left.tv_sec = Ms / 1000;
+  Left.tv_nsec = static_cast<long>(Ms % 1000) * 1000000L;
+  while (!StopRequested && nanosleep(&Left, &Left) == -1 && errno == EINTR)
+    continue;
+}
+
+} // namespace
+
+int nv::superviseLoop(const std::function<int(uint64_t)> &Worker,
+                      const SupervisorOptions &Opts) {
+  struct sigaction Sa;
+  std::memset(&Sa, 0, sizeof(Sa));
+  Sa.sa_handler = forwardStop;
+  sigemptyset(&Sa.sa_mask);
+  sigaction(SIGINT, &Sa, nullptr);
+  sigaction(SIGTERM, &Sa, nullptr);
+
+  uint64_t Generation = 0;
+  unsigned ConsecutiveFailures = 0;
+  int Restarts = 0;
+  for (;;) {
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "nv serve supervisor: fork failed: %s\n",
+                   std::strerror(errno));
+      return 4;
+    }
+    if (Pid == 0) {
+      // Child: drop the supervisor's forwarding handlers before anything
+      // can deliver a signal (a handler firing here with WorkerPid still
+      // 0 would kill(0, ...) — the whole process group).
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      WorkerPid = 0;
+      // Scripts (chaos.sh, operators) read the generation from the
+      // environment; the worker code gets it as an argument.
+      setenv("NV_SERVE_RESTARTS", std::to_string(Generation).c_str(), 1);
+      _exit(Worker(Generation));
+    }
+
+    WorkerPid = Pid;
+    // chaos.sh greps this line to aim its kill -9 at the worker.
+    std::fprintf(stderr, "nv serve supervisor: worker pid %ld generation %llu\n",
+                 static_cast<long>(Pid),
+                 static_cast<unsigned long long>(Generation));
+    auto LaunchNs = [] {
+      struct timespec Ts;
+      clock_gettime(CLOCK_MONOTONIC, &Ts);
+      return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+             static_cast<uint64_t>(Ts.tv_nsec);
+    };
+    uint64_t T0 = LaunchNs();
+
+    int Status = 0;
+    pid_t Waited;
+    while ((Waited = waitpid(Pid, &Status, 0)) == -1 && errno == EINTR)
+      continue; // interrupted by the forwarding handler; keep waiting
+    WorkerPid = 0;
+    if (Waited == -1) {
+      std::fprintf(stderr, "nv serve supervisor: waitpid failed: %s\n",
+                   std::strerror(errno));
+      return 4;
+    }
+
+    uint64_t UptimeMs = (LaunchNs() - T0) / 1000000ull;
+    bool Deliberate = WIFEXITED(Status) && WEXITSTATUS(Status) <= 2;
+    if (Deliberate || StopRequested) {
+      int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : 3;
+      std::fprintf(stderr,
+                   "nv serve supervisor: worker exited %d; supervision ends\n",
+                   Code);
+      return Code;
+    }
+
+    // Abnormal exit (signal, or exit 3/4): restart with backoff.
+    if (UptimeMs >= Opts.HealthyResetMs)
+      ConsecutiveFailures = 0; // it was healthy; treat this as a one-off
+    ++ConsecutiveFailures;
+    ++Restarts;
+    if (Opts.MaxRestarts >= 0 && Restarts > Opts.MaxRestarts) {
+      std::fprintf(stderr,
+                   "nv serve supervisor: restart budget of %d exhausted\n",
+                   Opts.MaxRestarts);
+      return 3;
+    }
+    unsigned DelayMs = nextRestartDelayMs(ConsecutiveFailures,
+                                          Opts.BackoffBaseMs,
+                                          Opts.BackoffCapMs);
+    if (WIFSIGNALED(Status))
+      std::fprintf(stderr,
+                   "nv serve supervisor: worker killed by signal %d after "
+                   "%llu ms; restarting in %u ms (restart %d)\n",
+                   WTERMSIG(Status),
+                   static_cast<unsigned long long>(UptimeMs), DelayMs,
+                   Restarts);
+    else
+      std::fprintf(stderr,
+                   "nv serve supervisor: worker exited %d after %llu ms; "
+                   "restarting in %u ms (restart %d)\n",
+                   WEXITSTATUS(Status),
+                   static_cast<unsigned long long>(UptimeMs), DelayMs,
+                   Restarts);
+    sleepInterruptible(DelayMs);
+    if (StopRequested)
+      return 0;
+    ++Generation;
+  }
+}

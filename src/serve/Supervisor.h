@@ -1,0 +1,69 @@
+//===- Supervisor.h - Supervised worker restarts for nv serve ---*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `nv serve --supervise`: a small fork/waitpid supervisor that keeps the
+/// serve worker alive across crashes. The parent forks the worker (no
+/// exec — the fork happens before any thread exists, so the child is a
+/// clean single-threaded copy), waits for it, and classifies the exit:
+///
+///   - exit 0/1/2: deliberate (clean shutdown, verdict, user error) —
+///     supervision ends with that code; restarting cannot help.
+///   - exit 3/4 or a signal (kill -9, segfault, OOM): abnormal — the
+///     worker restarts after a capped exponential backoff.
+///
+/// Crash durability is the journal's job, not the supervisor's: every
+/// accepted request is journaled before it runs, so the restarted worker
+/// replays accepted-but-unfinished work before serving (Serve.h). The
+/// supervisor only guarantees there is always a worker to replay into.
+///
+/// Backoff: delay(N) = min(Base * 2^(N-1), Cap) for the Nth consecutive
+/// abnormal exit; a worker that stays up HealthyResetMs resets the count,
+/// so a one-off crash an hour apart always restarts at Base while a
+/// crash loop quickly plateaus at Cap instead of spinning.
+///
+/// SIGINT/SIGTERM to the supervisor forward SIGTERM to the worker (whose
+/// GracefulShutdown turns it into a drain) and end supervision with the
+/// worker's exit code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SERVE_SUPERVISOR_H
+#define NV_SERVE_SUPERVISOR_H
+
+#include <cstdint>
+#include <functional>
+
+namespace nv {
+
+struct SupervisorOptions {
+  unsigned BackoffBaseMs = 100;   ///< Delay before the first restart.
+  unsigned BackoffCapMs = 5000;   ///< Backoff plateau for crash loops.
+  unsigned HealthyResetMs = 10000; ///< Uptime that resets the backoff.
+  /// Abnormal exits tolerated before giving up (< 0 = unbounded). The
+  /// count resets with the backoff, so this bounds crash *loops*, not
+  /// lifetime restarts.
+  int MaxRestarts = -1;
+};
+
+/// Pure backoff schedule (unit-tested): the delay before restart number
+/// \p ConsecutiveFailures (1-based), exponential from \p BaseMs, capped
+/// at \p CapMs. Overflow-safe for any failure count.
+unsigned nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
+                            unsigned CapMs);
+
+/// Runs \p Worker in supervised child processes until it exits
+/// deliberately, the restart budget is exhausted (returns 3), or the
+/// supervisor itself is told to stop. \p Worker receives the restart
+/// generation (0 on first launch) and its return value is the child's
+/// exit code. Must be called before the process creates threads.
+int superviseLoop(const std::function<int(uint64_t Generation)> &Worker,
+                  const SupervisorOptions &Opts);
+
+} // namespace nv
+
+#endif // NV_SERVE_SUPERVISOR_H

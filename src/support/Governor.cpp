@@ -29,6 +29,8 @@ const char *nv::runStatusName(RunStatus S) {
     return "canceled";
   case RunStatus::FaultInjected:
     return "fault-injected";
+  case RunStatus::Overloaded:
+    return "overloaded";
   case RunStatus::EvalError:
     return "eval-error";
   case RunStatus::InternalError:
@@ -42,8 +44,8 @@ bool nv::runStatusFromName(const std::string &Name, RunStatus &Out) {
       RunStatus::Ok,           RunStatus::DeadlineExceeded,
       RunStatus::StepBudgetExceeded, RunStatus::NodeBudgetExceeded,
       RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
-      RunStatus::FaultInjected, RunStatus::EvalError,
-      RunStatus::InternalError};
+      RunStatus::FaultInjected, RunStatus::Overloaded,
+      RunStatus::EvalError,     RunStatus::InternalError};
   for (RunStatus S : All)
     if (Name == runStatusName(S)) {
       Out = S;
@@ -60,6 +62,7 @@ bool nv::isResourceLimit(RunStatus S) {
   case RunStatus::HeapBudgetExceeded:
   case RunStatus::Canceled:
   case RunStatus::FaultInjected:
+  case RunStatus::Overloaded:
     return true;
   case RunStatus::Ok:
   case RunStatus::EvalError:
@@ -132,8 +135,9 @@ void CancelToken::removeInterruptHook(uint64_t Id) {
 //===----------------------------------------------------------------------===//
 
 static const char *const SiteNames[NumGovSites] = {
-    "sim-pop", "apply-cache-miss", "table-grow",
-    "alloc",   "smt-encode",       "solver-check",
+    "sim-pop",      "apply-cache-miss", "table-grow",
+    "alloc",        "smt-encode",       "solver-check",
+    "serve-accept", "serve-enqueue",    "serve-respond",
 };
 
 const char *nv::govSiteName(GovSite S) {
@@ -189,7 +193,8 @@ bool FaultInject::armFromSpec(const std::string &Spec, std::string *ErrorOut) {
         *ErrorOut = "malformed NV_FAULT_INJECT entry '" + Part +
                     "' (expected <site>:<countdown> with site one of "
                     "sim-pop, apply-cache-miss, table-grow, alloc, "
-                    "smt-encode, solver-check)";
+                    "smt-encode, solver-check, serve-accept, "
+                    "serve-enqueue, serve-respond)";
       return false;
     }
     arm(Site, N);

@@ -73,6 +73,9 @@ enum class RunStatus : uint8_t {
   HeapBudgetExceeded, ///< Approximate heap use exceeded RunBudget::MaxHeapBytes.
   Canceled,           ///< The run's CancelToken was triggered.
   FaultInjected,      ///< A deterministic NV_FAULT_INJECT countdown fired.
+  Overloaded,         ///< Shed by serve admission control: the request was
+                      ///< never run. Carries retry_after_ms in the serve
+                      ///< response; a resource-limit (exit 3) outcome.
   EvalError,          ///< User-program-triggerable semantic error (the old
                       ///< recoverable fatalError class: inexhaustive match,
                       ///< unencodable type, non-function application, ...).
@@ -211,8 +214,14 @@ enum class GovSite : uint8_t {
   EvalAlloc,      ///< "alloc": value-arena interning of a new value.
   SmtEncode,      ///< "smt-encode": SMT per-node encode loop.
   SolverCheck,    ///< "solver-check": immediately before z3 solver.check().
+  // Serve request-lifecycle sites (hit only by the nv serve daemon; no
+  // engine state to keep consistent, they exist so chaos/fault CI can
+  // fail each stage of the request path deterministically).
+  ServeAccept,    ///< "serve-accept": request admission, before journaling.
+  ServeEnqueue,   ///< "serve-enqueue": request dispatch onto the pool.
+  ServeRespond,   ///< "serve-respond": response finalization, pre-journal-done.
 };
-constexpr unsigned NumGovSites = 6;
+constexpr unsigned NumGovSites = 9;
 
 const char *govSiteName(GovSite S);
 /// Parses a site name; returns false on unknown names.

@@ -39,6 +39,7 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> L(M);
     Leftover.swap(AsyncQ);
+    AsyncQueuedCount.store(0, std::memory_order_relaxed);
   }
   for (auto &T : Leftover)
     runAsyncTask(std::move(T));
@@ -63,6 +64,7 @@ void ThreadPool::submit(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> L(M);
     AsyncQ.push_back(std::move(Task));
+    AsyncQueuedCount.store(AsyncQ.size(), std::memory_order_relaxed);
   }
   WorkCv.notify_one();
 }
@@ -111,6 +113,7 @@ void ThreadPool::workerLoop() {
       } else if (!AsyncQ.empty()) {
         Task = std::move(AsyncQ.front());
         AsyncQ.pop_front();
+        AsyncQueuedCount.store(AsyncQ.size(), std::memory_order_relaxed);
       }
     }
     if (J)

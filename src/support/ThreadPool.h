@@ -80,6 +80,17 @@ public:
   };
   Stats stats() const;
 
+  /// Lock-free backlog accounting for admission control: submitted tasks
+  /// not yet started / currently running. One relaxed load each — callers
+  /// that must decide whether to shed a request poll these on every
+  /// submission, so they cannot take the pool mutex.
+  size_t queuedTasks() const {
+    return AsyncQueuedCount.load(std::memory_order_relaxed);
+  }
+  size_t activeTasks() const {
+    return AsyncActive.load(std::memory_order_relaxed);
+  }
+
   /// The NV_THREADS environment variable if set (clamped to >= 1), else
   /// std::thread::hardware_concurrency(), else 1.
   static unsigned defaultThreadCount();
@@ -118,6 +129,7 @@ private:
   std::atomic<uint64_t> AsyncSubmitted{0};
   std::atomic<uint64_t> AsyncCompleted{0};
   std::atomic<size_t> AsyncActive{0};
+  std::atomic<size_t> AsyncQueuedCount{0}; ///< Mirrors AsyncQ.size().
 };
 
 } // namespace nv

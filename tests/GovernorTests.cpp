@@ -99,11 +99,15 @@ TEST(RunOutcome, StatusNamesAndResourceClassification) {
                "deadline-exceeded");
   EXPECT_STREQ(runStatusName(RunStatus::FaultInjected), "fault-injected");
 
+  // An overloaded daemon is a transient resource condition: retryable
+  // (exit 3), like a tripped deadline and unlike a user error.
+  EXPECT_STREQ(runStatusName(RunStatus::Overloaded), "overloaded");
+
   for (RunStatus S : {RunStatus::DeadlineExceeded,
                       RunStatus::StepBudgetExceeded,
                       RunStatus::NodeBudgetExceeded,
                       RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
-                      RunStatus::FaultInjected})
+                      RunStatus::FaultInjected, RunStatus::Overloaded})
     EXPECT_TRUE(isResourceLimit(S)) << runStatusName(S);
   for (RunStatus S :
        {RunStatus::Ok, RunStatus::EvalError, RunStatus::InternalError})
@@ -123,6 +127,23 @@ TEST(RunOutcome, StrAndExitCodeMapping) {
   EXPECT_EQ(exitCodeForOutcome(RunOutcome{RunStatus::EvalError, "", ""}), 2);
   EXPECT_EQ(exitCodeForOutcome(RunOutcome{RunStatus::InternalError, "", ""}),
             4);
+  EXPECT_EQ(exitCodeForOutcome(
+                RunOutcome{RunStatus::Overloaded, "", "serve-accept"}),
+            3);
+}
+
+TEST(GovSites, ServeSitesAreArmable) {
+  // The serve-stage sites ride the same spec grammar as engine sites, so
+  // chaos scripts can arm them by name.
+  FaultInjectGuard Guard;
+  for (const char *Name : {"serve-accept", "serve-enqueue", "serve-respond"}) {
+    GovSite S;
+    ASSERT_TRUE(govSiteFromName(Name, S)) << Name;
+    std::string Err;
+    EXPECT_TRUE(FaultInject::armFromSpec(std::string(Name) + ":1", &Err))
+        << Err;
+    FaultInject::disarmAll();
+  }
 }
 
 TEST(GovSites, NamesRoundTrip) {

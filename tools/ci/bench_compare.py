@@ -24,7 +24,14 @@ import sys
 
 THRESHOLD = 0.25  # warn when current > baseline * (1 + THRESHOLD)
 
-TIMING_FIELDS = ("simulate_ms", "nv_ms", "nv_native_ms", "batfish_ms")
+TIMING_FIELDS = ("simulate_ms", "nv_ms", "nv_native_ms", "batfish_ms",
+                 "warm_repeat_ms", "accepted_p99_ms")
+
+# Ratio fields compare by absolute difference, not relative growth: a
+# shed rate moving from 0.02 to 0.04 doubled but is noise, while 0.2 to
+# 0.5 on the same saturation workload means admission changed behavior.
+RATIO_FIELDS = ("shed_rate",)
+RATIO_THRESHOLD = 0.25  # warn when |current - baseline| exceeds this
 
 
 def key(rec):
@@ -156,6 +163,16 @@ def main(argv):
                     "  %s %s failures=%s %s: %.1fms -> %.1fms (+%.0f%%)"
                     % (rec.get("bench"), rec.get("network"),
                        rec.get("failures"), field, b, c, 100 * (c / b - 1)))
+        for field in RATIO_FIELDS:
+            if field not in rec or field not in base:
+                continue
+            b, c = float(base[field]), float(rec[field])
+            compared += 1
+            if abs(c - b) > RATIO_THRESHOLD:
+                regressions.append(
+                    "  %s %s failures=%s %s: %.2f -> %.2f"
+                    % (rec.get("bench"), rec.get("network"),
+                       rec.get("failures"), field, b, c))
 
     print("bench-smoke: compared %d timings against %s" % (compared, argv[1]))
     if skipped:

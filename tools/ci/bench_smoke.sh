@@ -11,11 +11,17 @@ cd "$(dirname "$0")/../.."
 BUILD_DIR=${1:-build}
 JOBS=${JOBS:-$(nproc)}
 
-cmake --build "$BUILD_DIR" -j"$JOBS" --target fig13b_fault_scaling fig14_simulation
+cmake --build "$BUILD_DIR" -j"$JOBS" \
+  --target fig13b_fault_scaling fig14_simulation serve_latency
 
 mkdir -p bench-artifacts
 "./$BUILD_DIR/bench/fig13b_fault_scaling" --smoke --json bench-artifacts/fig13b.json
 "./$BUILD_DIR/bench/fig14_simulation" --smoke --json bench-artifacts/fig14.json
+# The saturation record tracks admission behavior (shed_rate by absolute
+# drift, accepted_p99_ms like any timing) against the baseline.
+"./$BUILD_DIR/bench/serve_latency" --smoke --saturate \
+  --json bench-artifacts/serve_saturation.json
 
 python3 tools/ci/bench_compare.py BENCH_2.json \
-  bench-artifacts/fig13b.json bench-artifacts/fig14.json
+  bench-artifacts/fig13b.json bench-artifacts/fig14.json \
+  bench-artifacts/serve_saturation.json

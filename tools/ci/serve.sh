@@ -2,9 +2,11 @@
 # serve.sh — end-to-end exercise of the `nv serve` daemon: start it on a
 # Unix socket with a request journal, run a scripted session (load, warm
 # and memoized repeat queries, concurrent queries, a budget-tripped
-# request, stats, shutdown), and assert both the JSON response fields and
-# the `nv req` exit codes against the CLI taxonomy (0 ok, 1 falsified,
-# 2 user error, 3 resource, 4 internal).
+# request, health, stats, shutdown), and assert both the JSON response
+# fields and the `nv req` exit codes against the CLI taxonomy (0 ok,
+# 1 falsified, 2 user error, 3 resource, 4 internal). Ends with the
+# serve_latency saturation smoke: admission control must shed with retry
+# hints while every accepted request completes.
 #
 # Usage: tools/ci/serve.sh [BUILD_DIR]
 # Env:   JOBS (parallelism), SANITIZE (e.g. "address,undefined" builds the
@@ -153,6 +155,11 @@ R=$(req_expect 3 '{"verb":"ft","session":"net","max_steps":1}')
 assert_eq "$(field "$R" outcome_status)" step-budget-exceeded "trip status"
 req_expect 0 '{"verb":"sim","session":"net"}' >/dev/null
 
+echo "== health reports ready with the worker's generation"
+R=$(req_expect 0 '{"verb":"health"}')
+assert_eq "$(field "$R" state)" ready "health state"
+assert_eq "$(field "$R" generation)" 0 "health generation (no restarts)"
+
 echo "== stats"
 R=$(req_expect 0 '{"verb":"stats"}')
 assert_eq "$(field "$R" pool threads)" 4 "pool threads"
@@ -181,5 +188,10 @@ echo "$SUMMARY" | grep -q "0 pending" || {
   echo "FAIL: request queue did not drain" >&2
   exit 1
 }
+
+echo "== saturation smoke: admission sheds with retry hints, accepted work completes"
+cmake --build "$BUILD_DIR" -j"$JOBS" --target serve_latency
+"./$BUILD_DIR/bench/serve_latency" --smoke --saturate \
+  --json "$ART/serve_saturation.json"
 
 echo "serve e2e: all checks passed"

@@ -58,6 +58,7 @@
 #include "serve/Client.h"
 #include "serve/Json.h"
 #include "serve/Server.h"
+#include "serve/Supervisor.h"
 #include "core/Printer.h"
 #include "core/TypeChecker.h"
 #include "eval/Compile.h"
@@ -84,8 +85,17 @@ int usage() {
                "[options]\n"
                "       nv serve SOCKET [--threads N] [--journal PATH] "
                "[--max-sessions N]\n"
-               "       nv req SOCKET [JSON...]   (no JSON: one request per "
-               "stdin line)\n"
+               "                [--max-inflight N] [--queue-depth N] "
+               "[--heap-budget-mb N]\n"
+               "                [--memo-cap N] [--idle-timeout-ms MS] "
+               "[--max-line-bytes N]\n"
+               "                [--supervise] [--restart-backoff-ms MS] "
+               "[--restart-cap-ms MS]\n"
+               "                [--max-restarts N]\n"
+               "       nv req SOCKET [--timeout-ms MS] [--retries N] "
+               "[JSON...]\n"
+               "                (no JSON: one request per stdin line; "
+               "exit 3 on timeout/overload)\n"
                "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
                "  --links K  --node  --threads N\n"
                "  --deadline-ms MS  --node-budget N  --max-steps N\n"
@@ -480,19 +490,8 @@ int cmdJournal(const std::string &Path) {
 // serve / req
 //===----------------------------------------------------------------------===//
 
-int cmdServe(int argc, char **argv) {
-  Server::Options Opts;
-  Opts.SocketPath = argv[2];
-  for (int I = 3; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
-      Opts.Core.Threads = static_cast<unsigned>(atoi(argv[++I]));
-    else if (!std::strcmp(argv[I], "--journal") && I + 1 < argc)
-      Opts.Core.JournalPath = argv[++I];
-    else if (!std::strcmp(argv[I], "--max-sessions") && I + 1 < argc)
-      Opts.Core.MaxSessions = static_cast<size_t>(atoi(argv[++I]));
-    else
-      return usage();
-  }
+int runServeWorker(Server::Options Opts, uint64_t Generation) {
+  Opts.Core.Generation = Generation;
   Server::CreateResult Res = Server::create(Opts);
   if (!Res.Srv) {
     std::fprintf(stderr, "nv: %s\n", Res.Error.c_str());
@@ -511,22 +510,86 @@ int cmdServe(int argc, char **argv) {
   return Res.Srv->run(&Cancel);
 }
 
-int cmdReq(int argc, char **argv) {
-  std::string Error;
-  std::unique_ptr<ServeClient> Client = ServeClient::connect(argv[2], Error);
-  if (!Client) {
-    std::fprintf(stderr, "nv: %s\n", Error.c_str());
-    return 2;
+int cmdServe(int argc, char **argv) {
+  Server::Options Opts;
+  Opts.SocketPath = argv[2];
+  bool Supervise = false;
+  SupervisorOptions Sup;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Opts.Core.Threads = static_cast<unsigned>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--journal") && I + 1 < argc)
+      Opts.Core.JournalPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--max-sessions") && I + 1 < argc)
+      Opts.Core.MaxSessions = static_cast<size_t>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--max-inflight") && I + 1 < argc)
+      Opts.Core.MaxInflight = static_cast<size_t>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--queue-depth") && I + 1 < argc)
+      Opts.Core.QueueDepth = static_cast<size_t>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--heap-budget-mb") && I + 1 < argc)
+      Opts.Core.HeapBudgetBytes =
+          static_cast<size_t>(atoi(argv[++I])) * 1024 * 1024;
+    else if (!std::strcmp(argv[I], "--memo-cap") && I + 1 < argc)
+      Opts.Core.MemoEntryCap = static_cast<size_t>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--idle-timeout-ms") && I + 1 < argc)
+      Opts.IdleTimeoutMs = static_cast<unsigned>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--max-line-bytes") && I + 1 < argc)
+      Opts.MaxLineBytes = static_cast<size_t>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--supervise"))
+      Supervise = true;
+    else if (!std::strcmp(argv[I], "--restart-backoff-ms") && I + 1 < argc)
+      Sup.BackoffBaseMs = static_cast<unsigned>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--restart-cap-ms") && I + 1 < argc)
+      Sup.BackoffCapMs = static_cast<unsigned>(atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--max-restarts") && I + 1 < argc)
+      Sup.MaxRestarts = atoi(argv[++I]);
+    else
+      return usage();
   }
+  if (Supervise)
+    // Forks before any thread exists; each worker child builds its own
+    // Server, replaying the journal, so kill -9 mid-request loses no
+    // accepted work.
+    return superviseLoop(
+        [&Opts](uint64_t Gen) { return runServeWorker(Opts, Gen); }, Sup);
+  // Under an external supervisor the generation arrives via environment.
+  uint64_t Gen = 0;
+  if (const char *G = std::getenv("NV_SERVE_RESTARTS"))
+    Gen = std::strtoull(G, nullptr, 10);
+  return runServeWorker(Opts, Gen);
+}
+
+int cmdReq(int argc, char **argv) {
+  ClientOptions CO;
+  RetryOptions RO;
+  int First = 3;
+  for (; First < argc; ++First) {
+    if (!std::strcmp(argv[First], "--timeout-ms") && First + 1 < argc) {
+      // One deadline for both phases: a script that says 2000 means "give
+      // up after 2s", whether the time goes to connecting or waiting.
+      CO.ReadTimeoutMs = static_cast<unsigned>(atoi(argv[++First]));
+      CO.ConnectTimeoutMs = CO.ReadTimeoutMs;
+    } else if (!std::strcmp(argv[First], "--retries") && First + 1 < argc) {
+      RO.MaxAttempts = static_cast<unsigned>(atoi(argv[++First])) + 1;
+    } else {
+      break; // first JSON argument
+    }
+  }
+  ResilientClient Client(argv[2], CO, RO);
   int Last = 0;
   bool Ok = true;
   auto One = [&](const std::string &Line) {
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       return true; // blank separator lines in scripts are fine
-    std::string Resp;
-    if (!Client->request(Line, Resp, Error)) {
+    std::string Resp, Error;
+    if (!Client.request(Line, Resp, Error)) {
       std::fprintf(stderr, "nv: %s\n", Error.c_str());
-      Last = 2;
+      if (!Resp.empty()) // e.g. the final overloaded response when the
+        std::printf("%s\n", Resp.c_str()); // retry budget ran out
+      // Exit 3 for deadline expiry and exhausted-overloaded retries (the
+      // resource code, and transient to callers like RetryPolicy); 2 for
+      // a hard transport failure.
+      Last = Client.timedOut() || !Resp.empty() ? 3 : 2;
       return false;
     }
     std::printf("%s\n", Resp.c_str());
@@ -537,8 +600,8 @@ int cmdReq(int argc, char **argv) {
                                       : 4;
     return true;
   };
-  if (argc > 3) {
-    for (int I = 3; I < argc && Ok; ++I)
+  if (argc > First) {
+    for (int I = First; I < argc && Ok; ++I)
       Ok = One(argv[I]);
   } else {
     for (std::string Line; std::getline(std::cin, Line) && Ok;)
