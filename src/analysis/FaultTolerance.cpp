@@ -264,6 +264,165 @@ const Value *nv::scenarioKey(NvContext &Ctx, const FtScenario &S,
   return Ctx.tupleV(std::move(Parts));
 }
 
+//===----------------------------------------------------------------------===//
+// FtChecker
+//===----------------------------------------------------------------------===//
+
+struct FtChecker::ImplTy {
+  NvContext &Ctx;
+  const SimResult &Meta;
+  FtOptions Opts;
+  uint32_t N;
+  std::vector<FtScenario> Scenarios;
+  /// Roots the meta labels' diagrams for the checker's lifetime: the
+  /// assert pre-pass and key encoding intern fresh values, and if a
+  /// collection fires the label roots must survive it.
+  BddManager::RootSet MetaRoots;
+  std::vector<std::unordered_set<const void *>> FailingLeaves;
+  std::vector<std::vector<bool>> KeyBits;
+
+  ImplTy(NvContext &Ctx, const Program &BaseProgram,
+         ProtocolEvaluator &BaseEval, const SimResult &MetaResult,
+         const FtOptions &Opts)
+      : Ctx(Ctx), Meta(MetaResult), Opts(Opts), N(BaseProgram.numNodes()),
+        Scenarios(enumerateScenarios(BaseProgram, Opts)), MetaRoots(Ctx.Mgr) {
+    if (this->Opts.CheckChunkSize == 0)
+      this->Opts.CheckChunkSize = 512;
+    for (uint32_t U = 0; U < N; ++U)
+      if (Meta.Labels[U]->K == Value::Kind::Map)
+        MetaRoots.add(Meta.Labels[U]->MapRoot);
+
+    // Serial pre-pass: evaluate the assert once per (node, distinct leaf)
+    // by walking each label diagram's cubes — far fewer evaluations than
+    // once per (node, scenario), since MTBDD sharing keeps the number of
+    // distinct routes per node tiny (Fig. 4). This is also what makes the
+    // sharded phase safe: the interpreter and the value arena are only
+    // touched here.
+    FailingLeaves.resize(N);
+    for (uint32_t U = 0; U < N; ++U) {
+      const Value *L = Meta.Labels[U];
+      assert(L->K == Value::Kind::Map && "meta-labels must be dicts");
+      std::unordered_set<const void *> Seen;
+      Ctx.Mgr.forEachCube(L->MapRoot, L->KeyBits,
+                          [&](const std::vector<int8_t> &, const void *Leaf) {
+                            if (!Seen.insert(Leaf).second)
+                              return;
+                            if (!BaseEval.assertAt(
+                                    U, static_cast<const Value *>(Leaf)))
+                              FailingLeaves[U].insert(Leaf);
+                          });
+    }
+
+    // Serial: scenario keys intern values, so encode them before fanning
+    // out. Chunk checking afterwards only reads the MTBDD node array.
+    KeyBits.resize(Scenarios.size());
+    if (!Scenarios.empty()) {
+      const TypePtr &KeyTy = Meta.Labels[0]->KeyType;
+      for (size_t I = 0; I < Scenarios.size(); ++I)
+        Ctx.encodeValue(scenarioKey(Ctx, Scenarios[I], Opts), KeyTy,
+                        KeyBits[I]);
+    }
+  }
+};
+
+FtChecker::FtChecker(NvContext &Ctx, const Program &BaseProgram,
+                     ProtocolEvaluator &BaseEval, const SimResult &MetaResult,
+                     const FtOptions &Opts)
+    : Impl(std::make_unique<ImplTy>(Ctx, BaseProgram, BaseEval, MetaResult,
+                                    Opts)) {}
+
+FtChecker::~FtChecker() = default;
+
+const std::vector<FtScenario> &FtChecker::scenarios() const {
+  return Impl->Scenarios;
+}
+
+size_t FtChecker::numChunks() const {
+  return (Impl->Scenarios.size() + Impl->Opts.CheckChunkSize - 1) /
+         Impl->Opts.CheckChunkSize;
+}
+
+std::string FtChecker::chunkKey(size_t C) {
+  std::string K = "c";
+  K += std::to_string(C);
+  return K;
+}
+
+void FtChecker::checkScenario(size_t I, std::vector<FtViolation> &Out) const {
+  const FtScenario &S = Impl->Scenarios[I];
+  for (uint32_t U = 0; U < Impl->N; ++U) {
+    if (S.Node && *S.Node == U)
+      continue; // a failed node asserts nothing
+    const Value *Route = static_cast<const Value *>(
+        Impl->Ctx.Mgr.get(Impl->Meta.Labels[U]->MapRoot, Impl->KeyBits[I]));
+    if (Impl->FailingLeaves[U].count(Route))
+      Out.push_back({S, U, Route, {}});
+  }
+}
+
+UnitRecord FtChecker::checkChunk(size_t C, ThreadPool *Pool,
+                                 std::vector<FtViolation> *LiveOut) {
+  size_t Begin = C * Impl->Opts.CheckChunkSize;
+  size_t End = std::min(Begin + Impl->Opts.CheckChunkSize,
+                        Impl->Scenarios.size());
+  // Per-scenario slots, concatenated in scenario order, so the record is
+  // identical for any pool size and any shard interleaving.
+  std::vector<std::vector<FtViolation>> PerScenario(End - Begin);
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(End - Begin, [&](size_t I) {
+      checkScenario(Begin + I, PerScenario[I]);
+    });
+  else
+    for (size_t I = Begin; I < End; ++I)
+      checkScenario(I, PerScenario[I - Begin]);
+
+  UnitRecord Rec;
+  Rec.Key = chunkKey(C);
+  Rec.add("status", "ok");
+  for (size_t I = Begin; I < End; ++I)
+    for (const FtViolation &V : PerScenario[I - Begin]) {
+      addViolationField(Rec, I, V);
+      if (LiveOut)
+        LiveOut->push_back(V);
+    }
+  return Rec;
+}
+
+bool nv::aggregateFtChunkRecords(
+    const std::vector<FtScenario> &Scenarios, unsigned ChunkSize,
+    const std::function<bool(const std::string &, UnitRecord &)> &Lookup,
+    FtCheckResult &Out) {
+  if (ChunkSize == 0)
+    ChunkSize = 512;
+  size_t NumChunks = (Scenarios.size() + ChunkSize - 1) / ChunkSize;
+  for (size_t C = 0; C < NumChunks; ++C) {
+    size_t Begin = C * ChunkSize;
+    size_t End = std::min(Begin + size_t(ChunkSize), Scenarios.size());
+    UnitRecord Rec;
+    if (!Lookup(FtChecker::chunkKey(C), Rec))
+      return false;
+    RunOutcome O;
+    unsigned Attempts = 1;
+    if (!parseOutcome(Rec, O, Attempts))
+      return false;
+    Out.ScenariosChecked += End - Begin;
+    if (!O.ok()) {
+      // A quarantined (or otherwise skipped) chunk contributes no
+      // violations — exactly like a skipped scenario in the naive paths.
+      Out.ScenariosSkipped += End - Begin;
+      if (Out.Outcome.ok())
+        Out.Outcome = O;
+      continue;
+    }
+    std::vector<std::pair<size_t, FtViolation>> Vs;
+    if (!parseViolationFields(Rec, Scenarios, Vs))
+      return false;
+    for (auto &IV : Vs)
+      Out.Violations.push_back(std::move(IV.second));
+  }
+  return true;
+}
+
 FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
                                       const Program &BaseProgram,
                                       ProtocolEvaluator &BaseEval,
@@ -271,65 +430,17 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
                                       const FtOptions &Opts,
                                       ThreadPool *Pool) {
   FtCheckResult R;
-  auto Scenarios = enumerateScenarios(BaseProgram, Opts);
   uint32_t N = BaseProgram.numNodes();
-  R.ScenariosChecked = Scenarios.size();
-  if (Scenarios.empty() || N == 0)
-    return R;
-
-  // Root the meta labels' diagrams for the duration of the check: the
-  // assert pre-pass and key encoding intern fresh values, and if a
-  // collection fires the label roots must survive it. (No safe point runs
-  // inside this function today; the RootSet makes the contract explicit
-  // and keeps it correct if one is ever added.)
-  BddManager::RootSet MetaRoots(Ctx.Mgr);
-  for (uint32_t U = 0; U < N; ++U)
-    if (MetaResult.Labels[U]->K == Value::Kind::Map)
-      MetaRoots.add(MetaResult.Labels[U]->MapRoot);
-
-  // Serial pre-pass: evaluate the assert once per (node, distinct leaf)
-  // by walking each label diagram's cubes — far fewer evaluations than
-  // once per (node, scenario), since MTBDD sharing keeps the number of
-  // distinct routes per node tiny (Fig. 4). This is also what makes the
-  // parallel phase safe: the interpreter and the value arena are only
-  // touched here.
-  std::vector<std::unordered_set<const void *>> FailingLeaves(N);
-  for (uint32_t U = 0; U < N; ++U) {
-    const Value *L = MetaResult.Labels[U];
-    assert(L->K == Value::Kind::Map && "meta-labels must be dicts");
-    std::unordered_set<const void *> Seen;
-    Ctx.Mgr.forEachCube(L->MapRoot, L->KeyBits,
-                        [&](const std::vector<int8_t> &, const void *Leaf) {
-                          if (!Seen.insert(Leaf).second)
-                            return;
-                          if (!BaseEval.assertAt(
-                                  U, static_cast<const Value *>(Leaf)))
-                            FailingLeaves[U].insert(Leaf);
-                        });
+  {
+    auto Scenarios = enumerateScenarios(BaseProgram, Opts);
+    R.ScenariosChecked = Scenarios.size();
+    if (Scenarios.empty() || N == 0)
+      return R;
   }
 
-  // Serial: scenario keys intern values, so encode them before fanning
-  // out. The parallel phase below only reads the MTBDD node array.
-  std::vector<std::vector<bool>> KeyBits(Scenarios.size());
-  const TypePtr &KeyTy = MetaResult.Labels[0]->KeyType;
-  for (size_t I = 0; I < Scenarios.size(); ++I)
-    Ctx.encodeValue(scenarioKey(Ctx, Scenarios[I], Opts), KeyTy, KeyBits[I]);
+  FtChecker Checker(Ctx, BaseProgram, BaseEval, MetaResult, Opts);
+  const auto &Scenarios = Checker.scenarios();
 
-  // Index every (scenario, node) pair; embarrassingly parallel and
-  // read-only. Violations are collected per scenario and concatenated in
-  // scenario order, so the result is identical for any pool size.
-  std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
-  auto CheckOne = [&](size_t I) {
-    const FtScenario &S = Scenarios[I];
-    for (uint32_t U = 0; U < N; ++U) {
-      if (S.Node && *S.Node == U)
-        continue; // a failed node asserts nothing
-      const Value *Route = static_cast<const Value *>(
-          Ctx.Mgr.get(MetaResult.Labels[U]->MapRoot, KeyBits[I]));
-      if (FailingLeaves[U].count(Route))
-        PerScenario[I].push_back({S, U, Route, {}});
-    }
-  };
   if (Opts.Resume) {
     // Checkpointed mode: scenarios are journaled in fixed chunks (one
     // entry per chunk keeps journal traffic sane at fig13 scales). Chunks
@@ -337,21 +448,18 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
     // journal, a fresh chunk is indexed (sharded over the pool) and then
     // durably recorded. Cancellation drains between chunks — the partial
     // chunk is simply not recorded and re-runs on resume.
-    constexpr size_t ChunkSize = 512;
-    size_t NumChunks = (Scenarios.size() + ChunkSize - 1) / ChunkSize;
+    size_t ChunkSize = Opts.CheckChunkSize ? Opts.CheckChunkSize : 512;
     R.ScenariosChecked = 0;
     CancelToken *Cancel = Opts.Budget.Cancel;
-    for (size_t C = 0; C < NumChunks; ++C) {
+    for (size_t C = 0; C < Checker.numChunks(); ++C) {
       size_t Begin = C * ChunkSize;
       size_t End = std::min(Begin + ChunkSize, Scenarios.size());
-      std::string Key = "c";
-      Key += std::to_string(C);
       UnitRecord Rec;
-      if (Opts.Resume->replay(Key, Rec)) {
+      if (Opts.Resume->replay(FtChecker::chunkKey(C), Rec)) {
         std::vector<std::pair<size_t, FtViolation>> Replayed;
         if (parseViolationFields(Rec, Scenarios, Replayed))
           for (auto &[I, V] : Replayed)
-            PerScenario[I].push_back(std::move(V));
+            R.Violations.push_back(std::move(V));
         R.ScenariosChecked += End - Begin;
         R.ScenariosReplayed += End - Begin;
         continue;
@@ -361,29 +469,25 @@ FtCheckResult nv::checkFaultTolerance(NvContext &Ctx,
                      ""};
         break;
       }
-      if (Pool && Pool->numThreads() > 1)
-        Pool->parallelFor(End - Begin,
-                          [&](size_t I) { CheckOne(Begin + I); });
-      else
-        for (size_t I = Begin; I < End; ++I)
-          CheckOne(I);
+      Rec = Checker.checkChunk(C, Pool, &R.Violations);
       R.ScenariosChecked += End - Begin;
-      Rec = UnitRecord();
-      Rec.Key = Key;
-      Rec.add("status", "ok");
-      for (size_t I = Begin; I < End; ++I)
-        for (const FtViolation &V : PerScenario[I])
-          addViolationField(Rec, I, V);
       Opts.Resume->recordDone(Rec);
     }
-  } else if (Pool && Pool->numThreads() > 1) {
-    Pool->parallelFor(Scenarios.size(), CheckOne);
   } else {
-    for (size_t I = 0; I < Scenarios.size(); ++I)
-      CheckOne(I);
+    // Unchunked: index every scenario; embarrassingly parallel and
+    // read-only, with per-scenario slots keeping the violation order
+    // identical for any pool size.
+    std::vector<std::vector<FtViolation>> PerScenario(Scenarios.size());
+    if (Pool && Pool->numThreads() > 1)
+      Pool->parallelFor(Scenarios.size(), [&](size_t I) {
+        Checker.checkScenario(I, PerScenario[I]);
+      });
+    else
+      for (size_t I = 0; I < Scenarios.size(); ++I)
+        Checker.checkScenario(I, PerScenario[I]);
+    for (auto &Part : PerScenario)
+      R.Violations.insert(R.Violations.end(), Part.begin(), Part.end());
   }
-  for (auto &Part : PerScenario)
-    R.Violations.insert(R.Violations.end(), Part.begin(), Part.end());
   return R;
 }
 

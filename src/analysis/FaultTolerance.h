@@ -36,6 +36,7 @@
 #include "support/Resume.h"
 #include "support/ThreadPool.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -65,6 +66,10 @@ struct FtOptions {
   /// finite limits escalated. Default MaxAttempts=1 keeps single-shot
   /// semantics.
   RetryPolicy Retry;
+  /// Scenarios per check chunk in the checkpointed and fleet-sharded
+  /// paths: chunks are the journal/fleet unit of the assert check ("c<C>"
+  /// keys), so this changes the unit list and binds in the journal.
+  unsigned CheckChunkSize = 512;
   /// Optional checkpoint/resume journal. When set, scenarios completed in
   /// a previous run are replayed instead of re-simulated, and each newly
   /// completed scenario (or scenario chunk, in checkFaultTolerance) is
@@ -162,6 +167,54 @@ FtCheckResult checkFaultTolerance(NvContext &Ctx, const Program &BaseProgram,
                                   const SimResult &MetaResult,
                                   const FtOptions &Opts,
                                   ThreadPool *Pool = nullptr);
+
+/// The reusable assert-check engine underneath checkFaultTolerance: the
+/// serial pre-pass (assert once per distinct MTBDD leaf, scenario-key
+/// encoding, meta-label rooting) runs once at construction; checkChunk
+/// then indexes one chunk of scenarios — read-only over the diagram, so
+/// shardable over a pool — and returns the chunk's canonical UnitRecord
+/// ("c<C>", status, one "v" field per violation). In-process chunked
+/// checking journals these records; fleet workers send the *same* records
+/// over the result pipe, which is what makes `--workers N` aggregates
+/// bit-identical to `--workers 0`.
+class FtChecker {
+public:
+  /// \p MetaResult must be converged with dict labels; both it and
+  /// \p Ctx/\p BaseEval must outlive the checker.
+  FtChecker(NvContext &Ctx, const Program &BaseProgram,
+            ProtocolEvaluator &BaseEval, const SimResult &MetaResult,
+            const FtOptions &Opts);
+  ~FtChecker();
+
+  const std::vector<FtScenario> &scenarios() const;
+  size_t numChunks() const;
+  /// The journal/fleet key of chunk \p C: "c<C>".
+  static std::string chunkKey(size_t C);
+
+  /// Checks scenarios [C*CheckChunkSize, ...) and returns the chunk's
+  /// record. Live violations (Route interned in Ctx) are additionally
+  /// appended to \p LiveOut when given, in scenario order.
+  UnitRecord checkChunk(size_t C, ThreadPool *Pool = nullptr,
+                        std::vector<FtViolation> *LiveOut = nullptr);
+
+  /// Indexes a single scenario (thread-safe; read-only).
+  void checkScenario(size_t I, std::vector<FtViolation> &Out) const;
+
+private:
+  struct ImplTy;
+  std::unique_ptr<ImplTy> Impl;
+};
+
+/// Folds one record per chunk — from a fleet run, a resume journal, or a
+/// mix — into \p Out with the replay path's semantics: violations in
+/// scenario order (Route null, RouteText filled), a non-ok chunk (e.g. a
+/// quarantined poison chunk) contributing its scenario count to
+/// ScenariosSkipped and the first non-ok outcome in chunk order kept.
+/// Returns false when some chunk's record is missing or malformed.
+bool aggregateFtChunkRecords(
+    const std::vector<FtScenario> &Scenarios, unsigned ChunkSize,
+    const std::function<bool(const std::string &, UnitRecord &)> &Lookup,
+    FtCheckResult &Out);
 
 /// Convenience driver: transform, simulate (interpreted or compiled), and
 /// check. Null base assert means only convergence is checked.

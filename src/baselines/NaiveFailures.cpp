@@ -72,25 +72,26 @@ void pinNewViolations(NvContext &Ctx, std::vector<FtViolation> &Out,
     Ctx.pinValue(Out[I].Route);
 }
 
-/// The journal key of scenario \p I: the enumeration order is
-/// deterministic, so the index is the scenario's stable identity.
-std::string scenarioKeyStr(size_t I) {
-  std::string K = "s";
-  K += std::to_string(I);
-  return K;
-}
-
-/// Durably records one completed scenario: its outcome, how many attempts
-/// the retry policy spent, and its violations ([\p From, \p To)).
-void recordScenarioDone(ResumeLog &Log, size_t I, const RunOutcome &O,
-                        unsigned Attempts, const FtViolation *From,
-                        const FtViolation *To) {
+/// Builds the canonical record of a completed scenario: its outcome, how
+/// many attempts the retry policy spent, and its violations ([\p From,
+/// \p To)). Every producer of scenario records — the serial and parallel
+/// in-process paths (journaling) and the fleet worker (result frames) —
+/// goes through here, which is what makes their records byte-identical.
+UnitRecord makeScenarioRecord(size_t I, const RunOutcome &O, unsigned Attempts,
+                              const FtViolation *From, const FtViolation *To) {
   UnitRecord Rec;
-  Rec.Key = scenarioKeyStr(I);
+  Rec.Key = naiveScenarioKey(I);
   addOutcome(Rec, O, Attempts);
   for (const FtViolation *V = From; V != To; ++V)
     addViolationField(Rec, I, *V);
-  Log.recordDone(Rec);
+  return Rec;
+}
+
+/// Durably records one completed scenario.
+void recordScenarioDone(ResumeLog &Log, size_t I, const RunOutcome &O,
+                        unsigned Attempts, const FtViolation *From,
+                        const FtViolation *To) {
+  Log.recordDone(makeScenarioRecord(I, O, Attempts, From, To));
 }
 
 /// Restores a journaled scenario: outcome into \p OutcomeOut, violations
@@ -109,6 +110,55 @@ void replayScenarioRecord(const UnitRecord &Rec,
 
 } // namespace
 
+std::string nv::naiveScenarioKey(size_t I) {
+  std::string K = "s";
+  K += std::to_string(I);
+  return K;
+}
+
+UnitRecord nv::runNaiveScenarioRecord(const Program &P,
+                                      ProtocolEvaluator &BaseEval,
+                                      const std::vector<FtScenario> &Scenarios,
+                                      size_t I, const Value *DropValue,
+                                      const FtOptions &Opts) {
+  std::vector<FtViolation> Vs;
+  unsigned Attempts = 1;
+  RunOutcome O = runUnitWithRetry(
+      Opts.Budget, Opts.Retry, Attempts, [&](const RunBudget &B) {
+        return runOneScenarioGoverned(P, BaseEval, Scenarios[I], DropValue, B,
+                                      Vs);
+      });
+  // Render the record (routeStr reads the live routes) BEFORE collecting
+  // the scenario's garbage; nothing in Vs needs to survive the reset.
+  UnitRecord Rec =
+      makeScenarioRecord(I, O, Attempts, Vs.data(), Vs.data() + Vs.size());
+  BaseEval.ctx().resetBetweenRuns();
+  return Rec;
+}
+
+bool nv::aggregateNaiveScenarioRecords(
+    const std::vector<FtScenario> &Scenarios,
+    const std::function<bool(const std::string &, UnitRecord &)> &Lookup,
+    FtCheckResult &Out) {
+  Out.ScenariosChecked = Scenarios.size();
+  for (size_t I = 0; I < Scenarios.size(); ++I) {
+    UnitRecord Rec;
+    if (!Lookup(naiveScenarioKey(I), Rec))
+      return false;
+    RunOutcome O;
+    unsigned Attempts = 1;
+    parseOutcome(Rec, O, Attempts);
+    Out.RetriesPerformed += Attempts - 1;
+    replayScenarioRecord(Rec, Scenarios, O, Out.Violations);
+    if (!O.ok()) {
+      ++Out.ScenariosSkipped;
+      if (Out.Outcome.ok())
+        Out.Outcome = O;
+    }
+  }
+  return true;
+}
+
 FtCheckResult nv::naiveFaultTolerance(const Program &P,
                                       ProtocolEvaluator &BaseEval,
                                       const FtOptions &Opts,
@@ -123,7 +173,7 @@ FtCheckResult nv::naiveFaultTolerance(const Program &P,
     ++R.ScenariosChecked;
     if (Opts.Resume) {
       UnitRecord Rec;
-      if (Opts.Resume->replay(scenarioKeyStr(I), Rec)) {
+      if (Opts.Resume->replay(naiveScenarioKey(I), Rec)) {
         RunOutcome O;
         replayScenarioRecord(Rec, Scenarios, O, R.Violations);
         if (!O.ok()) {
@@ -198,7 +248,7 @@ FtCheckResult nv::naiveFaultToleranceParallel(
   for (size_t I = 0; I < Scenarios.size(); ++I) {
     if (Opts.Resume) {
       UnitRecord Rec;
-      if (Opts.Resume->replay(scenarioKeyStr(I), Rec)) {
+      if (Opts.Resume->replay(naiveScenarioKey(I), Rec)) {
         replayScenarioRecord(Rec, Scenarios, PerOutcome[I], PerScenario[I]);
         ++R.ScenariosReplayed;
         continue;

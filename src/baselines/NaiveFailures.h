@@ -77,6 +77,31 @@ FtCheckResult naiveFaultTolerance(const Program &P,
                                   const FtOptions &Opts,
                                   const Value *DropValue);
 
+/// The stable journal/fleet key of scenario \p I ("s<I>"): enumeration
+/// order is deterministic, so the index is the scenario's identity.
+std::string naiveScenarioKey(size_t I);
+
+/// Runs scenario \p I end to end — own governed scope, transient-retry —
+/// and returns the same UnitRecord the in-process paths journal for it
+/// (outcome + attempts + one "v" field per violation). This is the fleet
+/// worker's unit handler: BaseEval's arena is collected back to its
+/// pinned baseline before returning, so one evaluator serves many jobs.
+UnitRecord runNaiveScenarioRecord(const Program &P, ProtocolEvaluator &BaseEval,
+                                  const std::vector<FtScenario> &Scenarios,
+                                  size_t I, const Value *DropValue,
+                                  const FtOptions &Opts);
+
+/// Folds one record per scenario — from a fleet run, a resume journal, or
+/// a mix of both — into \p Out with exactly the replay path's semantics:
+/// violations in scenario order (Route null, RouteText filled), non-ok
+/// records counted as skipped, first non-ok outcome in scenario order
+/// kept. Returns false when some scenario's record is missing. The caller
+/// sets ScenariosReplayed (the split is its to know).
+bool aggregateNaiveScenarioRecords(
+    const std::vector<FtScenario> &Scenarios,
+    const std::function<bool(const std::string &, UnitRecord &)> &Lookup,
+    FtCheckResult &Out);
+
 /// Thread-sharded naive analysis: one persistent worker per pool thread.
 /// Each worker re-parses the program once into its own NvContext/
 /// BddManager arena (hash-consing stays lock-free and no AST node, whose

@@ -465,6 +465,7 @@ Json ServeCore::dispatch(const std::string &Id, const std::string &Line,
     R.set("queue_depth", static_cast<uint64_t>(Cfg.QueueDepth));
     R.set("shed", Shed.load(std::memory_order_relaxed));
     R.set("generation", Cfg.Generation);
+    R.set("last_exit", Cfg.LastExit.empty() ? "none" : Cfg.LastExit);
     return R;
   }
 
@@ -951,6 +952,7 @@ Json ServeCore::statsJson() const {
 
   R.set("health", healthState());
   R.set("generation", Cfg.Generation);
+  R.set("last_exit", Cfg.LastExit.empty() ? "none" : Cfg.LastExit);
 
   Json Adm = Json::object();
   Adm.set("max_inflight", static_cast<uint64_t>(MaxInflightEff));

@@ -127,6 +127,11 @@ struct ServeConfig {
   /// Supervisor restart generation (0 = first/unsupervised life),
   /// surfaced in stats so operators can see crash-restart churn.
   uint64_t Generation = 0;
+
+  /// Why the previous supervised life ended ("signal:9", "code:4", ...;
+  /// "" = first life). Set from NV_SERVE_LAST_EXIT and surfaced in the
+  /// health verb, so operators see crash *causes*, not just the count.
+  std::string LastExit;
 };
 
 class ServeCore {

@@ -2,6 +2,8 @@
 
 #include "serve/Supervisor.h"
 
+#include "support/Subprocess.h"
+
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -14,20 +16,6 @@
 #include <unistd.h>
 
 using namespace nv;
-
-unsigned nv::nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
-                                unsigned CapMs) {
-  if (ConsecutiveFailures == 0)
-    return 0;
-  if (BaseMs == 0)
-    BaseMs = 1;
-  uint64_t Delay = BaseMs;
-  // Doubling with an early cap check instead of a shift: 2^(N-1) for a
-  // large N must saturate at Cap, not wrap.
-  for (unsigned I = 1; I < ConsecutiveFailures && Delay < CapMs; ++I)
-    Delay *= 2;
-  return static_cast<unsigned>(Delay < CapMs ? Delay : CapMs);
-}
 
 namespace {
 
@@ -67,6 +55,7 @@ int nv::superviseLoop(const std::function<int(uint64_t)> &Worker,
   uint64_t Generation = 0;
   unsigned ConsecutiveFailures = 0;
   int Restarts = 0;
+  std::string LastExit; // previous worker's ChildExit::describe(), "" = none
   for (;;) {
     pid_t Pid = fork();
     if (Pid < 0) {
@@ -82,8 +71,11 @@ int nv::superviseLoop(const std::function<int(uint64_t)> &Worker,
       std::signal(SIGTERM, SIG_DFL);
       WorkerPid = 0;
       // Scripts (chaos.sh, operators) read the generation from the
-      // environment; the worker code gets it as an argument.
+      // environment; the worker code gets it as an argument. The health
+      // verb surfaces why the previous life ended (signal vs code).
       setenv("NV_SERVE_RESTARTS", std::to_string(Generation).c_str(), 1);
+      if (!LastExit.empty())
+        setenv("NV_SERVE_LAST_EXIT", LastExit.c_str(), 1);
       _exit(Worker(Generation));
     }
 
@@ -100,21 +92,20 @@ int nv::superviseLoop(const std::function<int(uint64_t)> &Worker,
     };
     uint64_t T0 = LaunchNs();
 
-    int Status = 0;
-    pid_t Waited;
-    while ((Waited = waitpid(Pid, &Status, 0)) == -1 && errno == EINTR)
-      continue; // interrupted by the forwarding handler; keep waiting
-    WorkerPid = 0;
-    if (Waited == -1) {
+    ChildExit Exit;
+    if (waitForChild(Pid, /*Block=*/true, Exit) != 1) {
+      WorkerPid = 0;
       std::fprintf(stderr, "nv serve supervisor: waitpid failed: %s\n",
                    std::strerror(errno));
       return 4;
     }
+    WorkerPid = 0;
+    LastExit = Exit.describe();
 
     uint64_t UptimeMs = (LaunchNs() - T0) / 1000000ull;
-    bool Deliberate = WIFEXITED(Status) && WEXITSTATUS(Status) <= 2;
+    bool Deliberate = !Exit.Signaled && Exit.Code <= 2;
     if (Deliberate || StopRequested) {
-      int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : 3;
+      int Code = Exit.Signaled ? 3 : Exit.Code;
       std::fprintf(stderr,
                    "nv serve supervisor: worker exited %d; supervision ends\n",
                    Code);
@@ -135,20 +126,11 @@ int nv::superviseLoop(const std::function<int(uint64_t)> &Worker,
     unsigned DelayMs = nextRestartDelayMs(ConsecutiveFailures,
                                           Opts.BackoffBaseMs,
                                           Opts.BackoffCapMs);
-    if (WIFSIGNALED(Status))
-      std::fprintf(stderr,
-                   "nv serve supervisor: worker killed by signal %d after "
-                   "%llu ms; restarting in %u ms (restart %d)\n",
-                   WTERMSIG(Status),
-                   static_cast<unsigned long long>(UptimeMs), DelayMs,
-                   Restarts);
-    else
-      std::fprintf(stderr,
-                   "nv serve supervisor: worker exited %d after %llu ms; "
-                   "restarting in %u ms (restart %d)\n",
-                   WEXITSTATUS(Status),
-                   static_cast<unsigned long long>(UptimeMs), DelayMs,
-                   Restarts);
+    std::fprintf(stderr,
+                 "nv serve supervisor: worker died (%s) after %llu ms; "
+                 "restarting in %u ms (restart %d)\n",
+                 LastExit.c_str(), static_cast<unsigned long long>(UptimeMs),
+                 DelayMs, Restarts);
     sleepInterruptible(DelayMs);
     if (StopRequested)
       return 0;

@@ -35,6 +35,8 @@
 #ifndef NV_SERVE_SUPERVISOR_H
 #define NV_SERVE_SUPERVISOR_H
 
+#include "support/Subprocess.h"
+
 #include <cstdint>
 #include <functional>
 
@@ -50,11 +52,9 @@ struct SupervisorOptions {
   int MaxRestarts = -1;
 };
 
-/// Pure backoff schedule (unit-tested): the delay before restart number
-/// \p ConsecutiveFailures (1-based), exponential from \p BaseMs, capped
-/// at \p CapMs. Overflow-safe for any failure count.
-unsigned nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
-                            unsigned CapMs);
+// The backoff schedule (nextRestartDelayMs) and waitpid classification
+// (ChildExit) now live in support/Subprocess.h, shared with the worker
+// fleet (support/Fleet.h); this header re-exports them via its include.
 
 /// Runs \p Worker in supervised child processes until it exits
 /// deliberately, the restart budget is exhausted (returns 3), or the

@@ -31,6 +31,8 @@ const char *nv::runStatusName(RunStatus S) {
     return "fault-injected";
   case RunStatus::Overloaded:
     return "overloaded";
+  case RunStatus::Quarantined:
+    return "quarantined";
   case RunStatus::EvalError:
     return "eval-error";
   case RunStatus::InternalError:
@@ -45,7 +47,8 @@ bool nv::runStatusFromName(const std::string &Name, RunStatus &Out) {
       RunStatus::StepBudgetExceeded, RunStatus::NodeBudgetExceeded,
       RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
       RunStatus::FaultInjected, RunStatus::Overloaded,
-      RunStatus::EvalError,     RunStatus::InternalError};
+      RunStatus::Quarantined,   RunStatus::EvalError,
+      RunStatus::InternalError};
   for (RunStatus S : All)
     if (Name == runStatusName(S)) {
       Out = S;
@@ -63,6 +66,7 @@ bool nv::isResourceLimit(RunStatus S) {
   case RunStatus::Canceled:
   case RunStatus::FaultInjected:
   case RunStatus::Overloaded:
+  case RunStatus::Quarantined:
     return true;
   case RunStatus::Ok:
   case RunStatus::EvalError:
@@ -138,6 +142,7 @@ static const char *const SiteNames[NumGovSites] = {
     "sim-pop",      "apply-cache-miss", "table-grow",
     "alloc",        "smt-encode",       "solver-check",
     "serve-accept", "serve-enqueue",    "serve-respond",
+    "fleet-spawn",  "fleet-dispatch",   "fleet-result",
 };
 
 const char *nv::govSiteName(GovSite S) {
@@ -194,7 +199,8 @@ bool FaultInject::armFromSpec(const std::string &Spec, std::string *ErrorOut) {
                     "' (expected <site>:<countdown> with site one of "
                     "sim-pop, apply-cache-miss, table-grow, alloc, "
                     "smt-encode, solver-check, serve-accept, "
-                    "serve-enqueue, serve-respond)";
+                    "serve-enqueue, serve-respond, fleet-spawn, "
+                    "fleet-dispatch, fleet-result)";
       return false;
     }
     arm(Site, N);

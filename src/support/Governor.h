@@ -76,6 +76,10 @@ enum class RunStatus : uint8_t {
   Overloaded,         ///< Shed by serve admission control: the request was
                       ///< never run. Carries retry_after_ms in the serve
                       ///< response; a resource-limit (exit 3) outcome.
+  Quarantined,        ///< A fleet poison job: it killed PoisonThreshold
+                      ///< workers and was pulled from the queue with a repro
+                      ///< artifact instead of being retried forever. A
+                      ///< resource-limit (exit 3) outcome; never transient.
   EvalError,          ///< User-program-triggerable semantic error (the old
                       ///< recoverable fatalError class: inexhaustive match,
                       ///< unencodable type, non-function application, ...).
@@ -220,8 +224,17 @@ enum class GovSite : uint8_t {
   ServeAccept,    ///< "serve-accept": request admission, before journaling.
   ServeEnqueue,   ///< "serve-enqueue": request dispatch onto the pool.
   ServeRespond,   ///< "serve-respond": response finalization, pre-journal-done.
+  // Fleet job-lifecycle sites (hit by the coordinator/worker layer in
+  // Fleet.cpp; they let chaos CI fail spawn, dispatch, and result
+  // handling deterministically).
+  FleetSpawn,     ///< "fleet-spawn": coordinator, before forking a worker.
+  FleetDispatch,  ///< "fleet-dispatch": worker, on receiving a job, before
+                  ///< running it (uncaught by design — firing it crashes
+                  ///< the worker process, exercising requeue-and-respawn).
+  FleetResult,    ///< "fleet-result": coordinator, on receiving a result
+                  ///< frame, before recording it.
 };
-constexpr unsigned NumGovSites = 9;
+constexpr unsigned NumGovSites = 12;
 
 const char *govSiteName(GovSite S);
 /// Parses a site name; returns false on unknown names.

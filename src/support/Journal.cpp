@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 namespace nv {
@@ -182,6 +183,27 @@ static bool writeAll(int Fd, const char *P, size_t N, std::string &Err,
   return true;
 }
 
+/// Takes the journal's single-writer lock, non-blocking. Journals are one
+/// coordinator's ledger: two writers — say, two `nv --resume` coordinators
+/// pointed at the same path — would interleave frames into a file neither
+/// can replay, so the second opener must fail fast instead. The lock lives
+/// as long as the writer's fd (flock is per open-file description, so the
+/// forked-then-exec'd fleet workers, which never inherit the fd thanks to
+/// O_CLOEXEC, cannot hold it by accident).
+static bool lockJournalFd(int Fd, const std::string &Path, std::string &Err) {
+  while (::flock(Fd, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EINTR)
+      continue;
+    if (errno == EWOULDBLOCK)
+      Err = Path + ": journal is locked by another process (two coordinators "
+                   "must not share one journal; pick a distinct --resume path)";
+    else
+      Err = Path + ": flock failed: " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
 bool JournalWriter::append(const std::string &Payload) {
   if (!Err.empty())
     return false;
@@ -202,10 +224,22 @@ bool JournalWriter::append(const std::string &Payload) {
 std::unique_ptr<JournalWriter> createJournal(const std::string &Path,
                                              const std::string &HeaderText,
                                              std::string &Error) {
-  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+  // Open without O_TRUNC: truncating before holding the lock would let a
+  // second coordinator wipe the first one's live journal just by racing
+  // the open. Lock first, truncate once the file is provably ours.
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
                   0644);
   if (Fd < 0) {
     Error = Path + ": open failed: " + std::strerror(errno);
+    return nullptr;
+  }
+  if (!lockJournalFd(Fd, Path, Error)) {
+    ::close(Fd);
+    return nullptr;
+  }
+  if (::ftruncate(Fd, 0) != 0) {
+    Error = Path + ": ftruncate failed: " + std::strerror(errno);
+    ::close(Fd);
     return nullptr;
   }
   std::unique_ptr<JournalWriter> W(new JournalWriter(Fd, Path));
@@ -228,7 +262,13 @@ std::unique_ptr<JournalWriter> appendJournal(const std::string &Path,
     Error = Path + ": open failed: " + std::strerror(errno);
     return nullptr;
   }
-  // Drop any torn tail before O_APPEND writes land after it.
+  if (!lockJournalFd(Fd, Path, Error)) {
+    ::close(Fd);
+    return nullptr;
+  }
+  // Drop any torn tail before O_APPEND writes land after it. The append
+  // flag goes on via fcntl rather than a close-and-reopen: reopening
+  // would drop the flock between truncate and first append.
   if (::ftruncate(Fd, off_t(ValidBytes)) != 0) {
     Error = Path + ": ftruncate failed: " + std::strerror(errno);
     ::close(Fd);
@@ -239,10 +279,10 @@ std::unique_ptr<JournalWriter> appendJournal(const std::string &Path,
     ::close(Fd);
     return nullptr;
   }
-  ::close(Fd);
-  Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-  if (Fd < 0) {
-    Error = Path + ": reopen failed: " + std::strerror(errno);
+  int Flags = ::fcntl(Fd, F_GETFL);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_APPEND) != 0) {
+    Error = Path + ": fcntl(O_APPEND) failed: " + std::strerror(errno);
+    ::close(Fd);
     return nullptr;
   }
   return std::unique_ptr<JournalWriter>(new JournalWriter(Fd, Path));

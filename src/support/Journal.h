@@ -88,8 +88,11 @@ JournalRead readJournal(const std::string &Path);
 // JournalWriter
 //===----------------------------------------------------------------------===//
 
-/// Appends frames durably. Create one via createJournal (fresh file,
-/// writes the header frame) or appendJournal (continue a journal whose
+/// Appends frames durably. Both constructors take an exclusive
+/// non-blocking flock on the file held for the writer's lifetime, so two
+/// coordinators pointed at one journal fail fast with a clear error
+/// instead of interleaving frames. Create one via createJournal (fresh
+/// file, writes the header frame) or appendJournal (continue a journal whose
 /// valid prefix a JournalRead established).
 class JournalWriter {
 public:

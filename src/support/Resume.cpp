@@ -271,7 +271,11 @@ size_t ResumeLog::entryCount() const {
 //===----------------------------------------------------------------------===//
 
 bool isTransientOutcome(const RunOutcome &O) {
-  return O.resourceLimit() && O.Status != RunStatus::Canceled;
+  // Canceled means the whole run is stopping; Quarantined means the fleet
+  // already exhausted its retry policy on the job — neither should be
+  // retried by the per-unit policy.
+  return O.resourceLimit() && O.Status != RunStatus::Canceled &&
+         O.Status != RunStatus::Quarantined;
 }
 
 RunBudget escalateBudget(const RunBudget &Budget, double Scale,

@@ -1,0 +1,132 @@
+//===- Subprocess.cpp - Child-process spawn/wait/backoff helpers -------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace nv;
+
+std::string ChildExit::describe() const {
+  return (Signaled ? "signal:" : "code:") +
+         std::to_string(Signaled ? Signal : Code);
+}
+
+ChildExit nv::classifyExitStatus(int WaitStatus) {
+  ChildExit E;
+  if (WIFSIGNALED(WaitStatus)) {
+    E.Signaled = true;
+    E.Signal = WTERMSIG(WaitStatus);
+  } else if (WIFEXITED(WaitStatus)) {
+    E.Code = WEXITSTATUS(WaitStatus);
+  }
+  return E;
+}
+
+unsigned nv::nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
+                                unsigned CapMs) {
+  if (ConsecutiveFailures == 0)
+    return 0;
+  if (BaseMs == 0)
+    BaseMs = 1;
+  uint64_t Delay = BaseMs;
+  // Doubling with an early cap check instead of a shift: 2^(N-1) for a
+  // large N must saturate at Cap, not wrap.
+  for (unsigned I = 1; I < ConsecutiveFailures && Delay < CapMs; ++I)
+    Delay *= 2;
+  return static_cast<unsigned>(Delay < CapMs ? Delay : CapMs);
+}
+
+std::string nv::getExecutablePath() {
+  char Buf[PATH_MAX];
+  ssize_t N = readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = '\0';
+  return Buf;
+}
+
+pid_t nv::spawnProcess(const std::vector<std::string> &Argv,
+                       const std::vector<std::pair<int, int>> &FdMap,
+                       const std::vector<std::pair<std::string, std::string>> &SetEnv,
+                       const std::vector<std::string> &UnsetEnv,
+                       std::string &ErrorOut) {
+  if (Argv.empty()) {
+    ErrorOut = "spawnProcess: empty argv";
+    return -1;
+  }
+  if (FdMap.size() > 8) {
+    ErrorOut = "spawnProcess: fd map too large";
+    return -1;
+  }
+  // execv wants mutable char*; build the table before forking so the
+  // child only performs async-signal-safe operations.
+  std::vector<char *> Cargv;
+  Cargv.reserve(Argv.size() + 1);
+  for (const std::string &A : Argv)
+    Cargv.push_back(const_cast<char *>(A.c_str()));
+  Cargv.push_back(nullptr);
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    ErrorOut = std::string("fork failed: ") + std::strerror(errno);
+    return -1;
+  }
+  if (Pid == 0) {
+    // Child. Undo any signal customization the parent carries: handlers
+    // reset on exec anyway, but SIG_IGN dispositions and the blocked mask
+    // survive it (GracefulShutdown blocks SIGINT/SIGTERM on the main
+    // thread, and a worker that inherits that mask cannot be drained).
+    signal(SIGINT, SIG_DFL);
+    signal(SIGTERM, SIG_DFL);
+    signal(SIGPIPE, SIG_DFL);
+    sigset_t Empty;
+    sigemptyset(&Empty);
+    sigprocmask(SIG_SETMASK, &Empty, nullptr);
+    for (const auto &[K, V] : SetEnv)
+      setenv(K.c_str(), V.c_str(), 1);
+    for (const std::string &K : UnsetEnv)
+      unsetenv(K.c_str());
+    // Two-phase remap: park every source above the target range first so
+    // one mapping's target cannot clobber another's source (e.g. a pipe
+    // end that happens to already sit on fd 3). F_DUPFD clears CLOEXEC,
+    // which is also what makes the ParentFd == ChildFd case work.
+    int Parked[8];
+    size_t N = FdMap.size();
+    for (size_t I = 0; I < N; ++I) {
+      Parked[I] = fcntl(FdMap[I].second, F_DUPFD, 100);
+      if (Parked[I] < 0)
+        _exit(127);
+    }
+    for (size_t I = 0; I < N; ++I) {
+      if (dup2(Parked[I], FdMap[I].first) < 0)
+        _exit(127);
+      close(Parked[I]);
+    }
+    execv(Cargv[0], Cargv.data());
+    _exit(127);
+  }
+  return Pid;
+}
+
+int nv::waitForChild(pid_t Pid, bool Block, ChildExit &Out) {
+  for (;;) {
+    int Status = 0;
+    pid_t W = waitpid(Pid, &Status, Block ? 0 : WNOHANG);
+    if (W == Pid) {
+      Out = classifyExitStatus(Status);
+      return 1;
+    }
+    if (W == 0)
+      return 0;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}

@@ -1,0 +1,87 @@
+//===- Subprocess.h - Child-process spawn/wait/backoff helpers --*- C++ -*-===//
+//
+// Part of nv-cpp, a C++ reproduction of "NV: An Intermediate Language for
+// Verification of Network Control Planes" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small POSIX process toolkit shared by everything in nv-cpp that
+/// owns child processes: the `nv serve --supervise` supervisor
+/// (serve/Supervisor.cpp) and the crash-isolated worker fleet
+/// (support/Fleet.cpp). Three pieces:
+///
+///  - ChildExit / classifyExitStatus: one classification of a waitpid
+///    status — deliberate exit code vs terminating signal — so restart
+///    policies and operator-facing "last exit" strings agree everywhere.
+///
+///  - nextRestartDelayMs: the pure capped-exponential backoff schedule
+///    (delay(N) = min(Base * 2^(N-1), Cap)) both restart loops use.
+///
+///  - spawnProcess / getExecutablePath: fork+exec with fd remapping and
+///    signal-state hygiene. The child resets disposition AND mask before
+///    exec — a coordinator thread typically runs with SIGINT/SIGTERM
+///    blocked (Resume.h's GracefulShutdown), and a blocked mask survives
+///    exec, which would make workers ignore a graceful SIGTERM drain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NV_SUPPORT_SUBPROCESS_H
+#define NV_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <sys/types.h>
+#include <utility>
+#include <vector>
+
+namespace nv {
+
+/// How a reaped child ended. Default-constructed = "never exited".
+struct ChildExit {
+  bool Signaled = false;
+  int Code = 0;   ///< WEXITSTATUS when !Signaled.
+  int Signal = 0; ///< WTERMSIG when Signaled.
+
+  /// Compact operator-facing token: "code:N" or "signal:N". Surfaced in
+  /// the serve `health` verb and fleet stats.
+  std::string describe() const;
+};
+
+/// Folds a raw waitpid(2) status into a ChildExit.
+ChildExit classifyExitStatus(int WaitStatus);
+
+/// Pure backoff schedule (unit-tested): the delay before restart number
+/// \p ConsecutiveFailures (1-based), exponential from \p BaseMs, capped
+/// at \p CapMs. Overflow-safe for any failure count.
+unsigned nextRestartDelayMs(unsigned ConsecutiveFailures, unsigned BaseMs,
+                            unsigned CapMs);
+
+/// Absolute path of the running executable (/proc/self/exe), or "" when
+/// it cannot be resolved. Fleet coordinators re-exec themselves as
+/// workers through this.
+std::string getExecutablePath();
+
+/// fork+execv of \p Argv (argv[0] is the path). \p FdMap entries are
+/// (ChildFd, ParentFd) dup2'd in the child before exec (at most 8; a
+/// ParentFd equal to its ChildFd just has CLOEXEC cleared), so pipe ends
+/// can be pinned to well-known descriptors; parent-side descriptors the
+/// child must not inherit should carry O_CLOEXEC. \p SetEnv /\p UnsetEnv
+/// adjust the child's environment between fork and exec (the same
+/// precedent Supervisor.cpp set with NV_SERVE_RESTARTS). The child
+/// restores default signal dispositions and an empty signal mask.
+/// Returns the child pid, or -1 with \p ErrorOut set. Exec failure
+/// surfaces as the child exiting 127.
+pid_t spawnProcess(const std::vector<std::string> &Argv,
+                   const std::vector<std::pair<int, int>> &FdMap,
+                   const std::vector<std::pair<std::string, std::string>> &SetEnv,
+                   const std::vector<std::string> &UnsetEnv,
+                   std::string &ErrorOut);
+
+/// waitpid wrapper. Blocking mode retries EINTR; non-blocking uses
+/// WNOHANG. Returns 1 with \p Out filled when the child was reaped, 0
+/// when it is still running (non-blocking only), -1 on a wait error.
+int waitForChild(pid_t Pid, bool Block, ChildExit &Out);
+
+} // namespace nv
+
+#endif // NV_SUPPORT_SUBPROCESS_H

@@ -102,12 +102,16 @@ TEST(RunOutcome, StatusNamesAndResourceClassification) {
   // An overloaded daemon is a transient resource condition: retryable
   // (exit 3), like a tripped deadline and unlike a user error.
   EXPECT_STREQ(runStatusName(RunStatus::Overloaded), "overloaded");
+  // A quarantined poison job is also a resource outcome (exit 3): the
+  // input may be fine, the fleet just refused to keep dying on it.
+  EXPECT_STREQ(runStatusName(RunStatus::Quarantined), "quarantined");
 
   for (RunStatus S : {RunStatus::DeadlineExceeded,
                       RunStatus::StepBudgetExceeded,
                       RunStatus::NodeBudgetExceeded,
                       RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
-                      RunStatus::FaultInjected, RunStatus::Overloaded})
+                      RunStatus::FaultInjected, RunStatus::Overloaded,
+                      RunStatus::Quarantined})
     EXPECT_TRUE(isResourceLimit(S)) << runStatusName(S);
   for (RunStatus S :
        {RunStatus::Ok, RunStatus::EvalError, RunStatus::InternalError})
@@ -132,11 +136,12 @@ TEST(RunOutcome, StrAndExitCodeMapping) {
             3);
 }
 
-TEST(GovSites, ServeSitesAreArmable) {
-  // The serve-stage sites ride the same spec grammar as engine sites, so
-  // chaos scripts can arm them by name.
+TEST(GovSites, ServeAndFleetSitesAreArmable) {
+  // The serve- and fleet-stage sites ride the same spec grammar as engine
+  // sites, so chaos scripts can arm them by name.
   FaultInjectGuard Guard;
-  for (const char *Name : {"serve-accept", "serve-enqueue", "serve-respond"}) {
+  for (const char *Name : {"serve-accept", "serve-enqueue", "serve-respond",
+                           "fleet-spawn", "fleet-dispatch", "fleet-result"}) {
     GovSite S;
     ASSERT_TRUE(govSiteFromName(Name, S)) << Name;
     std::string Err;

@@ -204,6 +204,46 @@ TEST(Journal, BadMagicIsCorrupt) {
   std::remove(Path.c_str());
 }
 
+TEST(Journal, SecondWriterOnOneJournalFailsFast) {
+  // Two coordinators pointed at one journal must not interleave frames:
+  // the writer holds an exclusive flock for its lifetime, so the second
+  // open fails fast with a clear error — in both the create and the
+  // append flavors — and the journal stays intact.
+  std::string Path = tmpPath("flock");
+  std::remove(Path.c_str());
+
+  std::string Err;
+  auto W = createJournal(Path, "h\n", Err);
+  ASSERT_TRUE(W) << Err;
+  EXPECT_TRUE(W->append("unit-a"));
+
+  std::string Err2;
+  auto Clash = createJournal(Path, "h\n", Err2);
+  EXPECT_FALSE(Clash);
+  EXPECT_NE(Err2.find("lock"), std::string::npos) << Err2;
+
+  JournalRead Mid = readJournal(Path); // reading is still fine
+  ASSERT_EQ(Mid.St, JournalRead::State::Ok) << Mid.Error;
+  std::string Err3;
+  auto Clash2 = appendJournal(Path, Mid.ValidBytes, Err3);
+  EXPECT_FALSE(Clash2);
+  EXPECT_NE(Err3.find("lock"), std::string::npos) << Err3;
+
+  // Releasing the first writer releases the lock; appending then works
+  // and the first writer's frames survived the failed opens.
+  W.reset();
+  JournalRead R = readJournal(Path);
+  ASSERT_EQ(R.St, JournalRead::State::Ok) << R.Error;
+  ASSERT_EQ(R.Entries.size(), 1u);
+  EXPECT_EQ(R.Entries[0], "unit-a");
+  std::string Err4;
+  auto W2 = appendJournal(Path, R.ValidBytes, Err4);
+  ASSERT_TRUE(W2) << Err4;
+  EXPECT_TRUE(W2->append("unit-b"));
+
+  std::remove(Path.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Bindings and unit records
 //===----------------------------------------------------------------------===//
@@ -268,7 +308,8 @@ TEST(GovernorNames, RunStatusRoundTrips) {
        {RunStatus::Ok, RunStatus::DeadlineExceeded,
         RunStatus::StepBudgetExceeded, RunStatus::NodeBudgetExceeded,
         RunStatus::HeapBudgetExceeded, RunStatus::Canceled,
-        RunStatus::FaultInjected, RunStatus::EvalError,
+        RunStatus::FaultInjected, RunStatus::Overloaded,
+        RunStatus::Quarantined, RunStatus::EvalError,
         RunStatus::InternalError}) {
     RunStatus Back;
     ASSERT_TRUE(runStatusFromName(runStatusName(S), Back)) << runStatusName(S);
@@ -547,6 +588,69 @@ TEST(NaiveResume, InterruptedRunResumesIdenticalAtAnyThreadCount) {
 
   std::remove(Path.c_str());
   std::remove(Partial.c_str());
+}
+
+TEST(NaiveFleetRecords, WorkerRecordsAggregateIdenticalToInProcess) {
+  // The fleet contract at the unit level: records produced by the worker
+  // handler (runNaiveScenarioRecord, one fresh record per scenario) fold
+  // through aggregateNaiveScenarioRecords into exactly the aggregate the
+  // in-process path computes — which is why `--workers N` merges are
+  // bit-identical to `--workers 0` regardless of which worker ran what.
+  Program P = parseAndCheck(spProgram(4, Line));
+  FtOptions Opts;
+
+  std::vector<std::tuple<std::string, uint32_t, std::string>> Ref;
+  uint64_t RefScenarios = 0;
+  {
+    ThreadPool Pool(2);
+    FtCheckResult R = naiveFaultToleranceParallel(P, Opts, Pool);
+    ASSERT_FALSE(R.Violations.empty());
+    Ref = violationKeys(R);
+    RefScenarios = R.ScenariosChecked;
+  }
+
+  // "Workers": one evaluator producing every record, out of order, into a
+  // key-indexed map — the shape a fleet run's Results arrive in.
+  NvContext Ctx(P.numNodes());
+  InterpProgramEvaluator Eval(Ctx, P);
+  const Value *Drop = Ctx.noneV();
+  Ctx.pinValue(Drop);
+  auto Scenarios = enumerateScenarios(P, Opts);
+  ASSERT_EQ(Scenarios.size(), RefScenarios);
+  std::map<std::string, UnitRecord> Results;
+  for (size_t I = Scenarios.size(); I-- > 0;)
+    Results[naiveScenarioKey(I)] =
+        runNaiveScenarioRecord(P, Eval, Scenarios, I, Drop, Opts);
+
+  FtCheckResult Agg;
+  ASSERT_TRUE(aggregateNaiveScenarioRecords(
+      Scenarios,
+      [&](const std::string &Key, UnitRecord &Rec) {
+        auto It = Results.find(Key);
+        if (It == Results.end())
+          return false;
+        Rec = It->second;
+        return true;
+      },
+      Agg));
+  EXPECT_EQ(Agg.ScenariosChecked, RefScenarios);
+  EXPECT_EQ(Agg.ScenariosSkipped, 0u);
+  EXPECT_TRUE(Agg.Outcome.ok()) << Agg.Outcome.str();
+  EXPECT_EQ(violationKeys(Agg), Ref);
+
+  // A missing record is a hard aggregation failure, never silence.
+  Results.erase(naiveScenarioKey(0));
+  FtCheckResult Agg2;
+  EXPECT_FALSE(aggregateNaiveScenarioRecords(
+      Scenarios,
+      [&](const std::string &Key, UnitRecord &Rec) {
+        auto It = Results.find(Key);
+        if (It == Results.end())
+          return false;
+        Rec = It->second;
+        return true;
+      },
+      Agg2));
 }
 
 TEST(NaiveRetry, InjectedFaultRetriedThenSucceeds) {

@@ -25,7 +25,8 @@ import sys
 THRESHOLD = 0.25  # warn when current > baseline * (1 + THRESHOLD)
 
 TIMING_FIELDS = ("simulate_ms", "nv_ms", "nv_native_ms", "batfish_ms",
-                 "warm_repeat_ms", "accepted_p99_ms")
+                 "warm_repeat_ms", "accepted_p99_ms", "inproc_ms",
+                 "fleet_ms")
 
 # Ratio fields compare by absolute difference, not relative growth: a
 # shed rate moving from 0.02 to 0.04 doubled but is noise, while 0.2 to

@@ -34,7 +34,20 @@
 //   --resume PATH       checkpoint/resume journal (ft/naive): completed
 //                       units replay, new completions append durably
 //   --retry N           attempts per unit for transient trips (ft/naive)
-//   --json PATH         machine-readable result (naive)
+//   --json PATH         machine-readable result (ft/naive)
+//   --workers N         run the sharded units on N crash-isolated worker
+//                       subprocesses (ft/naive; 0 = in-process, the
+//                       default). A worker crash requeues its unit; a unit
+//                       that kills several workers is quarantined with a
+//                       runnable repro script and the run completes with
+//                       exit code 3. Aggregates are bit-identical to
+//                       --workers 0 for any N.
+//   --chunk N           scenarios per check chunk (ft; default 512) — the
+//                       journal/fleet unit of the assert check
+//
+// There is also a hidden `nv worker FILE --cmd <naive|ft> [opts]` verb:
+// the fleet re-execs the current binary with that verb to obtain workers
+// (job pipe on fd 3, result pipe on fd 4 — see support/Fleet.h).
 //
 // SIGINT/SIGTERM trigger graceful shutdown in sim/verify/ft/naive:
 // in-flight jobs drain at their governor safe points, the journal is
@@ -64,8 +77,10 @@
 #include "eval/Compile.h"
 #include "sim/Simulator.h"
 #include "smt/Verifier.h"
+#include "support/Fleet.h"
 #include "support/Journal.h"
 #include "support/Resume.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -99,7 +114,10 @@ int usage() {
                "  --native  --sym NAME=EXPR  --timeout SECS  --baseline\n"
                "  --links K  --node  --threads N\n"
                "  --deadline-ms MS  --node-budget N  --max-steps N\n"
-               "  --resume PATH  --retry N  --json PATH\n");
+               "  --resume PATH  --retry N  --json PATH\n"
+               "  --workers N (ft/naive: crash-isolated worker fleet; 0 = "
+               "in-process)\n"
+               "  --chunk N (ft: scenarios per check chunk, default 512)\n");
   return 2;
 }
 
@@ -113,6 +131,9 @@ struct CliOptions {
   unsigned Threads = 1;
   unsigned TimeoutSec = 0;
   unsigned Retry = 1;
+  unsigned Workers = 0;  ///< ft/naive: fleet size (0 = in-process).
+  unsigned Chunk = 512;  ///< ft: scenarios per check chunk.
+  std::string WorkerCmd; ///< hidden worker verb: which analysis to serve.
   double DeadlineMs = 0;
   uint64_t MaxSteps = 0;
   uint64_t NodeBudget = 0;
@@ -150,6 +171,12 @@ struct CliOptions {
     B.setInt("max-steps", (long long)MaxSteps);
     B.setInt("node-budget", (long long)NodeBudget);
     B.setInt("retry", Retry);
+    if (Command == "ft")
+      B.setInt("chunk", Chunk); // chunking changes ft's unit list
+    // Worker count deliberately does NOT bind: fleet and in-process runs
+    // produce identical unit records, so their journals are interchangeable
+    // (resume a crashed --workers 8 run with --workers 0, or vice versa).
+    B.setProvenance("workers", std::to_string(Workers));
     B.setProvenance("threads", std::to_string(Threads));
     B.setProvenance("file", File);
     return B;
@@ -175,6 +202,12 @@ std::optional<CliOptions> parseCli(int argc, char **argv) {
       O.Threads = static_cast<unsigned>(atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--retry") && I + 1 < argc) {
       O.Retry = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc) {
+      O.Workers = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--chunk") && I + 1 < argc) {
+      O.Chunk = static_cast<unsigned>(atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--cmd") && I + 1 < argc) {
+      O.WorkerCmd = argv[++I];
     } else if (!std::strcmp(argv[I], "--resume") && I + 1 < argc) {
       O.ResumePath = argv[++I];
     } else if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
@@ -358,12 +391,215 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-int cmdNaive(const Program &P, const CliOptions &O) {
+/// Fingerprint of the violation set in scenario order — the run's semantic
+/// payload. Identical for live and replayed violations (routeStr), which
+/// is what makes "bit-identical aggregate" checkable from the JSON alone.
+std::string violationsHash(const std::vector<FtViolation> &Vs) {
+  std::string Blob;
+  for (const FtViolation &V : Vs)
+    Blob += V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
+            V.routeStr() + "\n";
+  return fnv1a64Hex(Blob);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker fleet (ft/naive --workers N)
+//===----------------------------------------------------------------------===//
+
+/// Builds ft/naive analysis options from the CLI flags. The fleet worker
+/// MUST build these identically to the coordinator — unit semantics (and
+/// so records) depend on them.
+FtOptions ftOptionsFromCli(const CliOptions &O) {
   FtOptions Opts;
   Opts.LinkFailures = O.Links;
   Opts.NodeFailure = O.NodeFailure;
   O.applyBudget(Opts.Budget);
   Opts.Retry.MaxAttempts = O.Retry;
+  Opts.CheckChunkSize = O.Chunk;
+  return Opts;
+}
+
+/// The argv a fleet re-execs to obtain a worker: the hidden `worker` verb
+/// plus exactly the flags that influence unit semantics. Thread count and
+/// journal path stay coordinator-side; budgets travel so a worker governs
+/// each unit the way the in-process path would.
+std::vector<std::string> fleetWorkerArgv(const CliOptions &O,
+                                         const char *Cmd) {
+  std::vector<std::string> A{getExecutablePath(), "worker", O.File,
+                             "--cmd",             Cmd,      "--links",
+                             std::to_string(O.Links)};
+  if (O.NodeFailure)
+    A.push_back("--node");
+  if (O.Native)
+    A.push_back("--native");
+  if (O.Retry != 1) {
+    A.push_back("--retry");
+    A.push_back(std::to_string(O.Retry));
+  }
+  if (O.DeadlineMs > 0) {
+    A.push_back("--deadline-ms");
+    A.push_back(std::to_string(O.DeadlineMs));
+  }
+  if (O.MaxSteps) {
+    A.push_back("--max-steps");
+    A.push_back(std::to_string(O.MaxSteps));
+  }
+  if (O.NodeBudget) {
+    A.push_back("--node-budget");
+    A.push_back(std::to_string(O.NodeBudget));
+  }
+  if (!std::strcmp(Cmd, "ft")) {
+    A.push_back("--chunk");
+    A.push_back(std::to_string(O.Chunk));
+  }
+  return A;
+}
+
+/// The hidden `nv worker FILE --cmd <naive|ft>` verb: serves that
+/// analysis' job units over the fleet pipes (fd 3 jobs in, fd 4 results
+/// out — see support/Fleet.h). Job handler exceptions kill the process by
+/// design; the coordinator's requeue/quarantine machinery owns recovery.
+int cmdWorker(const Program &P, const CliOptions &O) {
+  FtOptions Opts = ftOptionsFromCli(O);
+
+  if (O.WorkerCmd == "naive") {
+    // One parse + evaluator + arena for the process lifetime; the handler
+    // collects back to the pinned baseline between scenarios, mirroring
+    // one persistent thread of naiveFaultToleranceParallel.
+    auto Scenarios = enumerateScenarios(P, Opts);
+    NvContext Ctx(P.numNodes());
+    InterpProgramEvaluator Eval(Ctx, P);
+    const Value *Drop = Ctx.noneV();
+    Ctx.pinValue(Drop);
+    return runFleetWorker([&](const FleetJob &J) -> UnitRecord {
+      if (J.Key.size() < 2 || J.Key[0] != 's')
+        throw std::runtime_error("naive worker: bad job key '" + J.Key + "'");
+      size_t I = std::strtoull(J.Key.c_str() + 1, nullptr, 10);
+      if (I >= Scenarios.size())
+        throw std::runtime_error("naive worker: scenario " + J.Key +
+                                 " out of range");
+      return runNaiveScenarioRecord(P, Eval, Scenarios, I, Drop, Opts);
+    });
+  }
+
+  if (O.WorkerCmd == "ft") {
+    // The meta-simulation is rebuilt lazily on the first job — a spare
+    // worker that never gets one costs nothing, and a respawned worker
+    // only pays the cost when it actually has work. The coordinator ran
+    // the same (deterministic) transform + simulation before spawning the
+    // fleet, so a converged run is guaranteed here.
+    struct FtWorkerState {
+      NvContext Ctx;
+      std::optional<Program> Meta;
+      std::unique_ptr<ProtocolEvaluator> MetaEval;
+      std::unique_ptr<InterpProgramEvaluator> BaseEval;
+      SimResult Sim;
+      std::unique_ptr<FtChecker> Checker;
+      explicit FtWorkerState(uint32_t N) : Ctx(N) {}
+    };
+    std::unique_ptr<FtWorkerState> S;
+    auto Ensure = [&] {
+      if (S)
+        return;
+      DiagnosticEngine Diags;
+      auto Meta = makeFaultTolerantProgram(P, Opts, Diags);
+      if (!Meta)
+        throw std::runtime_error("ft worker: transform failed:\n" +
+                                 Diags.str());
+      auto St = std::make_unique<FtWorkerState>(P.numNodes());
+      St->Meta = std::move(Meta);
+      Governor::Scope Guard(Opts.Budget);
+      if (O.Native)
+        St->MetaEval =
+            std::make_unique<CompiledProgramEvaluator>(St->Ctx, *St->Meta);
+      else
+        St->MetaEval =
+            std::make_unique<InterpProgramEvaluator>(St->Ctx, *St->Meta);
+      SimOptions SO;
+      SO.Budget = RunBudget{}; // governed by the scope above
+      St->Sim = simulate(*St->Meta, *St->MetaEval, SO);
+      if (!St->Sim.Converged)
+        throw std::runtime_error("ft worker: meta-simulation did not "
+                                 "converge: " +
+                                 St->Sim.Outcome.str());
+      St->BaseEval = std::make_unique<InterpProgramEvaluator>(St->Ctx, P);
+      St->Checker = std::make_unique<FtChecker>(St->Ctx, P, *St->BaseEval,
+                                                St->Sim, Opts);
+      S = std::move(St);
+    };
+    return runFleetWorker([&](const FleetJob &J) -> UnitRecord {
+      if (J.Key.size() < 2 || J.Key[0] != 'c')
+        throw std::runtime_error("ft worker: bad job key '" + J.Key + "'");
+      Ensure();
+      size_t C = std::strtoull(J.Key.c_str() + 1, nullptr, 10);
+      if (C >= S->Checker->numChunks())
+        throw std::runtime_error("ft worker: chunk " + J.Key +
+                                 " out of range");
+      return S->Checker->checkChunk(C);
+    });
+  }
+
+  std::fprintf(stderr, "nv: worker: unknown --cmd '%s'\n",
+               O.WorkerCmd.c_str());
+  return 2;
+}
+
+/// Shared fleet-coordinator plumbing for ft/naive: spawns the fleet over
+/// \p Jobs (units already journaled are the caller's to exclude), journals
+/// each result as it lands, and surfaces quarantines. Returns 0 to proceed
+/// with aggregation, or the exit code of a failed fleet run.
+int runUnitFleet(const CliOptions &O, const char *Cmd, ResumeLog *Log,
+                 std::vector<FleetJob> Jobs, FleetResult &FR) {
+  FleetOptions FO;
+  FO.Workers = O.Workers;
+  FO.WorkerArgv = fleetWorkerArgv(O, Cmd);
+  FO.Cancel = O.Cancel;
+  applyFleetEnvOverrides(FO);
+  FleetCallbacks CB;
+  CB.OnResult = [&](const UnitRecord &Rec) {
+    // Durable the moment it exists — a coordinator crash after this point
+    // costs nothing; the journal replays the unit on resume.
+    if (Log)
+      Log->recordDone(Rec);
+  };
+  FR = runFleet(FO, Jobs, CB);
+  if (!FR.Outcome.ok()) {
+    std::fprintf(stderr, "nv: fleet run failed: %s\n",
+                 FR.Outcome.str().c_str());
+    return exitCodeForOutcome(FR.Outcome);
+  }
+  for (const std::string &K : FR.QuarantinedKeys) {
+    auto It = FR.Results.find(K);
+    const std::string *Repro =
+        It == FR.Results.end() ? nullptr : It->second.get("repro");
+    std::printf("QUARANTINED unit %s (%s); repro: %s\n", K.c_str(),
+                It == FR.Results.end()
+                    ? "?"
+                    : It->second.get("detail")
+                          ? It->second.get("detail")->c_str()
+                          : "?",
+                Repro ? Repro->c_str() : "(none)");
+  }
+  std::printf("fleet: %s\n", FR.Stats.str().c_str());
+  return 0;
+}
+
+/// A record lookup over a finished fleet run: fleet results first, then
+/// units replayed from the journal before the fleet launched.
+std::function<bool(const std::string &, UnitRecord &)>
+fleetLookup(const FleetResult &FR, ResumeLog *Log) {
+  return [&FR, Log](const std::string &Key, UnitRecord &Rec) {
+    auto It = FR.Results.find(Key);
+    if (It != FR.Results.end()) {
+      Rec = It->second;
+      return true;
+    }
+    return Log && Log->replay(Key, Rec);
+  };
+}
+
+int cmdNaive(const Program &P, const CliOptions &O) {
+  FtOptions Opts = ftOptionsFromCli(O);
 
   std::string Text = printProgram(P);
   std::unique_ptr<ResumeLog> Log;
@@ -373,17 +609,37 @@ int cmdNaive(const Program &P, const CliOptions &O) {
   Opts.Resume = Log.get();
 
   Stopwatch W;
-  ThreadPool Pool(O.Threads);
-  FtCheckResult R = naiveFaultToleranceParallel(P, Opts, Pool);
+  FtCheckResult R;
+  if (O.Workers > 0) {
+    // Fleet mode: scenarios run in crash-isolated worker subprocesses.
+    // Workers return the same UnitRecords the in-process path journals, so
+    // the aggregate below is bit-identical to --workers 0.
+    auto Scenarios = enumerateScenarios(P, Opts);
+    std::vector<FleetJob> Jobs;
+    size_t Replayed = 0;
+    for (size_t I = 0; I < Scenarios.size(); ++I) {
+      std::string Key = naiveScenarioKey(I);
+      if (Log && Log->isDone(Key))
+        ++Replayed;
+      else
+        Jobs.push_back({Key, ""});
+    }
+    FleetResult FR;
+    if (int FleetEc = runUnitFleet(O, "naive", Log.get(), std::move(Jobs), FR))
+      return FleetEc;
+    if (!aggregateNaiveScenarioRecords(Scenarios, fleetLookup(FR, Log.get()),
+                                       R)) {
+      std::fprintf(stderr, "nv: fleet aggregate is missing scenario "
+                           "records\n");
+      return 4;
+    }
+    R.ScenariosReplayed = Replayed;
+  } else {
+    ThreadPool Pool(O.Threads);
+    R = naiveFaultToleranceParallel(P, Opts, Pool);
+  }
   double Ms = W.elapsedMs();
-
-  // The violation set in scenario order is the run's semantic payload; the
-  // hash makes "bit-identical aggregate" checkable from the JSON alone.
-  std::string VioBlob;
-  for (const FtViolation &V : R.Violations)
-    VioBlob += V.Scenario.str() + "@" + std::to_string(V.Node) + "=" +
-               V.routeStr() + "\n";
-  std::string VioHash = fnv1a64Hex(VioBlob);
+  std::string VioHash = violationsHash(R.Violations);
 
   std::printf("%llu scenarios checked (%llu replayed, %llu skipped, %llu "
               "retries), %zu violation(s) in %.1fms\n",
@@ -492,6 +748,8 @@ int cmdJournal(const std::string &Path) {
 
 int runServeWorker(Server::Options Opts, uint64_t Generation) {
   Opts.Core.Generation = Generation;
+  if (const char *E = std::getenv("NV_SERVE_LAST_EXIT"))
+    Opts.Core.LastExit = E;
   Server::CreateResult Res = Server::create(Opts);
   if (!Res.Srv) {
     std::fprintf(stderr, "nv: %s\n", Res.Error.c_str());
@@ -612,18 +870,55 @@ int cmdReq(int argc, char **argv) {
 
 int cmdFt(const Program &P, const CliOptions &O) {
   DiagnosticEngine Diags;
-  FtOptions Opts;
-  Opts.LinkFailures = O.Links;
-  Opts.NodeFailure = O.NodeFailure;
+  FtOptions Opts = ftOptionsFromCli(O);
   Opts.Threads = O.Threads;
-  O.applyBudget(Opts.Budget);
-  Opts.Retry.MaxAttempts = O.Retry;
   std::unique_ptr<ResumeLog> Log;
   int Ec = 0;
   if (!openResume(O, printProgram(P), Log, Ec))
     return Ec;
   Opts.Resume = Log.get();
-  FtRunResult R = runFaultTolerance(P, Opts, O.Native, Diags);
+
+  FtRunResult R;
+  if (O.Workers > 0) {
+    // Fleet mode: transform + meta-simulation stay in-process (one
+    // deterministic fixpoint — there is nothing to shard), then the
+    // chunked assert check runs on the worker fleet. Workers return the
+    // same chunk records the checkpointed in-process path journals, so
+    // the aggregate is bit-identical to --workers 0.
+    FtOptions CoordOpts = Opts;
+    CoordOpts.Resume = nullptr; // check phase skipped; nothing to journal
+    R = runFaultTolerance(P, CoordOpts, O.Native, Diags,
+                          /*CheckAsserts=*/false);
+    if (R.Outcome.ok() && R.Converged) {
+      Stopwatch CW;
+      auto Scenarios = enumerateScenarios(P, Opts);
+      size_t ChunkSize = Opts.CheckChunkSize ? Opts.CheckChunkSize : 512;
+      size_t NumChunks = (Scenarios.size() + ChunkSize - 1) / ChunkSize;
+      std::vector<FleetJob> Jobs;
+      size_t Replayed = 0;
+      for (size_t C = 0; C < NumChunks; ++C) {
+        size_t Begin = C * ChunkSize;
+        size_t End = std::min(Begin + ChunkSize, Scenarios.size());
+        if (Log && Log->isDone(FtChecker::chunkKey(C)))
+          Replayed += End - Begin;
+        else
+          Jobs.push_back({FtChecker::chunkKey(C), ""});
+      }
+      FleetResult FR;
+      if (int FleetEc = runUnitFleet(O, "ft", Log.get(), std::move(Jobs), FR))
+        return FleetEc;
+      if (!aggregateFtChunkRecords(Scenarios, ChunkSize,
+                                   fleetLookup(FR, Log.get()), R.Check)) {
+        std::fprintf(stderr,
+                     "nv: fleet aggregate is missing chunk records\n");
+        return 4;
+      }
+      R.Check.ScenariosReplayed = Replayed;
+      R.CheckMs = CW.elapsedMs();
+    }
+  } else {
+    R = runFaultTolerance(P, Opts, O.Native, Diags);
+  }
   Diags.printToStderr();
   if (!R.Outcome.ok()) {
     std::printf("analysis stopped: %s\n", R.Outcome.str().c_str());
@@ -637,17 +932,52 @@ int cmdFt(const Program &P, const CliOptions &O) {
               R.TransformMs, R.SimulateMs, R.CheckMs);
   std::printf("%llu scenarios checked: ",
               static_cast<unsigned long long>(R.Check.ScenariosChecked));
+  int Verdict = 1;
   if (R.Check.holds()) {
     std::printf("property holds under every failure scenario\n");
-    return 0;
+    Verdict = 0;
+  } else {
+    std::printf("%zu violations; first few:\n", R.Check.Violations.size());
+    for (size_t I = 0; I < std::min<size_t>(5, R.Check.Violations.size());
+         ++I) {
+      const FtViolation &V = R.Check.Violations[I];
+      std::printf("  %s: node %u selects %s\n", V.Scenario.str().c_str(),
+                  V.Node, V.routeStr().c_str());
+    }
   }
-  std::printf("%zu violations; first few:\n", R.Check.Violations.size());
-  for (size_t I = 0; I < std::min<size_t>(5, R.Check.Violations.size()); ++I) {
-    const FtViolation &V = R.Check.Violations[I];
-    std::printf("  %s: node %u selects %s\n", V.Scenario.str().c_str(),
-                V.Node, V.routeStr().c_str());
+
+  if (!O.JsonPath.empty()) {
+    std::ofstream Out(O.JsonPath);
+    // Same shape and exclusions as naive's JSON: timing fields end in _ms
+    // so CI diffs can strip exactly them, and replayed/retry counts are
+    // excluded (provenance, not payload).
+    Out << "[\n  {\n"
+        << "    \"bench\": \"ft\",\n"
+        << "    \"network\": \"" << jsonEscape(O.File) << "\",\n"
+        << "    \"links\": " << O.Links << ",\n"
+        << "    \"node_failure\": " << (O.NodeFailure ? 1 : 0) << ",\n"
+        << "    \"scenarios\": " << R.Check.ScenariosChecked << ",\n"
+        << "    \"skipped\": " << R.Check.ScenariosSkipped << ",\n"
+        << "    \"violations\": " << R.Check.Violations.size() << ",\n"
+        << "    \"violations_hash\": \"" << violationsHash(R.Check.Violations)
+        << "\",\n"
+        << "    \"outcome\": \"" << jsonEscape(R.Check.Outcome.str())
+        << "\",\n"
+        << "    \"transform_ms\": " << R.TransformMs << ",\n"
+        << "    \"simulate_ms\": " << R.SimulateMs << ",\n"
+        << "    \"check_ms\": " << R.CheckMs << "\n"
+        << "  }\n]\n";
   }
-  return 1;
+
+  if (!R.Check.Outcome.ok()) {
+    // Skipped scenarios (quarantined chunk, canceled check) mean the sweep
+    // is incomplete: exit structurally, not with a holds/fails verdict.
+    std::printf("first non-ok check outcome: %s\n",
+                R.Check.Outcome.str().c_str());
+    if (int Code = exitCodeForOutcome(R.Check.Outcome))
+      return Code;
+  }
+  return Verdict;
 }
 
 } // namespace
@@ -692,6 +1022,21 @@ int main(int argc, char **argv) {
   if (O->Command == "print") {
     std::printf("%s", printProgram(*P).c_str());
     return 0;
+  }
+  if (O->Command == "worker") {
+    // Fleet worker: dispatched BEFORE the GracefulShutdown block below so
+    // signal dispositions stay at their defaults — the coordinator owns
+    // this process's lifecycle (SIGTERM on cancel, SIGKILL on liveness
+    // timeout), and a worker must die when told to, not drain.
+    try {
+      return cmdWorker(*P, *O);
+    } catch (const EngineError &E) {
+      std::fprintf(stderr, "nv worker: %s\n", E.what());
+      return exitCodeForOutcome(E.outcome());
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "nv worker: %s\n", E.what());
+      return 4;
+    }
   }
   try {
     // Signal-driven graceful shutdown for every engine command: the first

@@ -18,6 +18,13 @@
 //   --resume PATH        campaign checkpoint journal: completed instances
 //                        are replayed (divergence tallies included) and
 //                        each newly completed instance is recorded durably
+//   --workers N          campaign mode only: run instances on N crash-
+//                        isolated worker subprocesses (support/Fleet.h).
+//                        A crashing instance requeues; one that kills
+//                        several workers is quarantined (recorded as
+//                        skipped, with a runnable repro script in the
+//                        artifact dir) instead of ending the campaign the
+//                        way an escaped EngineError does in-process
 //   --retry N            attempts per instance when an EngineError with a
 //                        transient outcome escapes the oracle's per-leg
 //                        catches; exhausted retries record the instance as
@@ -50,8 +57,10 @@
 #include "fuzz/Minimize.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Rng.h"
+#include "support/Fleet.h"
 #include "support/Governor.h"
 #include "support/Resume.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -70,7 +79,7 @@ int usage() {
       stderr,
       "usage: nv-fuzz [--seed S] [--count N] [--start I] [--time-budget SECS]\n"
       "               [--minimize] [--artifact-dir DIR] [--threads N]\n"
-      "               [--resume PATH] [--retry N]\n"
+      "               [--resume PATH] [--retry N] [--workers N]\n"
       "               [--no-smt] [--no-ft] [--no-naive] [--json PATH]\n"
       "       nv-fuzz --replay PATH   (corpus file or directory)\n"
       "       nv-fuzz --emit SEED     (print one instance in corpus form)\n");
@@ -88,6 +97,8 @@ struct FuzzCli {
   std::string ResumePath;
   std::string JsonPath;
   unsigned Retry = 1;
+  unsigned Workers = 0;    ///< Campaign fleet size (0 = in-process).
+  bool FleetWorker = false; ///< Hidden: serve instances over fleet pipes.
   bool Emit = false;
   uint64_t EmitSeed = 0;
   OracleOptions Oracle;
@@ -144,6 +155,15 @@ std::optional<FuzzCli> parseCli(int argc, char **argv) {
       if (!V)
         return std::nullopt;
       O.Retry = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg("--workers")) {
+      const char *V = Next();
+      if (!V)
+        return std::nullopt;
+      O.Workers = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg("--fleet-worker")) {
+      // Undocumented: the fleet coordinator re-execs this binary with the
+      // flag to obtain workers (job pipe fd 3, result pipe fd 4).
+      O.FleetWorker = true;
     } else if (Arg("--replay")) {
       const char *V = Next();
       if (!V)
@@ -222,6 +242,10 @@ RunBinding fuzzBinding(const FuzzCli &Cli, const char *Mode) {
   B.setInt("naive", Cli.Oracle.EnableNaive);
   B.setInt("inject-bug", Cli.Oracle.InjectBugForTesting);
   B.setInt("retry", Cli.Retry);
+  // Worker count is provenance, not binding: fleet and in-process
+  // campaigns write identical instance records, so their journals are
+  // interchangeable.
+  B.setProvenance("workers", std::to_string(Cli.Workers));
   B.setProvenance("threads", std::to_string(Cli.Oracle.Threads));
   if (Cli.TimeBudgetSec)
     B.setProvenance("time-budget-sec", std::to_string(Cli.TimeBudgetSec));
@@ -250,8 +274,11 @@ bool openFuzzResume(const FuzzCli &Cli, const char *Mode,
   return true;
 }
 
-void recordInstance(ResumeLog &Log, const std::string &Key,
-                    const std::string &Name, const InstanceResult &R) {
+/// The canonical instance record — what the campaign journals and what a
+/// fleet worker sends back over the result pipe (same shape, so fleet and
+/// in-process journals are interchangeable).
+UnitRecord makeInstanceRecord(const std::string &Key, const std::string &Name,
+                              const InstanceResult &R) {
   UnitRecord Rec;
   Rec.Key = Key;
   Rec.add("name", Name);
@@ -261,7 +288,12 @@ void recordInstance(ResumeLog &Log, const std::string &Key,
   Rec.addInt("attempts", R.Attempts);
   if (!R.ReproFile.empty())
     Rec.add("repro", R.ReproFile);
-  Log.recordDone(Rec);
+  return Rec;
+}
+
+void recordInstance(ResumeLog &Log, const std::string &Key,
+                    const std::string &Name, const InstanceResult &R) {
+  Log.recordDone(makeInstanceRecord(Key, Name, R));
 }
 
 /// Applies a journaled instance record to the tally as if the instance
@@ -381,6 +413,154 @@ bool writeJson(const std::string &Path, const RunTally &T, double Ms) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Campaign worker fleet (--workers N / hidden --fleet-worker)
+//===----------------------------------------------------------------------===//
+
+/// The worker half: each job's spec is the instance seed in hex (keys stay
+/// "i<I>", but the seed travels so the worker needs no --seed/--start
+/// flags). Handler exceptions — an EngineError escaping the oracle's
+/// per-leg catches — kill the worker on purpose: the coordinator requeues
+/// the instance and, if it keeps killing workers, quarantines it with a
+/// repro script instead of ending the campaign.
+int fuzzFleetWorker(const FuzzCli &Cli) {
+  return runFleetWorker([&](const FleetJob &J) -> UnitRecord {
+    uint64_t Seed = std::strtoull(J.Spec.c_str(), nullptr, 16);
+    DiagnosticEngine Diags;
+    FuzzInstance Inst = instanceFromSeed(Seed, Diags);
+    if (Inst.NvSource.empty()) {
+      // Mirror the in-process campaign: print the generator error, count
+      // it as a divergence at the coordinator, and do NOT journal it
+      // (generation is deterministic, so a resumed run re-counts it).
+      std::printf("GENERATOR ERROR seed=0x%016llx:\n%s",
+                  static_cast<unsigned long long>(Seed), Diags.str().c_str());
+      UnitRecord Rec;
+      Rec.Key = J.Key;
+      Rec.addInt("gen_error", 1);
+      return Rec;
+    }
+    RunTally T; // worker-local; the coordinator tallies from the record
+    InstanceResult R;
+    runOne(Inst, Cli, T, R);
+    return makeInstanceRecord(J.Key, Inst.Name, R);
+  });
+}
+
+/// The coordinator half of a fleet campaign: jobs are generated lazily
+/// (so --time-budget works — the source dries up when the clock runs
+/// out), journal-replayed instances are skipped at generation time, and
+/// results are tallied and journaled as they land. Worker stdout is
+/// inherited, so DIVERGENCE/SKIP/minimizer lines print exactly as they
+/// do in-process (interleaved across workers).
+int campaignFleet(FuzzCli &Cli, ResumeLog *Log, CancelToken &Cancel,
+                  RunTally &T, Stopwatch &W) {
+  FleetOptions FO;
+  FO.Workers = Cli.Workers;
+  FO.WorkerArgv = {getExecutablePath(), "--fleet-worker"};
+  if (Cli.Oracle.Threads != 1) {
+    FO.WorkerArgv.push_back("--threads");
+    FO.WorkerArgv.push_back(std::to_string(Cli.Oracle.Threads));
+  }
+  if (!Cli.Oracle.EnableSmt)
+    FO.WorkerArgv.push_back("--no-smt");
+  if (!Cli.Oracle.EnableFt)
+    FO.WorkerArgv.push_back("--no-ft");
+  if (!Cli.Oracle.EnableNaive)
+    FO.WorkerArgv.push_back("--no-naive");
+  if (Cli.Oracle.InjectBugForTesting)
+    FO.WorkerArgv.push_back("--inject-bug-for-testing");
+  if (Cli.Minimize)
+    FO.WorkerArgv.push_back("--minimize");
+  if (Cli.Retry != 1) {
+    FO.WorkerArgv.push_back("--retry");
+    FO.WorkerArgv.push_back(std::to_string(Cli.Retry));
+  }
+  FO.WorkerArgv.push_back("--artifact-dir");
+  FO.WorkerArgv.push_back(Cli.ArtifactDir);
+  FO.QuarantineDir = Cli.ArtifactDir; // repro scripts live with the corpus
+  FO.Cancel = &Cancel;
+  applyFleetEnvOverrides(FO);
+
+  uint64_t I = Cli.Start;
+  auto Next = [&](FleetJob &J) {
+    for (;;) {
+      if (Cli.TimeBudgetSec) {
+        if (W.elapsedMs() >= Cli.TimeBudgetSec * 1000.0)
+          return false;
+      } else if (I >= Cli.Start + Cli.Count) {
+        return false;
+      }
+      uint64_t Idx = I++;
+      std::string Key = "i";
+      Key += std::to_string(Idx);
+      if (Log) {
+        UnitRecord Rec;
+        if (Log->replay(Key, Rec) && replayInstance(Rec, T))
+          continue; // already done in a previous run
+      }
+      char Hex[32];
+      std::snprintf(Hex, sizeof(Hex), "%016llx",
+                    static_cast<unsigned long long>(mixSeed(Cli.Seed, Idx)));
+      J = {Key, Hex};
+      return true;
+    }
+  };
+
+  FleetCallbacks CB;
+  CB.OnResult = [&](const UnitRecord &Rec) {
+    if (Rec.get("gen_error")) {
+      ++T.Divergences; // counted, never journaled (see fuzzFleetWorker)
+      return;
+    }
+    RunOutcome O;
+    unsigned Attempts = 1;
+    if (parseOutcome(Rec, O, Attempts) && !O.ok()) {
+      // A quarantined instance: journal it as a durable skip (plus the
+      // repro script path), so any resume — fleet or in-process — replays
+      // it as skipped instead of re-running the crasher.
+      ++T.Instances;
+      ++T.Skipped;
+      InstanceResult R;
+      R.Skipped = true;
+      R.Attempts = Attempts;
+      if (const std::string *Repro = Rec.get("repro")) {
+        R.ReproFile = *Repro;
+        T.ReproFiles.push_back(*Repro);
+      }
+      std::printf("SKIP %s: %s\n", Rec.Key.c_str(), O.str().c_str());
+      if (Log)
+        recordInstance(*Log, Rec.Key, Rec.Key, R);
+      return;
+    }
+    // A normal instance record: tally exactly what replayInstance would,
+    // minus the replayed count (the worker already printed any
+    // DIVERGENCE/SKIP lines to the shared stdout).
+    ++T.Instances;
+    if (const std::string *S = Rec.get("skip"); S && *S == "1")
+      ++T.Skipped;
+    if (const std::string *Legs = Rec.get("legs"))
+      T.LegRuns += std::strtoull(Legs->c_str(), nullptr, 10);
+    if (const std::string *Div = Rec.get("div"); Div && *Div == "1")
+      ++T.Divergences;
+    if (const std::string *Repro = Rec.get("repro"))
+      T.ReproFiles.push_back(*Repro);
+    if (const std::string *A = Rec.get("attempts"))
+      if (unsigned N = unsigned(std::strtoul(A->c_str(), nullptr, 10)); N > 1)
+        T.Retries += N - 1;
+    if (Log)
+      Log->recordDone(Rec);
+  };
+
+  FleetResult FR = runFleetDynamic(FO, Next, CB);
+  if (!FR.Outcome.ok() && FR.Outcome.Status != RunStatus::Canceled) {
+    std::fprintf(stderr, "nv-fuzz: fleet run failed: %s\n",
+                 FR.Outcome.str().c_str());
+    return exitCodeForOutcome(FR.Outcome);
+  }
+  std::printf("fleet: %s\n", FR.Stats.str().c_str());
+  return 0; // fuzzMain prints the summary and derives the exit code
+}
+
 int replay(FuzzCli &Cli) {
   std::vector<std::string> Files;
   if (std::filesystem::is_directory(Cli.ReplayPath))
@@ -452,6 +632,11 @@ int fuzzMain(int argc, char **argv) {
   if (!Cli)
     return usage();
 
+  if (Cli->FleetWorker)
+    // Before any signal plumbing: the coordinator owns this process's
+    // lifecycle (SIGTERM/SIGKILL), so dispositions stay at their defaults.
+    return fuzzFleetWorker(*Cli);
+
   if (Cli->Emit) {
     DiagnosticEngine Diags;
     FuzzInstance Inst = instanceFromSeed(Cli->EmitSeed, Diags);
@@ -478,6 +663,10 @@ int fuzzMain(int argc, char **argv) {
 
   RunTally T;
   Stopwatch W;
+  if (Cli->Workers > 0) {
+    if (int FleetEc = campaignFleet(*Cli, Log.get(), Cancel, T, W))
+      return FleetEc;
+  } else
   for (uint64_t I = Cli->Start;; ++I) {
     if (Cancel.isCanceled())
       break;
